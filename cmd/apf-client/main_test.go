@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClientRejectsBadFlags(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad shard", []string{"-shard", "3", "-shards", "2"}},
+		{"bad model", []string{"-model", "nope"}},
+		{"bad scheme", []string{"-scheme", "nope", "-addr", "127.0.0.1:1"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestClientFailsFastWithoutServer(t *testing.T) {
+	start := time.Now()
+	err := run([]string{"-addr", "127.0.0.1:1", "-model", "mlp", "-shard", "0", "-shards", "1"})
+	if err == nil {
+		t.Fatal("expected connection error")
+	}
+	if time.Since(start) > 15*time.Second {
+		t.Error("client hung instead of failing fast")
+	}
+}

@@ -1,0 +1,74 @@
+// Command apf-server runs the central federated-learning aggregation
+// server over TCP. Pair it with cmd/apf-client instances (on the same or
+// other machines); both sides must agree on -model and -seed.
+//
+// Example (one server, three clients, APF enabled on the clients):
+//
+//	apf-server -addr :7070 -clients 3 -rounds 50 -model lenet -seed 42
+//	apf-client -addr host:7070 -model lenet -seed 42 -shard 0 -shards 3 -scheme apf
+//	...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"apf/internal/metrics"
+	"apf/internal/preset"
+	"apf/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "apf-server:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves one full training session.
+func run(args []string) error {
+	fs := flag.NewFlagSet("apf-server", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":7070", "listen address")
+		clients = fs.Int("clients", 3, "number of clients to wait for")
+		rounds  = fs.Int("rounds", 50, "aggregation rounds")
+		model   = fs.String("model", "lenet", "workload preset: lenet | lstm | mlp")
+		seed    = fs.Int64("seed", 42, "shared seed (must match the clients)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := preset.Load(*model, *seed)
+	if err != nil {
+		return err
+	}
+	init := p.InitVector(*seed)
+
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Addr:       *addr,
+		NumClients: *clients,
+		Rounds:     *rounds,
+		Init:       init,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("apf-server: %s on %s — waiting for %d client(s), %d rounds, model dim %d\n",
+		*model, srv.Addr(), *clients, *rounds, len(init))
+	if _, err := srv.Run(ctx); err != nil {
+		return err
+	}
+	read, sent := srv.WireBytes()
+	fmt.Printf("apf-server: done — wire bytes received %s, sent %s\n",
+		metrics.FormatBytes(read), metrics.FormatBytes(sent))
+	return nil
+}

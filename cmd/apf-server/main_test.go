@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestServerRejectsBadFlags(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad model", []string{"-model", "nope"}},
+		{"zero clients", []string{"-clients", "0"}},
+		{"bad address", []string{"-addr", "256.256.256.256:99999"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

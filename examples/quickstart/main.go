@@ -1,0 +1,104 @@
+// Quickstart: federated training of a small CNN on synthetic non-IID
+// image data, with and without Adaptive Parameter Freezing (APF).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+//
+// It prints the accuracy trajectory of both runs and the traffic APF
+// saved. Expect APF to reach comparable (often slightly better) accuracy
+// while transmitting substantially less data.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"apf/internal/core"
+	"apf/internal/data"
+	"apf/internal/fl"
+	"apf/internal/metrics"
+	"apf/internal/models"
+	"apf/internal/nn"
+	"apf/internal/opt"
+	"apf/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the quickstart scenario.
+func run() error {
+	const (
+		seed    = 42
+		clients = 5
+		rounds  = 80
+	)
+
+	// 1. Synthetic 10-class image data, split non-IID across clients with
+	// a Dirichlet(1.0) draw (the paper's §7.1 setup).
+	pool := data.SynthImages(data.ImageConfig{
+		Classes: 10, Channels: 1, Size: 16, Samples: 650, NoiseStd: 0.8, Seed: seed,
+	})
+	trainIdx, testIdx := make([]int, 0, 550), make([]int, 0, 100)
+	for i := 0; i < pool.Len(); i++ {
+		if i < 550 {
+			trainIdx = append(trainIdx, i)
+		} else {
+			testIdx = append(testIdx, i)
+		}
+	}
+	train, test := pool.Subset(trainIdx), pool.Subset(testIdx)
+	parts := data.PartitionDirichlet(stats.SplitRNG(seed, 1), train.Labels, train.Classes, clients, 1.0)
+
+	// 2. Model + optimizer factories: LeNet-5 with Adam, as in the paper.
+	model := func(rng *rand.Rand) *nn.Network { return models.LeNet5(rng, 1, 16, 10) }
+	optimizer := func(p []*nn.Param) opt.Optimizer { return opt.NewAdam(p, 0.002, 0) }
+
+	cfg := fl.Config{
+		Rounds:     rounds,
+		LocalIters: 4,
+		BatchSize:  20,
+		Seed:       seed,
+		EvalEvery:  5,
+	}
+
+	// 3. Run once with the APF manager, once with vanilla full-model sync.
+	apfManager := func(clientID, dim int) fl.SyncManager {
+		return core.NewManager(core.Config{
+			Dim:              dim,
+			CheckEveryRounds: 1,
+			Threshold:        0.3,
+			EMAAlpha:         0.9,
+			Seed:             seed,
+		})
+	}
+	vanilla := func(clientID, dim int) fl.SyncManager { return fl.NewPassthroughManager(4) }
+
+	fmt.Println("training with APF...")
+	apfRes := fl.New(cfg, model, optimizer, apfManager, train, parts, test).Run()
+	fmt.Println("training without APF (vanilla FedAvg)...")
+	baseRes := fl.New(cfg, model, optimizer, vanilla, train, parts, test).Run()
+
+	// 4. Report.
+	fmt.Println()
+	fmt.Printf("%-8s %-12s %-12s %-14s\n", "round", "APF acc", "FedAvg acc", "APF frozen")
+	apfEvals, baseEvals := apfRes.EvaluatedRounds(), baseRes.EvaluatedRounds()
+	for i := range apfEvals {
+		fmt.Printf("%-8d %-12.3f %-12.3f %.1f%%\n",
+			apfEvals[i].Round, apfEvals[i].BestAcc, baseEvals[i].BestAcc, 100*apfEvals[i].FrozenRatio)
+	}
+	apfBytes := apfRes.CumUpBytes + apfRes.CumDownBytes
+	baseBytes := baseRes.CumUpBytes + baseRes.CumDownBytes
+	fmt.Println()
+	fmt.Printf("best accuracy:   APF %.3f | FedAvg %.3f\n", apfRes.BestAcc, baseRes.BestAcc)
+	fmt.Printf("traffic (all clients, push+pull): APF %s | FedAvg %s (saving %.1f%%)\n",
+		metrics.FormatBytes(apfBytes), metrics.FormatBytes(baseBytes),
+		100*(1-float64(apfBytes)/float64(baseBytes)))
+	return nil
+}

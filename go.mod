@@ -1,0 +1,3 @@
+module apf
+
+go 1.22

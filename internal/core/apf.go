@@ -1,0 +1,416 @@
+// Package core implements Adaptive Parameter Freezing (APF) — the paper's
+// contribution — as a client-side synchronization manager. It identifies
+// stable ("mature") scalars by their effective perturbation, freezes them
+// at their last synchronized value for adaptively controlled periods, and
+// excludes them from both the push and pull phases of synchronization.
+//
+// The manager mirrors the paper's Alg. 1 / Fig. 8 / Fig. 10 design:
+//
+//   - Fine-grained (per-scalar) freezing is emulated by rolling frozen
+//     scalars back after every local update (PostIterate).
+//   - Every synchronization exchanges only the unfrozen scalars; the
+//     freezing bitmap M_is_frozen is computed independently on every
+//     client from synchronized state, so it never crosses the wire and is
+//     identical everywhere.
+//   - Stability is checked once every Fc rounds from the accumulated
+//     update since the previous check, smoothed with exponential moving
+//     averages (Eq. 17).
+//   - Freezing periods follow a pluggable FreezePolicy; the default AIMD
+//     policy additively lengthens the period while a parameter remains
+//     stable after unfreezing and halves it when the parameter drifts.
+//     (Alg. 1's tensor-selection formulation applies its updates to all
+//     parameters each check; as in the paper's authoritative Fig. 8
+//     flowchart, a frozen parameter's period must only be re-adjusted
+//     after it has resumed training, so checks here skip still-frozen
+//     scalars.)
+//   - The stability threshold halves whenever the frozen fraction reaches
+//     ThresholdDecayFrac (§6.1, "stability threshold decay").
+//   - APF# and APF++ additionally freeze random unstable scalars
+//     (§5), with a fixed or a growing probability/length respectively.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"apf/internal/bitset"
+	"apf/internal/perturb"
+	"apf/internal/stats"
+)
+
+// RandomFreezeMode selects the §5 extension behaviour.
+type RandomFreezeMode int
+
+// Random-freezing modes.
+const (
+	// RandomOff disables random freezing (standard APF).
+	RandomOff RandomFreezeMode = iota + 1
+	// RandomFixed is APF#: every unstable scalar is frozen for one round
+	// with a fixed probability.
+	RandomFixed
+	// RandomGrowing is APF++: the freezing probability is a1·K and the
+	// freezing length is drawn from U[1, 1+a2·K], K being the round.
+	RandomGrowing
+)
+
+// RandomFreeze configures APF# / APF++.
+type RandomFreeze struct {
+	Mode RandomFreezeMode
+	// Prob is APF#'s fixed freezing probability (paper: 0.5).
+	Prob float64
+	// ProbGrowth is APF++'s a1 (probability = a1·K, capped at 1).
+	ProbGrowth float64
+	// LenGrowth is APF++'s a2 (length ~ U[1, 1+a2·K] rounds).
+	LenGrowth float64
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Dim is the flat model length.
+	Dim int
+	// CheckEveryRounds is the stability-check interval Fc expressed in
+	// rounds (the paper's default Fs=10, Fc=50 gives 5).
+	CheckEveryRounds int
+	// Threshold is the initial stability threshold on effective
+	// perturbation (paper: 0.05).
+	Threshold float64
+	// ThresholdDecayFrac halves Threshold whenever at least this fraction
+	// of parameters is frozen (paper: 0.8). 0 disables decay.
+	ThresholdDecayFrac float64
+	// EMAAlpha is the effective-perturbation smoothing factor (paper: 0.99).
+	EMAAlpha float64
+	// BytesPerValue is the wire size of one transmitted scalar (paper: 4,
+	// i.e. float32).
+	BytesPerValue int
+	// Policy controls freezing periods; nil selects AIMD.
+	Policy FreezePolicy
+	// Random configures the APF#/APF++ extensions; zero value disables.
+	Random RandomFreeze
+	// Seed drives the shared random-freezing stream. All clients must use
+	// the same seed so their masks agree (decisions are a deterministic
+	// function of (Seed, check index), never of client state).
+	Seed int64
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.CheckEveryRounds == 0 {
+		c.CheckEveryRounds = 5
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.05
+	}
+	if c.ThresholdDecayFrac == 0 {
+		c.ThresholdDecayFrac = 0.8
+	}
+	if c.EMAAlpha == 0 {
+		c.EMAAlpha = 0.99
+	}
+	if c.BytesPerValue == 0 {
+		c.BytesPerValue = 4
+	}
+	if c.Policy == nil {
+		c.Policy = AIMD{}
+	}
+	if c.Random.Mode == 0 {
+		c.Random.Mode = RandomOff
+	}
+	return c
+}
+
+// Manager is the per-client APF synchronization manager (the paper's
+// APF_Manager module). It implements the fl.SyncManager contract.
+type Manager struct {
+	cfg Config
+
+	ref       []float64 // last synchronized values: rollback targets
+	lastCheck []float64 // values at the previous stability check
+	tracker   *perturb.EMATracker
+
+	period      []float64 // AIMD state, in rounds
+	unfreezeAt  []int     // round at which stability freezing expires
+	randomUntil []int     // round at which random freezing expires
+
+	mask      *bitset.BitSet // frozen scalars for maskRound
+	maskRound int
+
+	threshold   float64
+	checkCount  int
+	initialized bool
+	initRound   int
+}
+
+// NewManager constructs an APF manager.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	if cfg.Dim <= 0 {
+		panic(fmt.Sprintf("core: invalid model dimension %d", cfg.Dim))
+	}
+	if cfg.CheckEveryRounds <= 0 {
+		panic(fmt.Sprintf("core: invalid check interval %d", cfg.CheckEveryRounds))
+	}
+	m := &Manager{
+		cfg:         cfg,
+		ref:         make([]float64, cfg.Dim),
+		lastCheck:   make([]float64, cfg.Dim),
+		tracker:     perturb.NewEMATracker(cfg.Dim, cfg.EMAAlpha),
+		period:      make([]float64, cfg.Dim),
+		unfreezeAt:  make([]int, cfg.Dim),
+		randomUntil: make([]int, cfg.Dim),
+		mask:        bitset.New(cfg.Dim),
+		maskRound:   -1,
+		threshold:   cfg.Threshold,
+		initRound:   -1,
+	}
+	return m
+}
+
+// frozenAt reports whether scalar j is frozen during the given round.
+func (m *Manager) frozenAt(j, round int) bool {
+	return round < m.unfreezeAt[j] || round < m.randomUntil[j]
+}
+
+// refreshMask rebuilds the freezing bitmap for round.
+func (m *Manager) refreshMask(round int) {
+	if m.maskRound == round {
+		return
+	}
+	m.mask.Reset()
+	for j := 0; j < m.cfg.Dim; j++ {
+		if m.frozenAt(j, round) {
+			m.mask.Set(j)
+		}
+	}
+	m.maskRound = round
+}
+
+// PostIterate rolls frozen scalars back to their last synchronized values,
+// emulating per-scalar freezing exactly as the paper does atop PyTorch
+// (Alg. 1 line 2).
+func (m *Manager) PostIterate(round int, x []float64) {
+	m.checkDim(x)
+	m.refreshMask(round)
+	if m.mask.Count() == 0 {
+		return
+	}
+	for j := 0; j < m.cfg.Dim; j++ {
+		if m.mask.Get(j) {
+			x[j] = m.ref[j]
+		}
+	}
+}
+
+// PrepareUpload packages the contribution for server aggregation. Frozen
+// entries carry their (cluster-wide identical) frozen values and cost no
+// bandwidth; only the unfrozen scalars are counted as pushed bytes.
+func (m *Manager) PrepareUpload(round int, x []float64) ([]float64, float64, int64) {
+	m.checkDim(x)
+	m.refreshMask(round)
+	contrib := append([]float64(nil), x...)
+	for j := 0; j < m.cfg.Dim; j++ {
+		if m.mask.Get(j) {
+			contrib[j] = m.ref[j]
+		}
+	}
+	unfrozen := m.cfg.Dim - m.mask.Count()
+	return contrib, 1, int64(unfrozen) * int64(m.cfg.BytesPerValue)
+}
+
+// ApplyDownload merges the aggregated unfrozen scalars into the local
+// model (pull phase, also mask-compressed) and, on check boundaries, runs
+// the stability check that adjusts freezing state for the next rounds.
+func (m *Manager) ApplyDownload(round int, x, global []float64) int64 {
+	m.checkDim(x)
+	m.checkDim(global)
+	m.refreshMask(round)
+	unfrozen := 0
+	for j := 0; j < m.cfg.Dim; j++ {
+		if !m.mask.Get(j) {
+			x[j] = global[j]
+			m.ref[j] = global[j]
+			unfrozen++
+		} else {
+			x[j] = m.ref[j]
+		}
+	}
+	if !m.initialized {
+		// Seed the check baseline from *synchronized* state: every
+		// client sees the identical post-aggregation vector here, which
+		// is what keeps M_is_frozen identical across the cluster. (A
+		// baseline taken from a client's own local updates would differ
+		// per client and let masks diverge.)
+		copy(m.lastCheck, x)
+		m.initialized = true
+		m.initRound = round
+	}
+	// Run the stability check on check boundaries — but never on the
+	// round that seeded the baseline, whose accumulated delta would be
+	// degenerate and misread as stability.
+	if round > m.initRound && (round+1)%m.cfg.CheckEveryRounds == 0 {
+		m.stabilityCheck(round, x)
+	}
+	return int64(unfrozen) * int64(m.cfg.BytesPerValue)
+}
+
+// stabilityCheck implements Alg. 1's StabilityCheck with the Fig. 8
+// semantics: only scalars that trained since the last check are
+// re-assessed; stable ones are (re-)frozen with policy-controlled periods,
+// and the random-freezing extensions add their masks on top.
+func (m *Manager) stabilityCheck(round int, x []float64) {
+	m.checkCount++
+	delta := make([]float64, m.cfg.Dim)
+	for j := range delta {
+		delta[j] = x[j] - m.lastCheck[j]
+	}
+	frozenNow := func(j int) bool { return m.frozenAt(j, round) }
+	m.tracker.ObserveMasked(delta, frozenNow)
+
+	step := float64(m.cfg.CheckEveryRounds)
+	for j := 0; j < m.cfg.Dim; j++ {
+		if frozenNow(j) {
+			continue
+		}
+		p := m.tracker.Perturbation(j)
+		stable := p < m.threshold
+		m.period[j] = m.cfg.Policy.NextPeriod(m.period[j], stable, step)
+		if stable && m.period[j] >= 1 {
+			m.unfreezeAt[j] = round + 1 + int(m.period[j])
+			m.ref[j] = x[j]
+		} else {
+			m.unfreezeAt[j] = 0
+		}
+	}
+
+	m.applyRandomFreezing(round)
+	copy(m.lastCheck, x)
+
+	// Threshold decay (§6.1): halve once most parameters are frozen.
+	if m.cfg.ThresholdDecayFrac > 0 {
+		frozen := 0
+		for j := 0; j < m.cfg.Dim; j++ {
+			if m.frozenAt(j, round+1) {
+				frozen++
+			}
+		}
+		if float64(frozen) >= m.cfg.ThresholdDecayFrac*float64(m.cfg.Dim) {
+			m.threshold /= 2
+		}
+	}
+	m.maskRound = -1 // mask changed; recompute lazily
+}
+
+// applyRandomFreezing implements APF# / APF++ (§5). Decisions derive from
+// (Seed, checkCount) only, so every client freezes the same scalars.
+func (m *Manager) applyRandomFreezing(round int) {
+	rf := m.cfg.Random
+	if rf.Mode == RandomOff {
+		return
+	}
+	var prob float64
+	switch rf.Mode {
+	case RandomFixed:
+		prob = rf.Prob
+	case RandomGrowing:
+		prob = rf.ProbGrowth * float64(round+1)
+	default:
+		panic(fmt.Sprintf("core: unknown random freeze mode %d", rf.Mode))
+	}
+	if prob <= 0 {
+		return
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	rng := stats.SplitRNG(m.cfg.Seed, int64(m.checkCount))
+	for j := 0; j < m.cfg.Dim; j++ {
+		if m.frozenAt(j, round+1) {
+			continue // already frozen by stability or a previous draw
+		}
+		if rng.Float64() >= prob {
+			continue
+		}
+		length := 1
+		if rf.Mode == RandomGrowing {
+			maxLen := 1 + rf.LenGrowth*float64(round+1)
+			length = 1 + int(rng.Float64()*math.Max(0, maxLen-1))
+		}
+		m.randomUntil[j] = round + 1 + length
+	}
+}
+
+// CompactUpload extracts the unfrozen scalars of a dense contribution, in
+// index order — the compact tensor of Alg. 1 line 4 (masked_select) that
+// actually crosses the wire.
+func (m *Manager) CompactUpload(round int, contrib []float64) []float64 {
+	m.checkDim(contrib)
+	m.refreshMask(round)
+	out := make([]float64, 0, m.cfg.Dim-m.mask.Count())
+	for j := 0; j < m.cfg.Dim; j++ {
+		if !m.mask.Get(j) {
+			out = append(out, contrib[j])
+		}
+	}
+	return out
+}
+
+// ExpandDownload reconstructs the dense global vector from an aggregated
+// compact payload (Alg. 1 line 6, masked_fill), filling frozen entries from
+// the local reference values — which are identical on every client.
+func (m *Manager) ExpandDownload(round int, compact []float64) []float64 {
+	m.refreshMask(round)
+	unfrozen := m.cfg.Dim - m.mask.Count()
+	if len(compact) != unfrozen {
+		panic(fmt.Sprintf("core: compact payload length %d, want %d unfrozen scalars", len(compact), unfrozen))
+	}
+	out := make([]float64, m.cfg.Dim)
+	i := 0
+	for j := 0; j < m.cfg.Dim; j++ {
+		if m.mask.Get(j) {
+			out[j] = m.ref[j]
+		} else {
+			out[j] = compact[i]
+			i++
+		}
+	}
+	return out
+}
+
+// FrozenRatio returns the fraction of scalars frozen in the most recently
+// observed round.
+func (m *Manager) FrozenRatio() float64 {
+	if m.maskRound < 0 {
+		m.refreshMask(m.lastKnownRound())
+	}
+	return m.mask.Ratio()
+}
+
+// lastKnownRound picks a round for lazy mask refreshes triggered outside
+// the engine's call sequence.
+func (m *Manager) lastKnownRound() int {
+	if m.maskRound >= 0 {
+		return m.maskRound
+	}
+	return m.checkCount * m.cfg.CheckEveryRounds
+}
+
+// MaskWords exposes the freezing bitmap for cross-client consistency
+// checks.
+func (m *Manager) MaskWords() []uint64 {
+	if m.maskRound < 0 {
+		m.refreshMask(m.lastKnownRound())
+	}
+	return m.mask.Words()
+}
+
+// Threshold returns the current (possibly decayed) stability threshold.
+func (m *Manager) Threshold() float64 { return m.threshold }
+
+// Checks returns how many stability checks have run.
+func (m *Manager) Checks() int { return m.checkCount }
+
+// checkDim panics when a vector of the wrong length reaches the manager.
+func (m *Manager) checkDim(x []float64) {
+	if len(x) != m.cfg.Dim {
+		panic(fmt.Sprintf("core: vector length %d does not match model dimension %d", len(x), m.cfg.Dim))
+	}
+}

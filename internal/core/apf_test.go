@@ -1,0 +1,417 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// driver simulates one client's view of the engine protocol against a
+// single-client "server" (global = own contribution). update(j, round)
+// returns the raw local movement scalar j would make that round.
+type driver struct {
+	m     *Manager
+	x     []float64
+	round int
+	up    int64
+	down  int64
+}
+
+func newDriver(m *Manager, dim int) *driver {
+	return &driver{m: m, x: make([]float64, dim)}
+}
+
+// step runs one full round.
+func (d *driver) step(update func(j, round int) float64) {
+	for j := range d.x {
+		d.x[j] += update(j, d.round)
+	}
+	d.m.PostIterate(d.round, d.x)
+	contrib, _, up := d.m.PrepareUpload(d.round, d.x)
+	d.down = d.m.ApplyDownload(d.round, d.x, contrib)
+	d.up = up
+	d.round++
+}
+
+// oscillating flips sign every round (a perfectly stable parameter);
+// drifting moves one way forever (an unstable parameter).
+func mixedUpdate(j, round int) float64 {
+	if j%2 == 0 {
+		if round%2 == 0 {
+			return 1
+		}
+		return -1
+	}
+	return 1
+}
+
+// newTestManager builds a small fast-reacting manager.
+func newTestManager(dim int, policy FreezePolicy) *Manager {
+	return NewManager(Config{
+		Dim:                dim,
+		CheckEveryRounds:   1,
+		Threshold:          0.3,
+		ThresholdDecayFrac: -1, // disabled unless a test opts in (negative → never)
+		EMAAlpha:           0.8,
+		BytesPerValue:      4,
+		Policy:             policy,
+		Seed:               42,
+	})
+}
+
+func TestStableScalarsFreezeUnstableDoNot(t *testing.T) {
+	m := newTestManager(4, AIMD{})
+	d := newDriver(m, 4)
+	frozenRounds := make([]int, 4)
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		d.step(mixedUpdate)
+		words := m.MaskWords()
+		for j := 0; j < 4; j++ {
+			if words[0]&(1<<j) != 0 {
+				frozenRounds[j]++
+			}
+		}
+	}
+	for j := 0; j < 4; j++ {
+		if j%2 == 0 && frozenRounds[j] < rounds/4 {
+			t.Errorf("oscillating scalar %d frozen only %d/%d rounds", j, frozenRounds[j], rounds)
+		}
+		if j%2 == 1 && frozenRounds[j] != 0 {
+			t.Errorf("drifting scalar %d was frozen %d rounds; must never freeze", j, frozenRounds[j])
+		}
+	}
+}
+
+func TestRollbackPinsFrozenScalars(t *testing.T) {
+	m := newTestManager(2, AIMD{})
+	d := newDriver(m, 2)
+	// Scalar 0 oscillates and will freeze; scalar 1 drifts.
+	for i := 0; i < 50 && m.MaskWords()[0]&1 == 0; i++ {
+		d.step(mixedUpdate)
+	}
+	if m.MaskWords()[0]&1 == 0 {
+		t.Fatal("oscillating scalar never froze")
+	}
+	frozenVal := d.x[0]
+	before1 := d.x[1]
+	// While frozen, local movement of scalar 0 must be rolled back; the
+	// drifting scalar keeps moving. Apply one big kick while still frozen.
+	d.step(func(j, round int) float64 { return 5 })
+	if m.MaskWords()[0]&1 != 0 && d.x[0] != frozenVal {
+		t.Errorf("frozen scalar moved: %v -> %v", frozenVal, d.x[0])
+	}
+	if d.x[1] != before1+5 {
+		t.Errorf("unfrozen scalar should keep moving: %v -> %v", before1, d.x[1])
+	}
+}
+
+func TestByteAccountingExcludesFrozen(t *testing.T) {
+	m := newTestManager(4, AIMD{})
+	d := newDriver(m, 4)
+	d.step(mixedUpdate)
+	if d.up != 16 || d.down != 16 {
+		t.Fatalf("round 0 bytes up=%d down=%d, want 16/16 (4 scalars × 4B)", d.up, d.down)
+	}
+	minUp, minDown := d.up, d.down
+	for i := 0; i < 40; i++ {
+		d.step(mixedUpdate)
+		if d.up < minUp {
+			minUp = d.up
+		}
+		if d.down < minDown {
+			minDown = d.down
+		}
+	}
+	// With the two oscillating scalars frozen, both phases must at times
+	// carry only the two drifting scalars.
+	if minUp != 8 || minDown != 8 {
+		t.Fatalf("min bytes with half frozen: up=%d down=%d, want 8/8", minUp, minDown)
+	}
+}
+
+func TestAIMDPeriodsGrowWhileStable(t *testing.T) {
+	m := newTestManager(1, AIMD{})
+	d := newDriver(m, 1)
+	osc := func(j, round int) float64 {
+		if round%2 == 0 {
+			return 1
+		}
+		return -1
+	}
+	frozenRounds := 0
+	for i := 0; i < 100; i++ {
+		d.step(osc)
+		if m.FrozenRatio() == 1 {
+			frozenRounds++
+		}
+	}
+	// With growing periods the scalar must be frozen most of the time.
+	if frozenRounds < 50 {
+		t.Errorf("scalar frozen only %d/100 rounds; AIMD growth not working", frozenRounds)
+	}
+	// The freezing period must have grown beyond its initial value.
+	if m.period[0] < 2 {
+		t.Errorf("period = %v, want growth beyond initial", m.period[0])
+	}
+}
+
+func TestUnfreezeOnDrift(t *testing.T) {
+	m := newTestManager(1, AIMD{})
+	d := newDriver(m, 1)
+	osc := func(j, round int) float64 {
+		if round%2 == 0 {
+			return 1
+		}
+		return -1
+	}
+	for i := 0; i < 60 && m.FrozenRatio() != 1; i++ {
+		d.step(osc)
+	}
+	if m.FrozenRatio() != 1 {
+		t.Fatal("precondition: scalar should be frozen after oscillation")
+	}
+	periodAtFreeze := m.period[0]
+	// Switch to drifting: once the freezing period expires the parameter
+	// trains again, the check sees directional movement, and the period
+	// collapses multiplicatively.
+	for i := 0; i < 60; i++ {
+		d.step(func(j, round int) float64 { return 2 })
+	}
+	if m.period[0] >= periodAtFreeze {
+		t.Errorf("period %v did not shrink after drift (was %v)", m.period[0], periodAtFreeze)
+	}
+	if m.FrozenRatio() != 0 {
+		t.Error("drifting scalar should be unfrozen")
+	}
+	// And it must have made real progress despite the earlier freeze.
+	if d.x[0] < 20 {
+		t.Errorf("drifting scalar advanced only to %v", d.x[0])
+	}
+}
+
+func TestPermanentPolicyNeverUnfreezes(t *testing.T) {
+	m := newTestManager(1, Permanent{})
+	d := newDriver(m, 1)
+	osc := func(j, round int) float64 {
+		if round%2 == 0 {
+			return 1
+		}
+		return -1
+	}
+	for i := 0; i < 60 && m.FrozenRatio() != 1; i++ {
+		d.step(osc)
+	}
+	if m.FrozenRatio() != 1 {
+		t.Fatal("precondition: scalar frozen")
+	}
+	val := d.x[0]
+	for i := 0; i < 50; i++ {
+		d.step(func(j, round int) float64 { return 3 })
+	}
+	if m.FrozenRatio() != 1 {
+		t.Error("permanently frozen scalar unfroze")
+	}
+	if d.x[0] != val {
+		t.Errorf("permanently frozen scalar moved %v -> %v", val, d.x[0])
+	}
+}
+
+func TestThresholdDecay(t *testing.T) {
+	m := NewManager(Config{
+		Dim:                4,
+		CheckEveryRounds:   1,
+		Threshold:          0.5,
+		ThresholdDecayFrac: 0.5, // decay once half the scalars freeze
+		EMAAlpha:           0.5,
+		Policy:             AIMD{},
+	})
+	d := newDriver(m, 4)
+	for i := 0; i < 30; i++ {
+		d.step(mixedUpdate)
+	}
+	if m.Threshold() >= 0.5 {
+		t.Errorf("threshold %v did not decay although ≥50%% scalars froze", m.Threshold())
+	}
+}
+
+func TestNegativeDecayFracDisablesDecay(t *testing.T) {
+	m := newTestManager(2, AIMD{})
+	d := newDriver(m, 2)
+	osc := func(j, round int) float64 {
+		if round%2 == 0 {
+			return 1
+		}
+		return -1
+	}
+	for i := 0; i < 40; i++ {
+		d.step(osc)
+	}
+	if m.Threshold() != 0.3 {
+		t.Errorf("threshold moved to %v with decay disabled", m.Threshold())
+	}
+}
+
+func TestAPFSharpFreezesUnstableScalars(t *testing.T) {
+	mk := func() *Manager {
+		return NewManager(Config{
+			Dim:              8,
+			CheckEveryRounds: 1,
+			Threshold:        0.3,
+			EMAAlpha:         0.5,
+			Policy:           AIMD{},
+			Random:           RandomFreeze{Mode: RandomFixed, Prob: 1.0},
+			Seed:             7,
+		})
+	}
+	m := mk()
+	d := newDriver(m, 8)
+	drift := func(j, round int) float64 { return 1 }
+	d.step(drift)
+	d.step(drift)
+	// With probability 1 every unstable scalar must now be frozen for one
+	// round.
+	if m.FrozenRatio() != 1 {
+		t.Fatalf("APF# with p=1 froze ratio %v, want 1", m.FrozenRatio())
+	}
+	// One round later the 1-round random freezes expire; since frozen
+	// params skip checks, the following round they are checked again.
+	d.step(drift)
+	d.step(drift)
+	if d.x[0] <= 1 {
+		t.Error("randomly frozen scalars should resume training after one round")
+	}
+
+	// Determinism: an identically configured manager driven identically
+	// produces the identical mask (the cross-client consistency property).
+	m2 := mk()
+	d2 := newDriver(m2, 8)
+	for i := 0; i < 4; i++ {
+		d2.step(drift)
+	}
+	w1, w2 := m.MaskWords(), m2.MaskWords()
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatal("APF# masks diverged between identically-driven managers")
+		}
+	}
+}
+
+func TestAPFPlusPlusProbabilityGrows(t *testing.T) {
+	m := NewManager(Config{
+		Dim:              200,
+		CheckEveryRounds: 1,
+		Threshold:        0.01, // effectively nothing is "stable"
+		EMAAlpha:         0.5,
+		Policy:           AIMD{},
+		Random:           RandomFreeze{Mode: RandomGrowing, ProbGrowth: 0.02, LenGrowth: 0.1},
+		Seed:             11,
+	})
+	d := newDriver(m, 200)
+	drift := func(j, round int) float64 { return 1 }
+	early, late := 0.0, 0.0
+	for i := 0; i < 40; i++ {
+		d.step(drift)
+		if i == 5 {
+			early = m.FrozenRatio()
+		}
+	}
+	late = m.FrozenRatio()
+	if late <= early {
+		t.Errorf("APF++ frozen ratio did not grow: early=%v late=%v", early, late)
+	}
+}
+
+func TestUploadContribUsesFrozenReference(t *testing.T) {
+	m := newTestManager(2, AIMD{})
+	d := newDriver(m, 2)
+	osc := func(j, round int) float64 {
+		if j == 1 {
+			return 0.5
+		}
+		if round%2 == 0 {
+			return 1
+		}
+		return -1
+	}
+	for i := 0; i < 60 && m.MaskWords()[0]&1 == 0; i++ {
+		d.step(osc)
+	}
+	if m.MaskWords()[0]&1 == 0 {
+		t.Fatal("precondition: scalar 0 frozen")
+	}
+	ref0 := d.x[0]
+	// Tamper with the local copy before upload; the contribution must
+	// still carry the frozen reference value.
+	d.x[0] = 999
+	contrib, w, _ := m.PrepareUpload(d.round, d.x)
+	if w != 1 {
+		t.Errorf("weight = %v, want 1", w)
+	}
+	if contrib[0] != ref0 {
+		t.Errorf("frozen contribution %v, want reference %v", contrib[0], ref0)
+	}
+	if contrib[1] != d.x[1] {
+		t.Error("unfrozen contribution should carry the live value")
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func()
+	}{
+		{"dim", func() { NewManager(Config{Dim: 0}) }},
+		{"check interval", func() { NewManager(Config{Dim: 3, CheckEveryRounds: -1}) }},
+		{"vector length", func() {
+			m := NewManager(Config{Dim: 3})
+			m.PostIterate(0, make([]float64, 2))
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tt.f()
+		})
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	cfg := Config{Dim: 1}.withDefaults()
+	if cfg.Threshold != 0.05 || cfg.EMAAlpha != 0.99 || cfg.ThresholdDecayFrac != 0.8 ||
+		cfg.BytesPerValue != 4 || cfg.CheckEveryRounds != 5 {
+		t.Errorf("defaults deviate from the paper: %+v", cfg)
+	}
+	if _, ok := cfg.Policy.(AIMD); !ok {
+		t.Error("default policy must be AIMD")
+	}
+}
+
+func TestFrozenValuesStayFiniteUnderLongRuns(t *testing.T) {
+	m := newTestManager(3, AIMD{})
+	d := newDriver(m, 3)
+	for i := 0; i < 300; i++ {
+		d.step(func(j, round int) float64 {
+			switch j {
+			case 0:
+				return math.Sin(float64(round)) // oscillatory
+			case 1:
+				return 0.001 // slow drift
+			default:
+				return 0 // never moves
+			}
+		})
+	}
+	for j, v := range d.x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("scalar %d diverged to %v", j, v)
+		}
+	}
+	// The never-moving scalar reads perfectly stable and must be frozen.
+	if m.MaskWords()[0]&(1<<2) == 0 {
+		t.Error("zero-movement scalar should be frozen")
+	}
+}

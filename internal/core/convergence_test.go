@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestConvergenceOnNoisyQuadratic validates the paper's Theorem 2
+// empirically on a strongly convex objective: noisy gradient descent on
+// F(x) = ½‖x−θ*‖² run through the APF protocol still converges to the
+// optimum — freezing periods delay but cannot prevent convergence, because
+// drifting (unconverged) coordinates are unfrozen multiplicatively fast.
+func TestConvergenceOnNoisyQuadratic(t *testing.T) {
+	// lr > 1 overshoots the quadratic's optimum each step (still a
+	// contraction since |1−lr| < 1), so stationary updates genuinely
+	// oscillate — the regime APF freezes.
+	const (
+		dim    = 50
+		rounds = 400
+		lr     = 1.2
+		noise  = 0.05
+	)
+	rng := rand.New(rand.NewSource(5))
+	target := make([]float64, dim)
+	for j := range target {
+		target[j] = rng.NormFloat64() * 3
+	}
+
+	m := NewManager(Config{
+		Dim:              dim,
+		CheckEveryRounds: 2,
+		Threshold:        0.2,
+		EMAAlpha:         0.9,
+		Seed:             5,
+	})
+	x := make([]float64, dim) // start at 0
+
+	for round := 0; round < rounds; round++ {
+		// One SGD step per round: ∇F = (x − θ*) + noise.
+		for j := range x {
+			g := (x[j] - target[j]) + noise*rng.NormFloat64()
+			x[j] -= lr * g
+		}
+		m.PostIterate(round, x)
+		contrib, _, _ := m.PrepareUpload(round, x)
+		m.ApplyDownload(round, x, contrib)
+	}
+
+	// ‖x − θ*‖ must shrink to the noise floor (Theorem 2's stationary
+	// term), far below the initial gap ‖θ*‖ ≈ 3·√dim ≈ 21.
+	gap := 0.0
+	for j := range x {
+		gap += (x[j] - target[j]) * (x[j] - target[j])
+	}
+	gap = math.Sqrt(gap)
+	if gap > 1.0 {
+		t.Errorf("APF-constrained SGD stalled at distance %v from the optimum", gap)
+	}
+
+	// And the converged coordinates must be largely frozen by the end —
+	// otherwise APF provided no compression on a converged model.
+	if m.FrozenRatio() < 0.3 {
+		t.Errorf("frozen ratio %v at convergence; expected substantial freezing", m.FrozenRatio())
+	}
+}
+
+// TestFreezingDoesNotTrapDriftingOptimum moves the optimum mid-run: APF
+// must release frozen parameters and track the new optimum (the Fig. 7/8
+// temporary-stabilization behaviour, end to end).
+func TestFreezingDoesNotTrapDriftingOptimum(t *testing.T) {
+	const (
+		dim    = 20
+		lr     = 0.3
+		noise  = 0.02
+		phase1 = 150
+		phase2 = 250
+	)
+	rng := rand.New(rand.NewSource(9))
+	target := make([]float64, dim)
+	for j := range target {
+		target[j] = 1
+	}
+
+	m := NewManager(Config{
+		Dim:              dim,
+		CheckEveryRounds: 2,
+		Threshold:        0.2,
+		EMAAlpha:         0.9,
+		Seed:             9,
+	})
+	x := make([]float64, dim)
+	step := func(round int) {
+		for j := range x {
+			g := (x[j] - target[j]) + noise*rng.NormFloat64()
+			x[j] -= lr * g
+		}
+		m.PostIterate(round, x)
+		contrib, _, _ := m.PrepareUpload(round, x)
+		m.ApplyDownload(round, x, contrib)
+	}
+
+	for round := 0; round < phase1; round++ {
+		step(round)
+	}
+	if m.FrozenRatio() < 0.3 {
+		t.Fatalf("precondition: expected freezing after phase 1, got %v", m.FrozenRatio())
+	}
+
+	// The landscape shifts: every coordinate's optimum moves to −2.
+	for j := range target {
+		target[j] = -2
+	}
+	for round := phase1; round < phase1+phase2; round++ {
+		step(round)
+	}
+
+	gap := 0.0
+	for j := range x {
+		gap += (x[j] - target[j]) * (x[j] - target[j])
+	}
+	gap = math.Sqrt(gap)
+	if gap > 1.0 {
+		t.Errorf("APF trapped parameters after the optimum moved: distance %v", gap)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// FreezePolicy controls how a parameter's freezing period evolves across
+// stability checks. The paper's APF uses the TCP-inspired AIMD policy; the
+// alternatives reproduce the §7.5 ablation (Fig. 15).
+//
+// Periods are measured in rounds. step is the check interval in rounds
+// (the paper's Fc expressed in rounds), which is also the additive
+// increment, matching Alg. 1's "L += Fc".
+type FreezePolicy interface {
+	// NextPeriod returns the new freezing period given the previous one
+	// and whether the parameter is still stable at this check.
+	NextPeriod(prev float64, stable bool, step float64) float64
+}
+
+// AIMD additively increases the period while the parameter stays stable and
+// multiplicatively decreases it on drift — the paper's Fig. 8 control loop.
+type AIMD struct {
+	// Decrease is the multiplicative scale-down factor on drift; values
+	// ≤ 1 select the paper's default of 2 (halving). §7.8 uses 5 when the
+	// check interval is coarsened to 5 rounds.
+	Decrease float64
+}
+
+var _ FreezePolicy = AIMD{}
+
+// NextPeriod implements FreezePolicy.
+func (a AIMD) NextPeriod(prev float64, stable bool, step float64) float64 {
+	if stable {
+		return prev + step
+	}
+	d := a.Decrease
+	if d <= 1 {
+		d = 2
+	}
+	return clampPeriod(prev / d)
+}
+
+// PureAdditive increases and decreases the period additively (Fig. 15's
+// "Pure-Additively" arm).
+type PureAdditive struct{}
+
+var _ FreezePolicy = PureAdditive{}
+
+// NextPeriod implements FreezePolicy.
+func (PureAdditive) NextPeriod(prev float64, stable bool, step float64) float64 {
+	if stable {
+		return prev + step
+	}
+	return clampPeriod(prev - step)
+}
+
+// PureMultiplicative doubles and halves the period (Fig. 15's
+// "Pure-Multiplicatively" arm).
+type PureMultiplicative struct{}
+
+var _ FreezePolicy = PureMultiplicative{}
+
+// NextPeriod implements FreezePolicy.
+func (PureMultiplicative) NextPeriod(prev float64, stable bool, step float64) float64 {
+	if stable {
+		if prev < step {
+			return step
+		}
+		return prev * 2
+	}
+	return clampPeriod(prev / 2)
+}
+
+// Fixed freezes every stable parameter for a constant number of stability
+// checks (Fig. 15's "Fixed (10)" arm).
+type Fixed struct {
+	// Checks is the freezing duration in stability checks.
+	Checks float64
+}
+
+var _ FreezePolicy = Fixed{}
+
+// NextPeriod implements FreezePolicy.
+func (f Fixed) NextPeriod(_ float64, stable bool, step float64) float64 {
+	if f.Checks <= 0 {
+		panic(fmt.Sprintf("core: Fixed policy requires positive Checks, got %v", f.Checks))
+	}
+	if stable {
+		return f.Checks * step
+	}
+	return 0
+}
+
+// Permanent freezes a stable parameter forever — strawman 2 of §4.1
+// ("permanent freezing"), which preserves consistency but traps
+// temporarily-stable parameters away from their true optima (Fig. 6).
+type Permanent struct{}
+
+var _ FreezePolicy = Permanent{}
+
+// NextPeriod implements FreezePolicy with an effectively infinite period.
+func (Permanent) NextPeriod(prev float64, stable bool, _ float64) float64 {
+	if stable {
+		return math.MaxInt32 // far beyond any experiment's round count
+	}
+	return prev
+}
+
+// clampPeriod snaps sub-round periods to zero: a period shorter than one
+// round cannot freeze anything.
+func clampPeriod(p float64) float64 {
+	if p < 1 {
+		return 0
+	}
+	return p
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAIMDPolicy(t *testing.T) {
+	p := AIMD{}
+	tests := []struct {
+		name   string
+		prev   float64
+		stable bool
+		want   float64
+	}{
+		{"first stable", 0, true, 5},
+		{"keeps growing", 5, true, 10},
+		{"halves on drift", 10, false, 5},
+		{"halving below one round clears", 1.5, false, 0},
+		{"zero stays zero on drift", 0, false, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := p.NextPeriod(tt.prev, tt.stable, 5); got != tt.want {
+				t.Errorf("NextPeriod(%v, %v) = %v, want %v", tt.prev, tt.stable, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPureAdditivePolicy(t *testing.T) {
+	p := PureAdditive{}
+	if got := p.NextPeriod(10, false, 5); got != 5 {
+		t.Errorf("additive decrease = %v, want 5", got)
+	}
+	if got := p.NextPeriod(3, false, 5); got != 0 {
+		t.Errorf("additive decrease floor = %v, want 0", got)
+	}
+	if got := p.NextPeriod(3, true, 5); got != 8 {
+		t.Errorf("additive increase = %v, want 8", got)
+	}
+}
+
+func TestPureMultiplicativePolicy(t *testing.T) {
+	p := PureMultiplicative{}
+	if got := p.NextPeriod(0, true, 5); got != 5 {
+		t.Errorf("first stable = %v, want 5 (one step)", got)
+	}
+	if got := p.NextPeriod(5, true, 5); got != 10 {
+		t.Errorf("doubling = %v, want 10", got)
+	}
+	if got := p.NextPeriod(10, false, 5); got != 5 {
+		t.Errorf("halving = %v, want 5", got)
+	}
+}
+
+func TestFixedPolicy(t *testing.T) {
+	p := Fixed{Checks: 10}
+	if got := p.NextPeriod(123, true, 5); got != 50 {
+		t.Errorf("fixed stable = %v, want 50", got)
+	}
+	if got := p.NextPeriod(123, false, 5); got != 0 {
+		t.Errorf("fixed unstable = %v, want 0", got)
+	}
+}
+
+func TestFixedPolicyValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fixed{0} did not panic")
+		}
+	}()
+	Fixed{}.NextPeriod(0, true, 5)
+}
+
+func TestPermanentPolicy(t *testing.T) {
+	p := Permanent{}
+	got := p.NextPeriod(0, true, 5)
+	if got < 1e9 {
+		t.Errorf("permanent period %v not effectively infinite", got)
+	}
+	if p.NextPeriod(7, false, 5) != 7 {
+		t.Error("permanent policy should not shrink on drift")
+	}
+}
+
+// Property: every policy returns a non-negative, finite-or-huge period and
+// never freezes an unstable parameter longer than a stable one would be.
+func TestQuickPolicyInvariants(t *testing.T) {
+	policies := []FreezePolicy{AIMD{}, PureAdditive{}, PureMultiplicative{}, Fixed{Checks: 3}}
+	f := func(prevRaw float64, step uint8) bool {
+		prev := math.Abs(math.Mod(prevRaw, 1000))
+		s := float64(step%10) + 1
+		for _, p := range policies {
+			stable := p.NextPeriod(prev, true, s)
+			unstable := p.NextPeriod(prev, false, s)
+			if stable < 0 || unstable < 0 || math.IsNaN(stable) || math.IsNaN(unstable) {
+				return false
+			}
+			if unstable > stable && unstable > prev {
+				// Drift must never *increase* the period beyond growth.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"apf/internal/perturb"
+)
+
+// State is a serializable snapshot of a Manager (all fields exported for
+// encoding/gob), enabling client checkpoint/restart in real deployments:
+// a restored manager continues the freezing protocol exactly where the
+// original left off, preserving cross-client mask consistency.
+type State struct {
+	Dim         int
+	Ref         []float64
+	LastCheck   []float64
+	Tracker     perturb.EMAState
+	Period      []float64
+	UnfreezeAt  []int
+	RandomUntil []int
+	Threshold   float64
+	CheckCount  int
+	Initialized bool
+	InitRound   int
+}
+
+// Snapshot captures the manager's full protocol state. The configuration
+// (policy, thresholds schedule, random-freezing mode) is not part of the
+// snapshot; Restore must be given the same Config the original manager
+// was built with.
+func (m *Manager) Snapshot() *State {
+	return &State{
+		Dim:         m.cfg.Dim,
+		Ref:         append([]float64(nil), m.ref...),
+		LastCheck:   append([]float64(nil), m.lastCheck...),
+		Tracker:     m.tracker.Snapshot(),
+		Period:      append([]float64(nil), m.period...),
+		UnfreezeAt:  append([]int(nil), m.unfreezeAt...),
+		RandomUntil: append([]int(nil), m.randomUntil...),
+		Threshold:   m.threshold,
+		CheckCount:  m.checkCount,
+		Initialized: m.initialized,
+		InitRound:   m.initRound,
+	}
+}
+
+// Restore reconstructs a manager from cfg and a snapshot taken from a
+// manager built with an identical cfg.
+func Restore(cfg Config, s *State) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if s == nil {
+		return nil, fmt.Errorf("core: nil snapshot")
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = s.Dim
+	}
+	if cfg.Dim != s.Dim {
+		return nil, fmt.Errorf("core: snapshot dimension %d does not match config dimension %d", s.Dim, cfg.Dim)
+	}
+	for name, n := range map[string]int{
+		"Ref":         len(s.Ref),
+		"LastCheck":   len(s.LastCheck),
+		"Period":      len(s.Period),
+		"UnfreezeAt":  len(s.UnfreezeAt),
+		"RandomUntil": len(s.RandomUntil),
+	} {
+		if n != s.Dim {
+			return nil, fmt.Errorf("core: snapshot field %s has length %d, want %d", name, n, s.Dim)
+		}
+	}
+	tracker, err := perturb.RestoreEMATracker(s.Tracker)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore tracker: %w", err)
+	}
+	if tracker.Dim() != s.Dim {
+		return nil, fmt.Errorf("core: snapshot tracker dimension %d, want %d", tracker.Dim(), s.Dim)
+	}
+
+	m := NewManager(cfg)
+	copy(m.ref, s.Ref)
+	copy(m.lastCheck, s.LastCheck)
+	m.tracker = tracker
+	copy(m.period, s.Period)
+	copy(m.unfreezeAt, s.UnfreezeAt)
+	copy(m.randomUntil, s.RandomUntil)
+	m.threshold = s.Threshold
+	m.checkCount = s.CheckCount
+	m.initialized = s.Initialized
+	m.initRound = s.InitRound
+	m.maskRound = -1
+	return m, nil
+}

@@ -1,0 +1,267 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"apf/internal/stats"
+)
+
+func TestSynthImagesShapeAndLabels(t *testing.T) {
+	ds := SynthImages(ImageConfig{Classes: 4, Channels: 2, Size: 8, Samples: 40, NoiseStd: 0.5, Seed: 1})
+	if ds.Len() != 40 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	wantShape := []int{40, 2, 8, 8}
+	for i, d := range wantShape {
+		if ds.X.Shape[i] != d {
+			t.Fatalf("shape %v, want %v", ds.X.Shape, wantShape)
+		}
+	}
+	counts := make([]int, 4)
+	for _, y := range ds.Labels {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Errorf("class %d has %d samples, want 10", c, n)
+		}
+	}
+}
+
+func TestSynthImagesClassSeparation(t *testing.T) {
+	// Same-class samples must be closer than cross-class samples on
+	// average, otherwise the task is unlearnable.
+	ds := SynthImages(ImageConfig{Classes: 2, Channels: 1, Size: 8, Samples: 40, NoiseStd: 0.5, Seed: 2})
+	row := 64
+	dist := func(i, j int) float64 {
+		s := 0.0
+		for k := 0; k < row; k++ {
+			d := ds.X.Data[i*row+k] - ds.X.Data[j*row+k]
+			s += d * d
+		}
+		return s
+	}
+	intra, inter, nIntra, nInter := 0.0, 0.0, 0, 0
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			if ds.Labels[i] == ds.Labels[j] {
+				intra += dist(i, j)
+				nIntra++
+			} else {
+				inter += dist(i, j)
+				nInter++
+			}
+		}
+	}
+	if inter/float64(nInter) <= intra/float64(nIntra) {
+		t.Error("cross-class distance not larger than same-class distance")
+	}
+}
+
+func TestSynthImagesDeterministic(t *testing.T) {
+	a := SynthImages(ImageConfig{Classes: 3, Channels: 1, Size: 6, Samples: 9, NoiseStd: 0.3, Seed: 7})
+	b := SynthImages(ImageConfig{Classes: 3, Channels: 1, Size: 6, Samples: 9, NoiseStd: 0.3, Seed: 7})
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("same seed must generate identical datasets")
+		}
+	}
+	c := SynthImages(ImageConfig{Classes: 3, Channels: 1, Size: 6, Samples: 9, NoiseStd: 0.3, Seed: 8})
+	same := true
+	for i := range a.X.Data {
+		if a.X.Data[i] != c.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should generate different datasets")
+	}
+}
+
+func TestSynthSequencesShape(t *testing.T) {
+	ds := SynthSequences(SequenceConfig{Classes: 3, SeqLen: 12, Features: 4, Samples: 30, NoiseStd: 0.2, Seed: 3})
+	if ds.Len() != 30 || ds.X.Shape[1] != 12 || ds.X.Shape[2] != 4 {
+		t.Fatalf("unexpected shape %v", ds.X.Shape)
+	}
+	// Values are sin(...)+noise: should be bounded sanely.
+	for _, v := range ds.X.Data {
+		if math.Abs(v) > 1+6*0.2 {
+			t.Fatalf("sequence value %v outside plausible range", v)
+		}
+	}
+}
+
+func TestGatherAndSubset(t *testing.T) {
+	ds := SynthImages(ImageConfig{Classes: 2, Channels: 1, Size: 6, Samples: 10, NoiseStd: 0.1, Seed: 4})
+	x, labels := ds.Gather([]int{3, 0})
+	if x.Shape[0] != 2 || labels[0] != ds.Labels[3] || labels[1] != ds.Labels[0] {
+		t.Fatal("Gather returned wrong rows")
+	}
+	row := 36
+	for k := 0; k < row; k++ {
+		if x.Data[k] != ds.X.Data[3*row+k] {
+			t.Fatal("Gather copied wrong data")
+		}
+	}
+	sub := ds.Subset([]int{1, 2, 5})
+	if sub.Len() != 3 || sub.Classes != 2 {
+		t.Fatal("Subset wrong")
+	}
+	// Subset is a copy.
+	sub.X.Data[0] = 999
+	if ds.X.Data[1*row] == 999 {
+		t.Fatal("Subset shares storage with parent")
+	}
+}
+
+func TestGatherValidatesIndices(t *testing.T) {
+	ds := SynthImages(ImageConfig{Classes: 2, Channels: 1, Size: 6, Samples: 4, NoiseStd: 0.1, Seed: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gather with bad index did not panic")
+		}
+	}()
+	ds.Gather([]int{4})
+}
+
+// checkPartition verifies the common partition invariants: every sample
+// assigned exactly once, all indices valid.
+func checkPartition(t *testing.T, parts [][]int, n int) {
+	t.Helper()
+	seen := make(map[int]int)
+	for _, part := range parts {
+		for _, idx := range part {
+			if idx < 0 || idx >= n {
+				t.Fatalf("index %d out of range", idx)
+			}
+			seen[idx]++
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("partition covers %d of %d samples", len(seen), n)
+	}
+	for idx, c := range seen {
+		if c != 1 {
+			t.Fatalf("sample %d assigned %d times", idx, c)
+		}
+	}
+}
+
+func TestPartitionIID(t *testing.T) {
+	rng := stats.SplitRNG(1, 0)
+	parts := PartitionIID(rng, 100, 7)
+	checkPartition(t, parts, 100)
+	for i, p := range parts {
+		if len(p) < 14 || len(p) > 15 {
+			t.Errorf("client %d has %d samples, want 14-15", i, len(p))
+		}
+	}
+}
+
+func TestPartitionDirichlet(t *testing.T) {
+	rng := stats.SplitRNG(2, 0)
+	labels := make([]int, 1000)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	parts := PartitionDirichlet(rng, labels, 10, 5, 1.0)
+	checkPartition(t, parts, 1000)
+
+	// With alpha=1 the max/min class ratio per client should be large
+	// (the paper reports expected max-min ratio > 50 across clients).
+	skewed := false
+	for _, part := range parts {
+		counts := make([]float64, 10)
+		for _, idx := range part {
+			counts[labels[idx]]++
+		}
+		maxC, minC := counts[0], counts[0]
+		for _, c := range counts[1:] {
+			maxC = math.Max(maxC, c)
+			minC = math.Min(minC, c)
+		}
+		if minC == 0 || maxC/math.Max(minC, 1) > 3 {
+			skewed = true
+		}
+	}
+	if !skewed {
+		t.Error("Dirichlet(1) partition produced no skewed client — suspicious")
+	}
+}
+
+func TestPartitionByClass(t *testing.T) {
+	rng := stats.SplitRNG(3, 0)
+	labels := make([]int, 500)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	parts := PartitionByClass(rng, labels, 10, 5, 2)
+	checkPartition(t, parts, 500)
+	for i, part := range parts {
+		classes := make(map[int]bool)
+		for _, idx := range part {
+			classes[labels[idx]] = true
+		}
+		if len(classes) != 2 {
+			t.Errorf("client %d hosts %d classes, want exactly 2", i, len(classes))
+		}
+	}
+}
+
+func TestBatcherCyclesAndShapes(t *testing.T) {
+	ds := SynthImages(ImageConfig{Classes: 2, Channels: 1, Size: 6, Samples: 10, NoiseStd: 0.1, Seed: 5})
+	b := NewBatcher(ds, []int{0, 1, 2, 3, 4}, 2, stats.SplitRNG(9, 0))
+	seen := make(map[float64]int)
+	for i := 0; i < 10; i++ { // 4 epochs' worth of batches
+		x, labels := b.Next()
+		if x.Shape[0] != 2 || len(labels) != 2 {
+			t.Fatalf("batch shape wrong: %v", x.Shape)
+		}
+		seen[x.Data[0]]++
+	}
+	// Batches only draw from the 5 permitted samples.
+	if len(seen) > 5 {
+		t.Errorf("batcher produced %d distinct first-values from 5 samples", len(seen))
+	}
+}
+
+func TestBatcherSmallSubset(t *testing.T) {
+	ds := SynthImages(ImageConfig{Classes: 2, Channels: 1, Size: 6, Samples: 4, NoiseStd: 0.1, Seed: 6})
+	b := NewBatcher(ds, []int{2}, 8, stats.SplitRNG(10, 0))
+	x, labels := b.Next()
+	if x.Shape[0] != 1 || labels[0] != ds.Labels[2] {
+		t.Fatal("undersized subset should yield the whole subset")
+	}
+}
+
+// Property: Dirichlet partition preserves all samples for random
+// geometries.
+func TestQuickDirichletPartitionComplete(t *testing.T) {
+	f := func(seed int64, clientsRaw, classesRaw uint8) bool {
+		clients := int(clientsRaw%8) + 1
+		classes := int(classesRaw%6) + 2
+		n := classes * 20
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i % classes
+		}
+		rng := stats.SplitRNG(seed, 1)
+		parts := PartitionDirichlet(rng, labels, classes, clients, 0.5)
+		seen := make(map[int]bool)
+		for _, part := range parts {
+			for _, idx := range part {
+				if idx < 0 || idx >= n || seen[idx] {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

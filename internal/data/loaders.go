@@ -1,0 +1,256 @@
+package data
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"apf/internal/tensor"
+)
+
+// The synthetic generators make the reproduction self-contained, but a
+// downstream user will want to train on real data. These loaders cover the
+// two most common offline formats: the IDX format of MNIST-style image
+// datasets and plain CSV feature tables.
+
+// idx magic data types (the third magic byte).
+const (
+	idxTypeUint8   = 0x08
+	idxTypeInt8    = 0x09
+	idxTypeInt16   = 0x0B
+	idxTypeInt32   = 0x0C
+	idxTypeFloat32 = 0x0D
+	idxTypeFloat64 = 0x0E
+)
+
+// LoadIDX parses an IDX-encoded tensor (the MNIST container format:
+// big-endian magic [0, 0, type, rank] followed by rank dimension sizes and
+// the raw elements). Gzip-compressed streams (*.gz, as distributed on the
+// MNIST site) are detected by their path suffix in LoadIDXFile.
+func LoadIDX(r io.Reader) (*tensor.Tensor, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("data: idx magic: %w", err)
+	}
+	if magic[0] != 0 || magic[1] != 0 {
+		return nil, fmt.Errorf("data: bad idx magic % x", magic)
+	}
+	rank := int(magic[3])
+	if rank == 0 || rank > 4 {
+		return nil, fmt.Errorf("data: unsupported idx rank %d", rank)
+	}
+	shape := make([]int, rank)
+	n := 1
+	for i := range shape {
+		var d uint32
+		if err := binary.Read(r, binary.BigEndian, &d); err != nil {
+			return nil, fmt.Errorf("data: idx dimension %d: %w", i, err)
+		}
+		if d == 0 || d > 1<<28 {
+			return nil, fmt.Errorf("data: implausible idx dimension %d", d)
+		}
+		shape[i] = int(d)
+		n *= int(d)
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("data: idx tensor too large (%d elements)", n)
+	}
+
+	out := tensor.New(shape...)
+	br := bufio.NewReader(r)
+	switch magic[2] {
+	case idxTypeUint8:
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("data: idx payload: %w", err)
+		}
+		for i, b := range buf {
+			out.Data[i] = float64(b)
+		}
+	case idxTypeInt8:
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("data: idx payload: %w", err)
+		}
+		for i, b := range buf {
+			out.Data[i] = float64(int8(b))
+		}
+	case idxTypeInt16:
+		for i := 0; i < n; i++ {
+			var v int16
+			if err := binary.Read(br, binary.BigEndian, &v); err != nil {
+				return nil, fmt.Errorf("data: idx payload: %w", err)
+			}
+			out.Data[i] = float64(v)
+		}
+	case idxTypeInt32:
+		for i := 0; i < n; i++ {
+			var v int32
+			if err := binary.Read(br, binary.BigEndian, &v); err != nil {
+				return nil, fmt.Errorf("data: idx payload: %w", err)
+			}
+			out.Data[i] = float64(v)
+		}
+	case idxTypeFloat32:
+		for i := 0; i < n; i++ {
+			var v float32
+			if err := binary.Read(br, binary.BigEndian, &v); err != nil {
+				return nil, fmt.Errorf("data: idx payload: %w", err)
+			}
+			out.Data[i] = float64(v)
+		}
+	case idxTypeFloat64:
+		if err := binary.Read(br, binary.BigEndian, out.Data); err != nil {
+			return nil, fmt.Errorf("data: idx payload: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("data: unsupported idx element type %#02x", magic[2])
+	}
+	return out, nil
+}
+
+// LoadIDXFile opens (and transparently gunzips *.gz) an IDX file.
+func LoadIDXFile(path string) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("data: gunzip %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return LoadIDX(r)
+}
+
+// LoadIDXDataset assembles a Dataset from an MNIST-style pair of IDX
+// files: images of rank ≥ 2 ([N, ...]) and labels of rank 1 ([N]). Image
+// values are scaled by 1/255 when they exceed [0, 1] (the MNIST
+// convention); rank-3 image tensors gain a singleton channel dimension so
+// convolutions can consume them directly.
+func LoadIDXDataset(imagesPath, labelsPath string, classes int) (*Dataset, error) {
+	images, err := LoadIDXFile(imagesPath)
+	if err != nil {
+		return nil, fmt.Errorf("data: images: %w", err)
+	}
+	labelsT, err := LoadIDXFile(labelsPath)
+	if err != nil {
+		return nil, fmt.Errorf("data: labels: %w", err)
+	}
+	if labelsT.Rank() != 1 {
+		return nil, fmt.Errorf("data: labels must be rank 1, got %v", labelsT.Shape)
+	}
+	if images.Rank() < 2 {
+		return nil, fmt.Errorf("data: images must be rank ≥ 2, got %v", images.Shape)
+	}
+	if images.Shape[0] != labelsT.Shape[0] {
+		return nil, fmt.Errorf("data: %d images but %d labels", images.Shape[0], labelsT.Shape[0])
+	}
+
+	if images.Rank() == 3 { // [N, H, W] → [N, 1, H, W]
+		images = images.Reshape(images.Shape[0], 1, images.Shape[1], images.Shape[2])
+	}
+	maxV := 0.0
+	for _, v := range images.Data {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV > 1 {
+		images.Scale(1 / 255.0)
+	}
+
+	labels := make([]int, labelsT.Shape[0])
+	for i, v := range labelsT.Data {
+		y := int(v)
+		if float64(y) != v || y < 0 || y >= classes {
+			return nil, fmt.Errorf("data: label %v at row %d out of range [0,%d)", v, i, classes)
+		}
+		labels[i] = y
+	}
+	return &Dataset{X: images, Labels: labels, Classes: classes}, nil
+}
+
+// LoadCSV parses a numeric CSV feature table into a Dataset: every row is
+// one sample, the column at labelCol (negative counts from the end) holds
+// the integer class label, and all remaining columns are features. Rows
+// beginning with '#' and a single header row of non-numeric cells are
+// skipped.
+func LoadCSV(r io.Reader, labelCol, classes int) (*Dataset, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var features [][]float64
+	var labels []int
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		cells := strings.Split(text, ",")
+		col := labelCol
+		if col < 0 {
+			col += len(cells)
+		}
+		if col < 0 || col >= len(cells) {
+			return nil, fmt.Errorf("data: line %d: label column %d out of range for %d cells", line, labelCol, len(cells))
+		}
+		row := make([]float64, 0, len(cells)-1)
+		label := -1
+		parseOK := true
+		for i, cell := range cells {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				parseOK = false
+				break
+			}
+			if i == col {
+				label = int(v)
+				if float64(label) != v {
+					return nil, fmt.Errorf("data: line %d: non-integer label %q", line, cell)
+				}
+				continue
+			}
+			row = append(row, v)
+		}
+		if !parseOK {
+			if len(features) == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("data: line %d: non-numeric cell", line)
+		}
+		if label < 0 || label >= classes {
+			return nil, fmt.Errorf("data: line %d: label %d out of range [0,%d)", line, label, classes)
+		}
+		if len(features) > 0 && len(row) != len(features[0]) {
+			return nil, fmt.Errorf("data: line %d: %d features, want %d", line, len(row), len(features[0]))
+		}
+		features = append(features, row)
+		labels = append(labels, label)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("data: read csv: %w", err)
+	}
+	if len(features) == 0 {
+		return nil, fmt.Errorf("data: empty csv")
+	}
+
+	dim := len(features[0])
+	x := tensor.New(len(features), dim)
+	for i, row := range features {
+		copy(x.Data[i*dim:(i+1)*dim], row)
+	}
+	return &Dataset{X: x, Labels: labels, Classes: classes}, nil
+}

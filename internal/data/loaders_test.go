@@ -1,0 +1,209 @@
+package data
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// encodeIDX builds an IDX byte stream for tests.
+func encodeIDX(t *testing.T, elemType byte, shape []int, write func(w *bytes.Buffer)) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	b.Write([]byte{0, 0, elemType, byte(len(shape))})
+	for _, d := range shape {
+		if err := binary.Write(&b, binary.BigEndian, uint32(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(&b)
+	return b.Bytes()
+}
+
+func TestLoadIDXUint8(t *testing.T) {
+	raw := encodeIDX(t, idxTypeUint8, []int{2, 2}, func(w *bytes.Buffer) {
+		w.Write([]byte{0, 128, 255, 7})
+	})
+	got, err := LoadIDX(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shape[0] != 2 || got.Shape[1] != 2 {
+		t.Fatalf("shape %v", got.Shape)
+	}
+	want := []float64{0, 128, 255, 7}
+	for i, v := range want {
+		if got.Data[i] != v {
+			t.Errorf("data[%d] = %v, want %v", i, got.Data[i], v)
+		}
+	}
+}
+
+func TestLoadIDXFloat64(t *testing.T) {
+	raw := encodeIDX(t, idxTypeFloat64, []int{3}, func(w *bytes.Buffer) {
+		binary.Write(w, binary.BigEndian, []float64{1.5, -2.25, 0})
+	})
+	got, err := LoadIDX(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[1] != -2.25 {
+		t.Errorf("data = %v", got.Data)
+	}
+}
+
+func TestLoadIDXErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		raw  []byte
+	}{
+		{"short magic", []byte{0, 0}},
+		{"bad magic", []byte{1, 2, 8, 1, 0, 0, 0, 1, 5}},
+		{"rank zero", []byte{0, 0, 8, 0}},
+		{"bad type", func() []byte {
+			var b bytes.Buffer
+			b.Write([]byte{0, 0, 0x42, 1})
+			binary.Write(&b, binary.BigEndian, uint32(1))
+			b.WriteByte(5)
+			return b.Bytes()
+		}()},
+		{"truncated payload", func() []byte {
+			var b bytes.Buffer
+			b.Write([]byte{0, 0, 8, 1})
+			binary.Write(&b, binary.BigEndian, uint32(10))
+			b.Write([]byte{1, 2})
+			return b.Bytes()
+		}()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := LoadIDX(bytes.NewReader(tt.raw)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestLoadIDXDatasetMNISTStyle(t *testing.T) {
+	dir := t.TempDir()
+	// 3 "images" of 4×4 uint8 pixels, labels {0, 2, 1}.
+	images := encodeIDX(t, idxTypeUint8, []int{3, 4, 4}, func(w *bytes.Buffer) {
+		for i := 0; i < 3*16; i++ {
+			w.WriteByte(byte(i * 5))
+		}
+	})
+	labels := encodeIDX(t, idxTypeUint8, []int{3}, func(w *bytes.Buffer) {
+		w.Write([]byte{0, 2, 1})
+	})
+
+	imgPath := filepath.Join(dir, "images.idx.gz")
+	labPath := filepath.Join(dir, "labels.idx")
+	var gzBuf bytes.Buffer
+	gz := gzip.NewWriter(&gzBuf)
+	gz.Write(images)
+	gz.Close()
+	if err := os.WriteFile(imgPath, gzBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(labPath, labels, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := LoadIDXDataset(imgPath, labPath, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 || ds.Classes != 3 {
+		t.Fatalf("dataset %d samples, %d classes", ds.Len(), ds.Classes)
+	}
+	// Channel dimension inserted: [3, 1, 4, 4].
+	if ds.X.Rank() != 4 || ds.X.Shape[1] != 1 {
+		t.Fatalf("image shape %v", ds.X.Shape)
+	}
+	// Pixel scaling to [0, 1].
+	for _, v := range ds.X.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v not scaled", v)
+		}
+	}
+	if ds.Labels[1] != 2 {
+		t.Errorf("labels = %v", ds.Labels)
+	}
+}
+
+func TestLoadIDXDatasetValidation(t *testing.T) {
+	dir := t.TempDir()
+	images := encodeIDX(t, idxTypeUint8, []int{2, 2, 2}, func(w *bytes.Buffer) {
+		w.Write(make([]byte, 8))
+	})
+	labels := encodeIDX(t, idxTypeUint8, []int{3}, func(w *bytes.Buffer) {
+		w.Write([]byte{0, 1, 2})
+	})
+	imgPath := filepath.Join(dir, "img.idx")
+	labPath := filepath.Join(dir, "lab.idx")
+	os.WriteFile(imgPath, images, 0o644)
+	os.WriteFile(labPath, labels, 0o644)
+	if _, err := LoadIDXDataset(imgPath, labPath, 3); err == nil {
+		t.Error("accepted mismatched image/label counts")
+	}
+	if _, err := LoadIDXDataset(filepath.Join(dir, "missing"), labPath, 3); err == nil {
+		t.Error("accepted missing file")
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	csv := `
+# a comment
+feat1,feat2,label
+0.5,1.5,0
+-1.0,2.0,1
+3.5,0.0,2
+`
+	ds, err := LoadCSV(strings.NewReader(csv), -1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 || ds.X.Shape[1] != 2 {
+		t.Fatalf("dataset shape %v, %d samples", ds.X.Shape, ds.Len())
+	}
+	if ds.Labels[2] != 2 || ds.X.At(1, 0) != -1.0 {
+		t.Errorf("parsed wrong: labels=%v x=%v", ds.Labels, ds.X.Data)
+	}
+}
+
+func TestLoadCSVLabelColumnFirst(t *testing.T) {
+	ds, err := LoadCSV(strings.NewReader("1,0.5,2.5\n0,1.5,3.5\n"), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Labels[0] != 1 || ds.X.At(0, 1) != 2.5 {
+		t.Errorf("labels=%v x=%v", ds.Labels, ds.X.Data)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		csv   string
+		col   int
+		class int
+	}{
+		{"empty", "", -1, 2},
+		{"label out of range", "1,5\n", -1, 2},
+		{"non-integer label", "1,0.5\n", -1, 2},
+		{"ragged rows", "1,2,0\n1,0\n", -1, 2},
+		{"bad column", "1,0\n", 7, 2},
+		{"mid-file garbage", "1,0\nx,y\n", -1, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := LoadCSV(strings.NewReader(tt.csv), tt.col, tt.class); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"apf/internal/compress"
+	"apf/internal/core"
+	"apf/internal/fl"
+	"apf/internal/metrics"
+)
+
+// extensionRounds picks the round budget for the §7.6/§7.7 studies.
+func extensionRounds(scale Scale) int {
+	if scale == Quick {
+		return 60
+	}
+	return 500
+}
+
+// runFig16 reproduces Fig. 16: APF# (random 1-round freezing of unstable
+// parameters with p=0.5, Fc=Fs) raises the frozen ratio over vanilla APF
+// with accuracy preserved — for LeNet and LSTM.
+func runFig16(scale Scale, seed int64) (*Output, error) {
+	rounds := extensionRounds(scale)
+	var figs []*metrics.Figure
+	var notes []string
+	for _, w := range []workload{lenetWorkload(scale, seed), lstmWorkload(scale, seed)} {
+		// §7.6 sets Fc = Fs: stability checks every round.
+		base := apfDefaults(scale, seed)
+		base.CheckEveryRounds = 1
+
+		sharp := base
+		sharp.Random = core.RandomFreeze{Mode: core.RandomFixed, Prob: 0.5}
+
+		fig := metrics.NewFigure(fmt.Sprintf("Fig. 16 (%s): APF# vs APF", w.name), "round", "best accuracy / frozen ratio")
+		results := make(map[string]*fl.Result, 2)
+		for _, arm := range []struct {
+			name string
+			cfg  core.Config
+		}{{"APF", base}, {"APF#", sharp}} {
+			spec := flSpec{
+				w: w, clients: 5, rounds: rounds, localIters: 4, seed: seed,
+				manager: apfFactory(arm.cfg),
+			}
+			res := spec.run()
+			results[arm.name] = res
+			accuracySeries(fig, arm.name+" accuracy", res)
+			frozenSeries(fig, arm.name+" frozen ratio", res)
+		}
+		figs = append(figs, fig)
+		notes = append(notes, fmt.Sprintf("%s: frozen ratio %.1f%% (APF) → %.1f%% (APF#), accuracy %.3f → %.3f",
+			w.name, 100*meanFrozenRatio(results["APF"]), 100*meanFrozenRatio(results["APF#"]),
+			results["APF"].BestAcc, results["APF#"].BestAcc))
+	}
+	return &Output{ID: "fig16", Title: Title("fig16"), Figures: figs, Notes: notes}, nil
+}
+
+// runFig17 reproduces Fig. 17: APF++ (growing freezing probability a1·K
+// and length U[1, 1+a2·K]) hurts the small LeNet but boosts the frozen
+// ratio of the over-parameterized ResNet without hurting its accuracy.
+func runFig17(scale Scale, seed int64) (*Output, error) {
+	rounds := extensionRounds(scale)
+	var figs []*metrics.Figure
+	var notes []string
+
+	arms := []struct {
+		w          workload
+		probGrowth float64
+	}{
+		// The paper uses p=K/4000 (LeNet) and K/2000 (ResNet) over ~2000
+		// rounds; Quick compresses the schedule into its round budget.
+		{lenetWorkload(scale, seed), perRoundGrowth(scale, 4000)},
+		{resnetWorkload(scale, seed), perRoundGrowth(scale, 2000)},
+	}
+	for _, arm := range arms {
+		base := apfDefaults(scale, seed)
+		base.CheckEveryRounds = 1
+
+		plus := base
+		plus.Random = core.RandomFreeze{
+			Mode:       core.RandomGrowing,
+			ProbGrowth: arm.probGrowth,
+			LenGrowth:  lenGrowth(scale),
+		}
+
+		fig := metrics.NewFigure(fmt.Sprintf("Fig. 17 (%s): APF++ vs APF", arm.w.name), "round", "best accuracy / frozen ratio")
+		results := make(map[string]*fl.Result, 2)
+		for _, a := range []struct {
+			name string
+			cfg  core.Config
+		}{{"APF", base}, {"APF++", plus}} {
+			spec := flSpec{
+				w: arm.w, clients: 5, rounds: rounds, localIters: 4, seed: seed,
+				manager: apfFactory(a.cfg),
+			}
+			res := spec.run()
+			results[a.name] = res
+			accuracySeries(fig, a.name+" accuracy", res)
+			frozenSeries(fig, a.name+" frozen ratio", res)
+		}
+		figs = append(figs, fig)
+		notes = append(notes, fmt.Sprintf("%s: frozen ratio %.1f%% (APF) → %.1f%% (APF++), accuracy %.3f → %.3f",
+			arm.w.name, 100*meanFrozenRatio(results["APF"]), 100*meanFrozenRatio(results["APF++"]),
+			results["APF"].BestAcc, results["APF++"].BestAcc))
+	}
+	return &Output{ID: "fig17", Title: Title("fig17"), Figures: figs, Notes: notes}, nil
+}
+
+// perRoundGrowth converts the paper's K/4000-style schedule into the
+// scale's round budget (the paper's full runs are thousands of rounds).
+func perRoundGrowth(scale Scale, paperDivisor float64) float64 {
+	if scale == Quick {
+		// Reach the same terminal probability within the quick budget.
+		paperTerminal := 2000.0 / paperDivisor
+		return paperTerminal / float64(extensionRounds(Quick))
+	}
+	return 1 / paperDivisor
+}
+
+// lenGrowth is the paper's a2 = 1/20 compressed to the quick budget.
+func lenGrowth(scale Scale) float64 {
+	if scale == Quick {
+		return 0.02
+	}
+	return 0.05
+}
+
+// runFig18 reproduces Fig. 18: APF combined with fp16 quantization (APF+Q)
+// tracks APF's accuracy at roughly half the remaining traffic.
+func runFig18(scale Scale, seed int64) (*Output, error) {
+	rounds := extensionRounds(scale)
+	var figs []*metrics.Figure
+	var notes []string
+	for _, w := range []workload{lenetWorkload(scale, seed), lstmWorkload(scale, seed)} {
+		apfCfg := apfDefaults(scale, seed)
+		arms := []struct {
+			name string
+			mf   fl.ManagerFactory
+		}{
+			{"vanilla FL", passthrough},
+			{"APF", apfFactory(apfCfg)},
+			{"APF+Q", func(clientID, dim int) fl.SyncManager {
+				cfg := apfCfg
+				cfg.Dim = dim
+				return compress.NewQuantized(core.NewManager(cfg))
+			}},
+		}
+		fig := metrics.NewFigure(fmt.Sprintf("Fig. 18 (%s): APF + quantization", w.name), "round", "best accuracy")
+		traffic := make(map[string]int64, len(arms))
+		acc := make(map[string]float64, len(arms))
+		for _, a := range arms {
+			spec := flSpec{
+				w: w, clients: 5, rounds: rounds, localIters: 4, seed: seed,
+				manager: a.mf,
+			}
+			res := spec.run()
+			accuracySeries(fig, a.name, res)
+			traffic[a.name] = res.CumUpBytes + res.CumDownBytes
+			acc[a.name] = res.BestAcc
+		}
+		figs = append(figs, fig)
+		notes = append(notes, fmt.Sprintf("%s: accuracy APF %.3f vs APF+Q %.3f; traffic saving vs vanilla: APF %s, APF+Q %s",
+			w.name, acc["APF"], acc["APF+Q"],
+			savings(traffic["APF"], traffic["vanilla FL"]),
+			savings(traffic["APF+Q"], traffic["vanilla FL"])))
+	}
+	return &Output{ID: "fig18", Title: Title("fig18"), Figures: figs, Notes: notes}, nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"apf/internal/nn"
+	"apf/internal/stats"
+)
+
+// TestFullScaleWorkloadsAreRunnable constructs the Full-scale workloads
+// and runs one training iteration of each, guarding the `-scale full`
+// path (which no automated test can afford to run to completion) against
+// construction-time regressions like invalid geometries.
+func TestFullScaleWorkloadsAreRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale construction is seconds-long")
+	}
+	for _, w := range []workload{
+		lenetWorkload(Full, 1),
+		resnetWorkload(Full, 1),
+		lstmWorkload(Full, 1),
+	} {
+		t.Run(w.name, func(t *testing.T) {
+			if w.train.Len() < 4000 || w.test.Len() < 500 {
+				t.Fatalf("full-scale dataset too small: %d/%d", w.train.Len(), w.test.Len())
+			}
+			net := w.model(stats.SplitRNG(1, 0))
+			params := net.Params()
+			optim := w.optimizer(params)
+			// A tiny probe batch: the point is exercising the full-size
+			// architecture end to end, not paying for a real step.
+			idx := make([]int, 4)
+			for i := range idx {
+				idx[i] = i
+			}
+			xb, yb := w.train.Gather(idx)
+			nn.ZeroGrads(params)
+			loss, _ := net.LossGrad(xb, yb)
+			if loss <= 0 {
+				t.Fatalf("implausible initial loss %v", loss)
+			}
+			optim.Step()
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"apf/internal/core"
+	"apf/internal/fl"
+	"apf/internal/metrics"
+	"apf/internal/opt"
+)
+
+// runFig20 reproduces Fig. 20 (§7.8): robustness of APF against a loose
+// stability threshold (rescued by threshold decay) and against a coarser
+// stability-check frequency (Fc = 5·Fs with a matched scale-down factor).
+func runFig20(scale Scale, seed int64) (*Output, error) {
+	rounds := strawmanRounds(scale)
+	var figs []*metrics.Figure
+	var notes []string
+
+	// (a) LeNet with a 10× loosened initial threshold + decay.
+	{
+		w := lenetWorkload(scale, seed)
+		tight := apfDefaults(scale, seed)
+		loose := tight
+		loose.Threshold = tight.Threshold * 10
+
+		fig := metrics.NewFigure("Fig. 20a: loose stability threshold (with decay)", "round", "best accuracy / frozen ratio")
+		results := make(map[string]*fl.Result, 2)
+		for _, arm := range []struct {
+			name string
+			cfg  core.Config
+		}{{"default threshold", tight}, {"loose threshold (10x)", loose}} {
+			spec := flSpec{
+				w: w, clients: 5, rounds: rounds, localIters: 4, seed: seed,
+				manager: apfFactory(arm.cfg),
+			}
+			res := spec.run()
+			results[arm.name] = res
+			accuracySeries(fig, arm.name+" accuracy", res)
+			frozenSeries(fig, arm.name+" frozen ratio", res)
+		}
+		figs = append(figs, fig)
+		notes = append(notes, fmt.Sprintf(
+			"loose threshold: best accuracy %.3f vs %.3f default — threshold decay rectifies the misconfiguration",
+			results["loose threshold (10x)"].BestAcc, results["default threshold"].BestAcc))
+	}
+
+	// (b) LSTM with Fc = Fs vs Fc = 5·Fs (larger additive step and
+	// scale-down factor 5, as §7.8 prescribes for fairness).
+	{
+		w := lstmWorkload(scale, seed)
+		fine := apfDefaults(scale, seed)
+		fine.CheckEveryRounds = 1
+
+		coarse := fine
+		coarse.CheckEveryRounds = 5
+		coarse.Policy = core.AIMD{Decrease: 5}
+
+		fig := metrics.NewFigure("Fig. 20b: stability-check frequency", "round", "best accuracy / frozen ratio")
+		results := make(map[string]*fl.Result, 2)
+		for _, arm := range []struct {
+			name string
+			cfg  core.Config
+		}{{"Fc = Fs", fine}, {"Fc = 5Fs", coarse}} {
+			spec := flSpec{
+				w: w, clients: 5, rounds: rounds, localIters: 4, seed: seed,
+				manager: apfFactory(arm.cfg),
+			}
+			res := spec.run()
+			results[arm.name] = res
+			accuracySeries(fig, arm.name+" accuracy", res)
+			frozenSeries(fig, arm.name+" frozen ratio", res)
+		}
+		figs = append(figs, fig)
+		notes = append(notes, fmt.Sprintf("check frequency: best accuracy %.3f (Fc=Fs) vs %.3f (Fc=5Fs) — robust to coarser checks",
+			results["Fc = Fs"].BestAcc, results["Fc = 5Fs"].BestAcc))
+	}
+	return &Output{ID: "fig20", Title: Title("fig20"), Figures: figs, Notes: notes}, nil
+}
+
+// runFig21 reproduces Fig. 21 (§7.8): APF under different and decaying
+// learning rates. Larger rates stabilize parameters sooner; a decaying
+// rate keeps refining parameters, gently lowering the frozen ratio late in
+// training while APF retains its accuracy edge.
+func runFig21(scale Scale, seed int64) (*Output, error) {
+	w := lenetWorkload(scale, seed)
+	rounds := strawmanRounds(scale)
+
+	var figs []*metrics.Figure
+	var notes []string
+
+	// (a) two constant learning rates.
+	{
+		fig := metrics.NewFigure("Fig. 21a: constant learning rates", "round", "best accuracy / frozen ratio")
+		for _, lr := range []float64{0.05, 0.005} {
+			ww := w
+			ww.optimizer = sgdFactoryLR(lr)
+			spec := flSpec{
+				w: ww, clients: 5, rounds: rounds, localIters: 4, seed: seed,
+				manager: apfFactory(apfDefaults(scale, seed)),
+			}
+			res := spec.run()
+			name := fmt.Sprintf("lr=%g", lr)
+			accuracySeries(fig, name+" accuracy", res)
+			frozenSeries(fig, name+" frozen ratio", res)
+			notes = append(notes, fmt.Sprintf("lr=%g: best accuracy %.3f, mean frozen ratio %.1f%%",
+				lr, res.BestAcc, 100*meanFrozenRatio(res)))
+		}
+		figs = append(figs, fig)
+	}
+
+	// (b) decaying learning rate, APF vs vanilla FL.
+	{
+		decay := opt.MultiplicativeDecay{Base: 0.1, Factor: 0.99, Every: 10 * 4}
+		fig := metrics.NewFigure("Fig. 21b: decaying learning rate", "round", "best accuracy / frozen ratio")
+		results := make(map[string]*fl.Result, 2)
+		for _, arm := range []struct {
+			name string
+			mf   fl.ManagerFactory
+		}{{"APF", apfFactory(apfDefaults(scale, seed))}, {"vanilla FL", passthrough}} {
+			ww := w
+			ww.optimizer = sgdFactoryLR(decay.Base)
+			spec := flSpec{
+				w: ww, clients: 5, rounds: rounds, localIters: 4, seed: seed,
+				manager: arm.mf,
+				modify:  func(cfg *fl.Config) { cfg.LRSchedule = decay },
+			}
+			res := spec.run()
+			results[arm.name] = res
+			accuracySeries(fig, arm.name+" accuracy", res)
+			if arm.name == "APF" {
+				frozenSeries(fig, "APF frozen ratio", res)
+			}
+		}
+		figs = append(figs, fig)
+		notes = append(notes, fmt.Sprintf("decaying lr: APF %.3f vs vanilla %.3f (Δ%+.3f)",
+			results["APF"].BestAcc, results["vanilla FL"].BestAcc,
+			results["APF"].BestAcc-results["vanilla FL"].BestAcc))
+	}
+	return &Output{ID: "fig21", Title: Title("fig21"), Figures: figs, Notes: notes}, nil
+}
+
+// runFig22 reproduces Fig. 22 (§7.8): synchronization frequency Fs. With
+// rarer synchronization the per-round progress and frozen ratio rise
+// faster, but an extreme Fs stagnates at lower accuracy on non-IID data.
+func runFig22(scale Scale, seed int64) (*Output, error) {
+	w := lenetWorkload(scale, seed)
+	parts := byClassParts(w, 5, 2, seed)
+
+	// Quick compresses the paper's {10, 100, 500} while preserving the
+	// 1:10:50 spread.
+	fsValues := []int{2, 20, 100}
+	rounds := 60
+	if scale == Full {
+		fsValues = []int{10, 100, 500}
+		rounds = 500
+	}
+
+	fig := metrics.NewFigure("Fig. 22: synchronization frequency", "round", "best accuracy / frozen ratio")
+	var notes []string
+	for _, fs := range fsValues {
+		spec := flSpec{
+			w: w, clients: 5, rounds: rounds, localIters: fs, seed: seed,
+			parts: parts, manager: apfFactory(apfDefaults(scale, seed)),
+		}
+		res := spec.run()
+		name := fmt.Sprintf("Fs=%d", fs)
+		accuracySeries(fig, name+" accuracy", res)
+		frozenSeries(fig, name+" frozen ratio", res)
+		notes = append(notes, fmt.Sprintf("Fs=%d: best accuracy %.3f, mean frozen ratio %.1f%%",
+			fs, res.BestAcc, 100*meanFrozenRatio(res)))
+	}
+	return &Output{ID: "fig22", Title: Title("fig22"), Figures: []*metrics.Figure{fig}, Notes: notes}, nil
+}

@@ -1,0 +1,83 @@
+// External test package: compress imports fl, so this integration test of
+// the two together must live outside package fl to avoid an import cycle.
+package fl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"apf/internal/compress"
+	"apf/internal/core"
+	"apf/internal/data"
+	"apf/internal/fl"
+	"apf/internal/nn"
+	"apf/internal/opt"
+	"apf/internal/stats"
+)
+
+// TestAPFWithDPNoise verifies the paper's §9 discussion: APF remains
+// functional when clients add differential-privacy noise to uploads —
+// masks stay consistent across clients (the noise enters only through the
+// synchronized aggregate, identical everywhere) and the model still
+// learns.
+func TestAPFWithDPNoise(t *testing.T) {
+	pool := data.SynthImages(data.ImageConfig{
+		Classes: 4, Channels: 1, Size: 8, Samples: 320, NoiseStd: 0.6, Seed: 31,
+	})
+	trainIdx := make([]int, 240)
+	for i := range trainIdx {
+		trainIdx[i] = i
+	}
+	testIdx := make([]int, 80)
+	for i := range testIdx {
+		testIdx[i] = 240 + i
+	}
+	train, test := pool.Subset(trainIdx), pool.Subset(testIdx)
+	rng := stats.SplitRNG(31, 0)
+	parts := data.PartitionIID(rng, train.Len(), 3)
+
+	model := func(rng *rand.Rand) *nn.Network {
+		return nn.NewNetwork(
+			nn.NewFlatten(),
+			nn.NewDense(rng, "fc1", 64, 24),
+			nn.NewTanh(),
+			nn.NewDense(rng, "fc2", 24, 4),
+		)
+	}
+	optimizer := func(p []*nn.Param) opt.Optimizer { return opt.NewSGD(p, 0.3, 0, 0) }
+
+	apfManagers := make([]*core.Manager, 3)
+	mf := func(clientID, dim int) fl.SyncManager {
+		m := core.NewManager(core.Config{
+			Dim:              dim,
+			CheckEveryRounds: 2,
+			// §9: tighten the threshold under DP, because zero-mean noise
+			// makes parameters look more stable than they are.
+			Threshold: 0.1,
+			EMAAlpha:  0.9,
+			Seed:      99,
+		})
+		apfManagers[clientID] = m
+		// DP noise well below the typical update magnitude, per §9.
+		return compress.NewDPNoise(m, 0.002, int64(clientID))
+	}
+
+	cfg := fl.Config{Rounds: 40, LocalIters: 4, BatchSize: 16, Seed: 31, EvalEvery: 5}
+	res := fl.New(cfg, model, optimizer, mf, train, parts, test).Run()
+
+	if res.BestAcc < 0.7 {
+		t.Errorf("APF+DP failed to learn: best accuracy %v", res.BestAcc)
+	}
+	w0 := apfManagers[0].MaskWords()
+	for c := 1; c < 3; c++ {
+		wc := apfManagers[c].MaskWords()
+		for i := range w0 {
+			if w0[i] != wc[i] {
+				t.Fatalf("client %d mask diverged under DP noise", c)
+			}
+		}
+	}
+	if res.Rounds[len(res.Rounds)-1].FrozenRatio <= 0 {
+		t.Error("APF froze nothing under DP noise")
+	}
+}

@@ -1,0 +1,108 @@
+package fl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"apf/internal/core"
+	"apf/internal/data"
+	"apf/internal/fl"
+	"apf/internal/nn"
+	"apf/internal/opt"
+	"apf/internal/stats"
+)
+
+// TestServerSideMaskEquivalence verifies §9's "placement of freezing mask
+// computation": moving the stability checking from the clients to the
+// server changes *where* the mask is computed but not *what* it is — the
+// two placements produce bit-identical masks, identical models, and
+// identical upload traffic (the server placement pays a small extra
+// mask-delta downlink).
+func TestServerSideMaskEquivalence(t *testing.T) {
+	pool := data.SynthImages(data.ImageConfig{
+		Classes: 4, Channels: 1, Size: 8, Samples: 300, NoiseStd: 0.6, Seed: 41,
+	})
+	trainIdx := make([]int, 240)
+	for i := range trainIdx {
+		trainIdx[i] = i
+	}
+	testIdx := make([]int, 60)
+	for i := range testIdx {
+		testIdx[i] = 240 + i
+	}
+	train, test := pool.Subset(trainIdx), pool.Subset(testIdx)
+	rng := stats.SplitRNG(41, 0)
+	parts := data.PartitionIID(rng, train.Len(), 3)
+
+	model := func(rng *rand.Rand) *nn.Network {
+		return nn.NewNetwork(
+			nn.NewFlatten(),
+			nn.NewDense(rng, "fc1", 64, 24),
+			nn.NewTanh(),
+			nn.NewDense(rng, "fc2", 24, 4),
+		)
+	}
+	optimizer := func(p []*nn.Param) opt.Optimizer { return opt.NewSGD(p, 0.3, 0, 0) }
+	apfCfg := core.Config{
+		CheckEveryRounds: 2,
+		Threshold:        0.25,
+		EMAAlpha:         0.9,
+		Seed:             55,
+	}
+	cfg := fl.Config{Rounds: 30, LocalIters: 4, BatchSize: 16, Seed: 41, EvalEvery: 10}
+
+	// Arm 1: client-side masks (the default design).
+	clientManagers := make([]*core.Manager, 3)
+	clientSide := func(clientID, dim int) fl.SyncManager {
+		c := apfCfg
+		c.Dim = dim
+		m := core.NewManager(c)
+		clientManagers[clientID] = m
+		return m
+	}
+	resClient := fl.New(cfg, model, optimizer, clientSide, train, parts, test).Run()
+
+	// Arm 2: server-side masks (§9 placement). One MaskServer shared by
+	// thin MaskClients.
+	var srv *core.MaskServer
+	maskClients := make([]*core.MaskClient, 3)
+	serverSide := func(clientID, dim int) fl.SyncManager {
+		if srv == nil {
+			c := apfCfg
+			c.Dim = dim
+			srv = core.NewMaskServer(c)
+		}
+		mc := core.NewMaskClient(srv, 4)
+		maskClients[clientID] = mc
+		return mc
+	}
+	resServer := fl.New(cfg, model, optimizer, serverSide, train, parts, test).Run()
+
+	// Identical masks...
+	wantWords := clientManagers[0].MaskWords()
+	for c := 0; c < 3; c++ {
+		gotWords := maskClients[c].MaskWords()
+		for i := range wantWords {
+			if gotWords[i] != wantWords[i] {
+				t.Fatalf("server-side mask diverged from client-side (client %d, word %d)", c, i)
+			}
+		}
+	}
+	// ...identical training outcome...
+	if resClient.BestAcc != resServer.BestAcc {
+		t.Errorf("accuracy differs: client-side %v vs server-side %v", resClient.BestAcc, resServer.BestAcc)
+	}
+	// ...identical upload traffic; downloads differ only by the
+	// mask-delta bytes.
+	if resClient.CumUpBytes != resServer.CumUpBytes {
+		t.Errorf("upload bytes differ: %d vs %d", resClient.CumUpBytes, resServer.CumUpBytes)
+	}
+	if resServer.CumDownBytes < resClient.CumDownBytes {
+		t.Errorf("server-side downloads %d below client-side %d — mask deltas must cost, not save",
+			resServer.CumDownBytes, resClient.CumDownBytes)
+	}
+	extra := resServer.CumDownBytes - resClient.CumDownBytes
+	if extra > resClient.CumDownBytes/10 {
+		t.Errorf("mask-delta overhead %d suspiciously large vs %d", extra, resClient.CumDownBytes)
+	}
+}

@@ -1,0 +1,213 @@
+// Package metrics provides lightweight recorders and writers for the
+// experiment harness: named series (for the paper's figures) and tables
+// (for its tables), rendered as markdown or CSV.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points (one curve of a figure).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Last returns the final point; ok is false when the series is empty.
+func (s *Series) Last() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// MaxY returns the maximum Y of the series (0 when empty).
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for i, p := range s.Points {
+		if i == 0 || p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// Figure is a collection of series sharing an x axis, mirroring one paper
+// figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	series map[string]*Series
+	order  []string
+}
+
+// NewFigure constructs an empty figure.
+func NewFigure(title, xLabel, yLabel string) *Figure {
+	return &Figure{Title: title, XLabel: xLabel, YLabel: yLabel, series: make(map[string]*Series)}
+}
+
+// Series returns (creating on demand) the series with the given name.
+func (f *Figure) Series(name string) *Series {
+	if s, ok := f.series[name]; ok {
+		return s
+	}
+	s := &Series{Name: name}
+	f.series[name] = s
+	f.order = append(f.order, name)
+	return s
+}
+
+// SeriesNames returns the series names in insertion order.
+func (f *Figure) SeriesNames() []string { return append([]string(nil), f.order...) }
+
+// WriteTSV renders the figure as a tab-separated sheet: one x column and
+// one column per series (aligned by x where xs coincide; otherwise rows
+// are emitted per-series).
+func (f *Figure) WriteTSV(w io.Writer) error {
+	// Collect the union of x values.
+	xsSet := make(map[float64]bool)
+	for _, name := range f.order {
+		for _, p := range f.series[name].Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	header := append([]string{f.XLabel}, f.order...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	// Index series by x for aligned output.
+	byX := make(map[string]map[float64]float64, len(f.order))
+	for _, name := range f.order {
+		m := make(map[float64]float64)
+		for _, p := range f.series[name].Points {
+			m[p.X] = p.Y
+		}
+		byX[name] = m
+	}
+	for _, x := range xs {
+		row := make([]string, 0, len(f.order)+1)
+		row = append(row, strconv.FormatFloat(x, 'g', 6, 64))
+		for _, name := range f.order {
+			if y, ok := byX[name][x]; ok {
+				row = append(row, strconv.FormatFloat(y, 'g', 6, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders a one-line-per-series digest (final and best values),
+// convenient for terminal output of accuracy curves.
+func (f *Figure) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%s vs %s]\n", f.Title, f.YLabel, f.XLabel)
+	for _, name := range f.order {
+		s := f.series[name]
+		last, ok := s.Last()
+		if !ok {
+			fmt.Fprintf(&b, "  %-36s (empty)\n", name)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-36s final=%.4f best=%.4f points=%d\n", name, last.Y, s.MaxY(), len(s.Points))
+	}
+	return b.String()
+}
+
+// Table mirrors one paper table: a header row plus data rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable constructs a table with the given header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; its length must match the header.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("metrics: row of %d cells for %d columns", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count with a binary-ish human unit, matching
+// how the paper reports MB/GB transmission volumes.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := &Series{Name: "acc"}
+	if _, ok := s.Last(); ok {
+		t.Error("empty series should have no last point")
+	}
+	s.Append(0, 0.1)
+	s.Append(1, 0.9)
+	s.Append(2, 0.7)
+	last, ok := s.Last()
+	if !ok || last.Y != 0.7 {
+		t.Errorf("Last = %+v", last)
+	}
+	if s.MaxY() != 0.9 {
+		t.Errorf("MaxY = %v", s.MaxY())
+	}
+}
+
+func TestFigureSeriesOrderStable(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	f.Series("b").Append(0, 1)
+	f.Series("a").Append(0, 2)
+	f.Series("b").Append(1, 3)
+	names := f.SeriesNames()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("series order %v, want insertion order [b a]", names)
+	}
+}
+
+func TestFigureTSVAlignment(t *testing.T) {
+	f := NewFigure("fig", "round", "acc")
+	f.Series("apf").Append(0, 0.5)
+	f.Series("apf").Append(1, 0.6)
+	f.Series("base").Append(1, 0.55)
+	var b strings.Builder
+	if err := f.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "round\tapf\tbase" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// x=0 has no value for "base" → empty cell.
+	if !strings.HasPrefix(lines[1], "0\t0.5\t") {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+}
+
+func TestFigureSummaryMentionsAllSeries(t *testing.T) {
+	f := NewFigure("fig", "x", "y")
+	f.Series("one").Append(0, 1)
+	f.Series("empty")
+	s := f.Summary()
+	if !strings.Contains(s, "one") || !strings.Contains(s, "empty") {
+		t.Errorf("summary missing series:\n%s", s)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("Table 1", "Model", "Acc")
+	tbl.AddRow("LeNet-5", "0.666")
+	md := tbl.Markdown()
+	for _, want := range []string{"### Table 1", "| Model", "| LeNet-5", "0.666"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableRowLengthValidated(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short row")
+		}
+	}()
+	tbl.AddRow("only one")
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.00 KB"},
+		{5 << 20, "5.00 MB"},
+		{3 << 30, "3.00 GB"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.n); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	f := NewFigure("accuracy", "round", "acc")
+	for i := 0; i < 20; i++ {
+		f.Series("apf").Append(float64(i), float64(i)/20)
+		f.Series("base").Append(float64(i), 0.5)
+	}
+	plot := f.ASCIIPlot(40, 8)
+	if plot == "" {
+		t.Fatal("empty plot")
+	}
+	for _, want := range []string{"accuracy", "*", "o", "apf", "base", "(round)", "+--"} {
+		if !strings.Contains(plot, want) {
+			t.Errorf("plot missing %q:\n%s", want, plot)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(plot), "\n")
+	// title + 8 grid rows + axis + x labels + 2 legend lines
+	if len(lines) != 1+8+1+1+2 {
+		t.Errorf("plot has %d lines:\n%s", len(lines), plot)
+	}
+}
+
+func TestASCIIPlotEmptyAndDegenerate(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	if f.ASCIIPlot(40, 8) != "" {
+		t.Error("empty figure should render nothing")
+	}
+	// A single constant point must not divide by zero.
+	f.Series("s").Append(1, 1)
+	plot := f.ASCIIPlot(10, 4)
+	if !strings.Contains(plot, "*") {
+		t.Errorf("degenerate plot missing point:\n%s", plot)
+	}
+}
+
+func TestASCIIPlotClampsTinySizes(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	f.Series("s").Append(0, 0)
+	f.Series("s").Append(1, 1)
+	if f.ASCIIPlot(1, 1) == "" {
+		t.Error("tiny sizes should clamp, not fail")
+	}
+}

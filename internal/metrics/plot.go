@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// seriesMarkers assigns one glyph per series in a terminal plot.
+var seriesMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// ASCIIPlot renders the figure as a width×height character plot, with all
+// series overlaid (later series win collisions), a y-axis range label, and
+// a marker legend — enough to see curve shapes directly in a terminal.
+// Returns "" when the figure holds no points.
+func (f *Figure) ASCIIPlot(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 3 {
+		height = 3
+	}
+
+	// Shared axis ranges over all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, name := range f.order {
+		for _, p := range f.series[name].Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			points++
+		}
+	}
+	if points == 0 {
+		return ""
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, name := range f.order {
+		marker := seriesMarkers[si%len(seriesMarkers)]
+		for _, p := range f.series[name].Points {
+			cx := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - cy // y grows upward
+			grid[row][cx] = marker
+		}
+	}
+
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	topLabel := fmt.Sprintf("%.4g", maxY)
+	botLabel := fmt.Sprintf("%.4g", minY)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, topLabel)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelW, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g  (%s)\n",
+		strings.Repeat(" ", labelW), width/2, minX, width-width/2, maxX, f.XLabel)
+	for si, name := range f.order {
+		fmt.Fprintf(&b, "  %c %s\n", seriesMarkers[si%len(seriesMarkers)], name)
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+// Package models constructs the paper's evaluation networks over the nn
+// substrate: LeNet-5 and ResNet-18 for image classification (CIFAR-10 in
+// the paper) and a 2-layer hidden-size-64 LSTM for keyword spotting (§7.1).
+// Architectures are parameterizable so the CPU-scale experiments can use
+// reduced widths/inputs while keeping the paper's exact shapes available.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"apf/internal/nn"
+)
+
+// LeNet5 builds the classic LeNet-5 CNN (two 5×5 convolutions with 2×2 max
+// pooling, then 120/84-unit dense layers) for square inputs of the given
+// channel count and spatial size. The flattened dimension is derived from
+// the input size; size must be at least 14 for the geometry to remain
+// valid.
+func LeNet5(rng *rand.Rand, channels, size, classes int) *nn.Network {
+	s1 := size - 4 // conv1, 5×5 valid
+	s2 := s1 / 2   // pool1
+	s3 := s2 - 4   // conv2, 5×5 valid
+	s4 := s3 / 2   // pool2
+	if s4 < 1 {
+		panic(fmt.Sprintf("models: input size %d too small for LeNet-5", size))
+	}
+	return nn.NewNetwork(
+		nn.NewConv2D(rng, "conv1", channels, 6, 5, 1, 0),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D(rng, "conv2", 6, 16, 5, 1, 0),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewFlatten(),
+		nn.NewDense(rng, "fc1", 16*s4*s4, 120),
+		nn.NewReLU(),
+		nn.NewDense(rng, "fc2", 120, 84),
+		nn.NewReLU(),
+		nn.NewDense(rng, "fc3", 84, classes),
+	)
+}
+
+// ResNetConfig selects the depth and width of a residual network.
+type ResNetConfig struct {
+	// StageWidths is the channel count of each stage; stages after the
+	// first downsample by 2.
+	StageWidths []int
+	// BlocksPerStage is the number of BasicBlocks in every stage.
+	BlocksPerStage int
+	// Norm selects the normalization layers; nil uses batch norm (the
+	// classic recipe). Use nn.GroupNormFactory for federated training on
+	// non-IID data, where batch statistics differ across clients.
+	Norm nn.NormFactory
+}
+
+// ResNet18Config is the standard ResNet-18 geometry (~11M parameters).
+func ResNet18Config() ResNetConfig {
+	return ResNetConfig{StageWidths: []int{64, 128, 256, 512}, BlocksPerStage: 2}
+}
+
+// ResNet8Config is a narrow three-stage residual network suitable for
+// CPU-scale experiments; it keeps the residual/batch-norm structure whose
+// stability behaviour the paper studies (Fig. 9, Fig. 17b) at a tractable
+// size.
+func ResNet8Config() ResNetConfig {
+	return ResNetConfig{StageWidths: []int{8, 16, 32}, BlocksPerStage: 1}
+}
+
+// ResNet builds a ResNet-v1-style network: 3×3 stem convolution, stages of
+// BasicBlocks, global average pooling, and a dense classifier.
+func ResNet(rng *rand.Rand, cfg ResNetConfig, channels, classes int) *nn.Network {
+	if len(cfg.StageWidths) == 0 || cfg.BlocksPerStage <= 0 {
+		panic(fmt.Sprintf("models: invalid ResNetConfig %+v", cfg))
+	}
+	norm := cfg.Norm
+	if norm == nil {
+		norm = nn.BatchNormFactory
+	}
+	layers := []nn.Layer{
+		nn.NewConv2D(rng, "stem.conv", channels, cfg.StageWidths[0], 3, 1, 1),
+		norm("stem.norm", cfg.StageWidths[0]),
+		nn.NewReLU(),
+	}
+	inC := cfg.StageWidths[0]
+	for si, width := range cfg.StageWidths {
+		for bi := 0; bi < cfg.BlocksPerStage; bi++ {
+			stride := 1
+			if si > 0 && bi == 0 {
+				stride = 2
+			}
+			name := fmt.Sprintf("stage%d.block%d", si+1, bi+1)
+			layers = append(layers, nn.NewBasicBlockNorm(rng, name, inC, width, stride, norm))
+			inC = width
+		}
+	}
+	layers = append(layers,
+		nn.NewGlobalAvgPool2D(),
+		nn.NewDense(rng, "fc", inC, classes),
+	)
+	return nn.NewNetwork(layers...)
+}
+
+// KWSLSTM builds the paper's keyword-spotting network: numLayers stacked
+// LSTM layers of the given hidden size, a last-step readout, and a dense
+// classifier (§7.1 uses 2 layers with hidden size 64).
+func KWSLSTM(rng *rand.Rand, features, hidden, numLayers, classes int) *nn.Network {
+	if numLayers <= 0 {
+		panic(fmt.Sprintf("models: invalid LSTM layer count %d", numLayers))
+	}
+	layers := make([]nn.Layer, 0, numLayers+2)
+	in := features
+	for i := 0; i < numLayers; i++ {
+		layers = append(layers, nn.NewLSTM(rng, fmt.Sprintf("lstm%d", i+1), in, hidden))
+		in = hidden
+	}
+	layers = append(layers, nn.NewLastStep(), nn.NewDense(rng, "fc", hidden, classes))
+	return nn.NewNetwork(layers...)
+}
+
+// VGG builds a VGG-style plain convolutional network: blocks of 3×3
+// convolutions (optionally normalized) each followed by 2×2 max pooling,
+// then a dense classifier head. The paper's Fig. 9 uses VGG alongside
+// ResNet as its second over-parameterized model. blockWidths gives the
+// channel count per block; the input must survive len(blockWidths)
+// halvings.
+func VGG(rng *rand.Rand, channels, size, classes int, blockWidths []int, norm nn.NormFactory) *nn.Network {
+	if len(blockWidths) == 0 {
+		panic("models: VGG needs at least one block")
+	}
+	s := size
+	layers := make([]nn.Layer, 0, 4*len(blockWidths)+3)
+	inC := channels
+	for bi, width := range blockWidths {
+		name := fmt.Sprintf("block%d", bi+1)
+		layers = append(layers, nn.NewConv2D(rng, name+".conv", inC, width, 3, 1, 1))
+		if norm != nil {
+			layers = append(layers, norm(name+".norm", width))
+		}
+		layers = append(layers, nn.NewReLU(), nn.NewMaxPool2D(2, 2))
+		inC = width
+		s /= 2
+		if s < 1 {
+			panic(fmt.Sprintf("models: input size %d too small for %d VGG blocks", size, len(blockWidths)))
+		}
+	}
+	flat := inC * s * s
+	hidden := flat
+	if hidden > 128 {
+		hidden = 128
+	}
+	layers = append(layers,
+		nn.NewFlatten(),
+		nn.NewDense(rng, "fc1", flat, hidden),
+		nn.NewReLU(),
+		nn.NewDense(rng, "fc2", hidden, classes),
+	)
+	return nn.NewNetwork(layers...)
+}
+
+// MLP builds a plain fully connected network with tanh activations, used
+// for the over-parameterization study (a very wide MLP on an easy task
+// reproduces the post-convergence random-walk behaviour of Fig. 9).
+func MLP(rng *rand.Rand, in int, hidden []int, classes int) *nn.Network {
+	layers := make([]nn.Layer, 0, 2*len(hidden)+1)
+	prev := in
+	for i, h := range hidden {
+		layers = append(layers, nn.NewDense(rng, fmt.Sprintf("fc%d", i+1), prev, h), nn.NewTanh())
+		prev = h
+	}
+	layers = append(layers, nn.NewDense(rng, fmt.Sprintf("fc%d", len(hidden)+1), prev, classes))
+	return nn.NewNetwork(layers...)
+}

@@ -1,0 +1,194 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"apf/internal/nn"
+	"apf/internal/tensor"
+)
+
+// forwardShape runs a forward pass and returns the logits shape.
+func forwardShape(t *testing.T, net *nn.Network, x *tensor.Tensor) []int {
+	t.Helper()
+	return net.Forward(x, true).Shape
+}
+
+func TestLeNet5Shapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name           string
+		channels, size int
+	}{
+		{"cifar-like", 3, 32},
+		{"small", 1, 16},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			net := LeNet5(rng, tt.channels, tt.size, 10)
+			x := tensor.Randn(rng, 0, 1, 2, tt.channels, tt.size, tt.size)
+			shape := forwardShape(t, net, x)
+			if shape[0] != 2 || shape[1] != 10 {
+				t.Errorf("logits shape %v", shape)
+			}
+		})
+	}
+}
+
+func TestLeNet5ParamCountCIFAR(t *testing.T) {
+	// The classic CIFAR LeNet-5: conv1 3→6 (456), conv2 6→16 (2416),
+	// fc1 400→120 (48120), fc2 120→84 (10164), fc3 84→10 (850).
+	rng := rand.New(rand.NewSource(2))
+	net := LeNet5(rng, 3, 32, 10)
+	want := 456 + 2416 + 48120 + 10164 + 850
+	if got := nn.ParamCount(net.Params()); got != want {
+		t.Errorf("LeNet-5 parameter count %d, want %d", got, want)
+	}
+}
+
+func TestLeNet5RejectsTinyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for too-small input")
+		}
+	}()
+	LeNet5(rng, 1, 8, 10)
+}
+
+func TestResNet8Shapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := ResNet(rng, ResNet8Config(), 1, 10)
+	x := tensor.Randn(rng, 0, 1, 2, 1, 16, 16)
+	shape := forwardShape(t, net, x)
+	if shape[0] != 2 || shape[1] != 10 {
+		t.Errorf("logits shape %v", shape)
+	}
+}
+
+func TestResNet18HasExpectedScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := ResNet(rng, ResNet18Config(), 3, 10)
+	n := nn.ParamCount(net.Params())
+	// ~11.2M trainable + BN buffers; accept the known ballpark.
+	if n < 10_000_000 || n > 13_000_000 {
+		t.Errorf("ResNet-18 parameter count %d outside the expected ~11M range", n)
+	}
+}
+
+func TestResNetTrainsOneStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := ResNet(rng, ResNet8Config(), 1, 4)
+	x := tensor.Randn(rng, 0, 1, 4, 1, 8, 8)
+	labels := []int{0, 1, 2, 3}
+	nn.ZeroGrads(net.Params())
+	loss1, _ := net.LossGrad(x, labels)
+	for _, p := range net.Params() {
+		if p.Trainable {
+			p.Data.Axpy(-0.01, p.Grad)
+		}
+	}
+	nn.ZeroGrads(net.Params())
+	loss2, _ := net.LossGrad(x, labels)
+	if loss2 >= loss1 {
+		t.Errorf("gradient step did not reduce ResNet loss: %v -> %v", loss1, loss2)
+	}
+}
+
+func TestKWSLSTMShapesAndParamCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := KWSLSTM(rng, 16, 64, 2, 10)
+	x := tensor.Randn(rng, 0, 1, 3, 20, 16)
+	shape := forwardShape(t, net, x)
+	if shape[0] != 3 || shape[1] != 10 {
+		t.Errorf("logits shape %v", shape)
+	}
+	// lstm1: (16+64)*256+256 ; lstm2: (64+64)*256+256 ; fc: 64*10+10.
+	want := (16*256 + 64*256 + 256) + (64*256 + 64*256 + 256) + (64*10 + 10)
+	if got := nn.ParamCount(net.Params()); got != want {
+		t.Errorf("KWS LSTM parameter count %d, want %d", got, want)
+	}
+}
+
+func TestMLPShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := MLP(rng, 5, []int{32, 16}, 3)
+	x := tensor.Randn(rng, 0, 1, 4, 5)
+	shape := forwardShape(t, net, x)
+	if shape[0] != 4 || shape[1] != 3 {
+		t.Errorf("logits shape %v", shape)
+	}
+}
+
+func TestModelParamNamesAreDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for name, net := range map[string]*nn.Network{
+		"lenet":  LeNet5(rng, 1, 16, 10),
+		"resnet": ResNet(rng, ResNet8Config(), 1, 10),
+		"lstm":   KWSLSTM(rng, 8, 16, 2, 10),
+	} {
+		seen := make(map[string]bool)
+		for _, p := range net.Params() {
+			if seen[p.Name] {
+				t.Errorf("%s: duplicate parameter name %q", name, p.Name)
+			}
+			seen[p.Name] = true
+		}
+	}
+}
+
+func TestVGGShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net := VGG(rng, 1, 16, 10, []int{8, 16}, nil)
+	x := tensor.Randn(rng, 0, 1, 2, 1, 16, 16)
+	shape := forwardShape(t, net, x)
+	if shape[0] != 2 || shape[1] != 10 {
+		t.Errorf("logits shape %v", shape)
+	}
+}
+
+func TestVGGWithGroupNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := VGG(rng, 1, 8, 4, []int{4}, nn.GroupNormFactory(2))
+	x := tensor.Randn(rng, 0, 1, 3, 1, 8, 8)
+	shape := forwardShape(t, net, x)
+	if shape[0] != 3 || shape[1] != 4 {
+		t.Errorf("logits shape %v", shape)
+	}
+}
+
+func TestVGGTrainsOneStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := VGG(rng, 1, 8, 4, []int{6, 12}, nil)
+	x := tensor.Randn(rng, 0, 1, 4, 1, 8, 8)
+	labels := []int{0, 1, 2, 3}
+	nn.ZeroGrads(net.Params())
+	loss1, _ := net.LossGrad(x, labels)
+	for _, p := range net.Params() {
+		if p.Trainable {
+			p.Data.Axpy(-0.01, p.Grad)
+		}
+	}
+	nn.ZeroGrads(net.Params())
+	loss2, _ := net.LossGrad(x, labels)
+	if loss2 >= loss1 {
+		t.Errorf("gradient step did not reduce VGG loss: %v -> %v", loss1, loss2)
+	}
+}
+
+func TestVGGValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, f := range []func(){
+		func() { VGG(rng, 1, 8, 4, nil, nil) },
+		func() { VGG(rng, 1, 4, 4, []int{4, 8, 16}, nil) }, // too many halvings
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

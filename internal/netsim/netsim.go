@@ -1,0 +1,91 @@
+// Package netsim models the edge network of the paper's testbed (§7.1):
+// every client has an asymmetric Internet link (9 Mbps down / 3 Mbps up,
+// the global-average profile the paper cites) to a well-provisioned
+// central server. It converts the engine's exact per-round byte counts
+// into the per-round wall-clock times of Table 3.
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkProfile describes one client's connectivity and compute speed.
+type LinkProfile struct {
+	// UpBitsPerSec is the client→server bandwidth.
+	UpBitsPerSec float64
+	// DownBitsPerSec is the server→client bandwidth.
+	DownBitsPerSec float64
+	// RTT is the per-exchange round-trip latency.
+	RTT time.Duration
+	// ComputePerIter is the local time for one training iteration.
+	ComputePerIter time.Duration
+}
+
+// GlobalInternet is the paper's §7.1 client profile: 3 Mbps up, 9 Mbps
+// down. The compute cost defaults to zero; experiments scale it per model.
+func GlobalInternet() LinkProfile {
+	return LinkProfile{
+		UpBitsPerSec:   3e6,
+		DownBitsPerSec: 9e6,
+		RTT:            50 * time.Millisecond,
+	}
+}
+
+// TransferUp returns the push time for the given payload.
+func (p LinkProfile) TransferUp(bytes int64) time.Duration {
+	return transfer(bytes, p.UpBitsPerSec)
+}
+
+// TransferDown returns the pull time for the given payload.
+func (p LinkProfile) TransferDown(bytes int64) time.Duration {
+	return transfer(bytes, p.DownBitsPerSec)
+}
+
+// transfer converts bytes over a bandwidth into a duration.
+func transfer(bytes int64, bitsPerSec float64) time.Duration {
+	if bitsPerSec <= 0 {
+		panic(fmt.Sprintf("netsim: invalid bandwidth %v", bitsPerSec))
+	}
+	seconds := float64(bytes*8) / bitsPerSec
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// RoundTime returns the wall-clock duration of one synchronous FL round:
+// the slowest client's compute + push + pull (plus one RTT), since the
+// aggregation barrier waits for every client.
+func RoundTime(profiles []LinkProfile, iters []int, upBytes, downBytes []int64) time.Duration {
+	if len(profiles) != len(iters) || len(profiles) != len(upBytes) || len(profiles) != len(downBytes) {
+		panic(fmt.Sprintf("netsim: mismatched lengths profiles=%d iters=%d up=%d down=%d",
+			len(profiles), len(iters), len(upBytes), len(downBytes)))
+	}
+	var worst time.Duration
+	for i, p := range profiles {
+		t := time.Duration(iters[i])*p.ComputePerIter +
+			p.TransferUp(upBytes[i]) +
+			p.TransferDown(downBytes[i]) +
+			p.RTT
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// UniformProfiles returns n copies of profile.
+func UniformProfiles(n int, profile LinkProfile) []LinkProfile {
+	out := make([]LinkProfile, n)
+	for i := range out {
+		out[i] = profile
+	}
+	return out
+}
+
+// UniformIters returns n copies of iters.
+func UniformIters(n, iters int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = iters
+	}
+	return out
+}

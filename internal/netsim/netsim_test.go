@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransferTimes(t *testing.T) {
+	p := LinkProfile{UpBitsPerSec: 8e6, DownBitsPerSec: 16e6}
+	if got := p.TransferUp(1e6); got != time.Second {
+		t.Errorf("1MB over 8Mbps = %v, want 1s", got)
+	}
+	if got := p.TransferDown(1e6); got != 500*time.Millisecond {
+		t.Errorf("1MB over 16Mbps = %v, want 0.5s", got)
+	}
+}
+
+func TestGlobalInternetProfile(t *testing.T) {
+	p := GlobalInternet()
+	// Paper §7.1: 3 Mbps up, 9 Mbps down.
+	if p.UpBitsPerSec != 3e6 || p.DownBitsPerSec != 9e6 {
+		t.Errorf("profile %+v deviates from the paper's 3/9 Mbps", p)
+	}
+	// Asymmetry: uploads of equal size take 3× longer (allow for
+	// nanosecond truncation in the Duration conversion).
+	up, down := p.TransferUp(3e5), p.TransferDown(3e5)
+	if diff := up - 3*down; diff < -3 || diff > 3 {
+		t.Errorf("up %v should be 3× down %v", up, down)
+	}
+}
+
+func TestRoundTimeTakesSlowestClient(t *testing.T) {
+	profiles := UniformProfiles(3, LinkProfile{
+		UpBitsPerSec:   8e6,
+		DownBitsPerSec: 8e6,
+		ComputePerIter: time.Millisecond,
+	})
+	iters := UniformIters(3, 10)
+	up := []int64{1000, 1e6, 1000} // client 1 pushes 1MB
+	down := []int64{1000, 1000, 1000}
+	rt := RoundTime(profiles, iters, up, down)
+	// Client 1 dominates: 10ms compute + 1s upload + 1ms download.
+	if rt < time.Second || rt > 1100*time.Millisecond {
+		t.Errorf("round time %v, want ≈ 1.01s (slowest client)", rt)
+	}
+}
+
+func TestRoundTimeValidatesLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched lengths")
+		}
+	}()
+	RoundTime(UniformProfiles(2, GlobalInternet()), UniformIters(3, 1), []int64{1, 2}, []int64{1, 2})
+}
+
+func TestInvalidBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero bandwidth")
+		}
+	}()
+	LinkProfile{}.TransferUp(10)
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+
+	"apf/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, applied elementwise.
+type ReLU struct {
+	lastInput *tensor.Tensor
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU constructs a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(0, x).
+func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	r.lastInput = x
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward passes gradient where the input was positive.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.lastInput == nil {
+		panic("nn: ReLU.Backward called before Forward")
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, v := range r.lastInput.Data {
+		if v > 0 {
+			dx.Data[i] = grad.Data[i]
+		}
+	}
+	return dx
+}
+
+// Params returns nil: activations have no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation, applied elementwise.
+type Tanh struct {
+	lastOutput *tensor.Tensor
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh constructs a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward computes tanh(x).
+func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	t.lastOutput = out
+	return out
+}
+
+// Backward computes grad·(1 - tanh²).
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if t.lastOutput == nil {
+		panic("nn: Tanh.Backward called before Forward")
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, y := range t.lastOutput.Data {
+		dx.Data[i] = grad.Data[i] * (1 - y*y)
+	}
+	return dx
+}
+
+// Params returns nil: activations have no parameters.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation, applied elementwise.
+type Sigmoid struct {
+	lastOutput *tensor.Tensor
+}
+
+var _ Layer = (*Sigmoid)(nil)
+
+// NewSigmoid constructs a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward computes 1/(1+e^-x).
+func (s *Sigmoid) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = sigmoid(v)
+	}
+	s.lastOutput = out
+	return out
+}
+
+// Backward computes grad·σ·(1-σ).
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if s.lastOutput == nil {
+		panic("nn: Sigmoid.Backward called before Forward")
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, y := range s.lastOutput.Data {
+		dx.Data[i] = grad.Data[i] * y * (1 - y)
+	}
+	return dx
+}
+
+// Params returns nil: activations have no parameters.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// sigmoid is the scalar logistic function, computed in a numerically stable
+// split form.
+func sigmoid(v float64) float64 {
+	if v >= 0 {
+		return 1.0 / (1.0 + math.Exp(-v))
+	}
+	e := math.Exp(v)
+	return e / (1.0 + e)
+}

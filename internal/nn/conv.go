@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"apf/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [N, C, H, W] inputs with He-normal
+// initialized kernels of shape [outC, inC, k, k]. The implementation
+// lowers each sample to an im2col matrix so both passes run as matrix
+// products (the dominant cost of every experiment, so it is worth the
+// extra buffer).
+type Conv2D struct {
+	inC, outC, k, stride, pad int
+
+	w, b *Param
+
+	lastInput *tensor.Tensor
+	lastCols  []*tensor.Tensor // per-sample [inC·k·k, oh·ow] matrices
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D constructs a square-kernel convolution layer.
+func NewConv2D(rng *rand.Rand, name string, inC, outC, k, stride, pad int) *Conv2D {
+	if k <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: invalid Conv2D geometry k=%d stride=%d pad=%d", k, stride, pad))
+	}
+	c := &Conv2D{
+		inC:    inC,
+		outC:   outC,
+		k:      k,
+		stride: stride,
+		pad:    pad,
+		w:      newParam(name+".w", outC, inC, k, k),
+		b:      newParam(name+".b", outC),
+	}
+	heNormal(rng, c.w.Data, inC*k*k)
+	return c
+}
+
+// outDim computes the output spatial extent for an input extent.
+func (c *Conv2D) outDim(in int) int { return (in+2*c.pad-c.k)/c.stride + 1 }
+
+// im2col lowers one sample (flat [inC, h, w] data) into a
+// [inC·k·k, oh·ow] matrix whose columns are receptive fields.
+func (c *Conv2D) im2col(sample []float64, h, w, oh, ow int) *tensor.Tensor {
+	rows := c.inC * c.k * c.k
+	cols := oh * ow
+	out := tensor.New(rows, cols)
+	od := out.Data
+	for ic := 0; ic < c.inC; ic++ {
+		plane := sample[ic*h*w : (ic+1)*h*w]
+		for ky := 0; ky < c.k; ky++ {
+			for kx := 0; kx < c.k; kx++ {
+				row := ((ic*c.k+ky)*c.k + kx) * cols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.stride - c.pad + ky
+					if iy < 0 || iy >= h {
+						continue // stays zero (padding)
+					}
+					src := plane[iy*w:]
+					dst := od[row+oy*ow:]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*c.stride - c.pad + kx
+						if ix >= 0 && ix < w {
+							dst[ox] = src[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// col2im scatters a [inC·k·k, oh·ow] gradient matrix back onto one
+// sample's flat [inC, h, w] gradient, accumulating overlaps.
+func (c *Conv2D) col2im(colsGrad *tensor.Tensor, dst []float64, h, w, oh, ow int) {
+	cols := oh * ow
+	cd := colsGrad.Data
+	for ic := 0; ic < c.inC; ic++ {
+		plane := dst[ic*h*w : (ic+1)*h*w]
+		for ky := 0; ky < c.k; ky++ {
+			for kx := 0; kx < c.k; kx++ {
+				row := ((ic*c.k+ky)*c.k + kx) * cols
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*c.stride - c.pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					dstRow := plane[iy*w:]
+					srcRow := cd[row+oy*ow:]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*c.stride - c.pad + kx
+						if ix >= 0 && ix < w {
+							dstRow[ix] += srcRow[ox]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward computes the convolution for x of shape [N, inC, H, W].
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Shape[1] != c.inC {
+		panic(fmt.Sprintf("nn: Conv2D expects [N, %d, H, W] input, got %v", c.inC, x.Shape))
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.outDim(h), c.outDim(w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D input %v too small for k=%d stride=%d pad=%d", x.Shape, c.k, c.stride, c.pad))
+	}
+	c.lastInput = x
+	c.lastCols = make([]*tensor.Tensor, n)
+	out := tensor.New(n, c.outC, oh, ow)
+
+	wMat := c.w.Data.Reshape(c.outC, c.inC*c.k*c.k)
+	sampleIn := c.inC * h * w
+	sampleOut := c.outC * oh * ow
+	for in := 0; in < n; in++ {
+		cols := c.im2col(x.Data[in*sampleIn:(in+1)*sampleIn], h, w, oh, ow)
+		c.lastCols[in] = cols
+		y := tensor.MatMul(wMat, cols) // [outC, oh·ow]
+		dst := out.Data[in*sampleOut : (in+1)*sampleOut]
+		copy(dst, y.Data)
+		for oc := 0; oc < c.outC; oc++ {
+			bias := c.b.Data.Data[oc]
+			seg := dst[oc*oh*ow : (oc+1)*oh*ow]
+			for i := range seg {
+				seg[i] += bias
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates kernel and bias gradients and returns the input
+// gradient.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastInput
+	if x == nil || c.lastCols == nil {
+		panic("nn: Conv2D.Backward called before Forward")
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := grad.Shape[2], grad.Shape[3]
+	dx := tensor.New(x.Shape...)
+
+	wMat := c.w.Data.Reshape(c.outC, c.inC*c.k*c.k)
+	dwMat := c.w.Grad.Reshape(c.outC, c.inC*c.k*c.k)
+	sampleIn := c.inC * h * w
+	sampleOut := c.outC * oh * ow
+	for in := 0; in < n; in++ {
+		dy := tensor.FromSlice(grad.Data[in*sampleOut:(in+1)*sampleOut], c.outC, oh*ow)
+		// Bias: row sums of dy.
+		for oc := 0; oc < c.outC; oc++ {
+			s := 0.0
+			for _, v := range dy.Data[oc*oh*ow : (oc+1)*oh*ow] {
+				s += v
+			}
+			c.b.Grad.Data[oc] += s
+		}
+		// Kernel: dW += dy · colsᵀ.
+		dwMat.AddAssign(tensor.MatMulTransB(dy, c.lastCols[in]))
+		// Input: dcols = Wᵀ · dy, scattered back.
+		dcols := tensor.MatMulTransA(wMat, dy)
+		c.col2im(dcols, dx.Data[in*sampleIn:(in+1)*sampleIn], h, w, oh, ow)
+	}
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }

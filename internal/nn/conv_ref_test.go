@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"apf/internal/tensor"
+)
+
+// convNaive is the textbook direct convolution, kept as the reference the
+// im2col implementation is validated against.
+func convNaive(x, w, b *tensor.Tensor, stride, pad int) *tensor.Tensor {
+	n, inC, h, ww := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outC, k := w.Shape[0], w.Shape[2]
+	oh := (h+2*pad-k)/stride + 1
+	ow := (ww+2*pad-k)/stride + 1
+	out := tensor.New(n, outC, oh, ow)
+	for in := 0; in < n; in++ {
+		for oc := 0; oc < outC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := b.Data[oc]
+					for ic := 0; ic < inC; ic++ {
+						for ky := 0; ky < k; ky++ {
+							iy := oy*stride - pad + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < k; kx++ {
+								ix := ox*stride - pad + kx
+								if ix < 0 || ix >= ww {
+									continue
+								}
+								s += x.At(in, ic, iy, ix) * w.At(oc, ic, ky, kx)
+							}
+						}
+					}
+					out.Set(s, in, oc, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestConvMatchesNaiveReference cross-checks the im2col forward pass
+// against the direct implementation over random geometries.
+func TestConvMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		inC := 1 + rng.Intn(3)
+		outC := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(3)
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(2)
+		size := k + stride + rng.Intn(4)
+
+		layer := NewConv2D(rng, "conv", inC, outC, k, stride, pad)
+		x := tensor.Randn(rng, 0, 1, 2, inC, size, size)
+		got := layer.Forward(x, true)
+		want := convNaive(x, layer.w.Data, layer.b.Data, stride, pad)
+		if !got.SameShape(want) {
+			t.Fatalf("trial %d: shape %v vs %v", trial, got.Shape, want.Shape)
+		}
+		for i := range got.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-10 {
+				t.Fatalf("trial %d: mismatch at %d: %v vs %v (k=%d s=%d p=%d)",
+					trial, i, got.Data[i], want.Data[i], k, stride, pad)
+			}
+		}
+	}
+}

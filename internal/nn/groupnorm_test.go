@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"apf/internal/tensor"
+)
+
+func TestGroupNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tests := []struct {
+		name      string
+		c, groups int
+	}{
+		{"one group (layer norm)", 4, 1},
+		{"two groups", 4, 2},
+		{"instance norm", 4, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			layer := NewGroupNorm2D("gn", tt.c, tt.groups)
+			checkLayer(t, layer, tensor.Randn(rng, 1, 2, 3, tt.c, 3, 3))
+		})
+	}
+}
+
+func TestGroupNormNormalizesPerGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	gn := NewGroupNorm2D("gn", 4, 2)
+	x := tensor.Randn(rng, 5, 3, 2, 4, 4, 4)
+	y := gn.Forward(x, true)
+
+	// With default gamma=1, beta=0, every (sample, group) block must be
+	// zero-mean unit-variance.
+	const plane = 16
+	const chPerGroup = 2
+	m := chPerGroup * plane
+	for in := 0; in < 2; in++ {
+		for gr := 0; gr < 2; gr++ {
+			base := (in*4 + gr*chPerGroup) * plane
+			sum, sq := 0.0, 0.0
+			for i := 0; i < m; i++ {
+				v := y.Data[base+i]
+				sum += v
+				sq += v * v
+			}
+			mean := sum / float64(m)
+			variance := sq/float64(m) - mean*mean
+			if math.Abs(mean) > 1e-9 {
+				t.Errorf("sample %d group %d mean %v", in, gr, mean)
+			}
+			if math.Abs(variance-1) > 1e-3 {
+				t.Errorf("sample %d group %d variance %v", in, gr, variance)
+			}
+		}
+	}
+}
+
+func TestGroupNormIndependentOfBatchComposition(t *testing.T) {
+	// The FL-relevant property: a sample's normalization is independent
+	// of what else is in the batch (unlike batch norm).
+	rng := rand.New(rand.NewSource(23))
+	gn := NewGroupNorm2D("gn", 2, 1)
+	a := tensor.Randn(rng, 0, 1, 1, 2, 3, 3)
+	b := tensor.Randn(rng, 9, 5, 1, 2, 3, 3) // wildly different distribution
+
+	solo := gn.Forward(a, true).Clone()
+
+	batch := tensor.New(2, 2, 3, 3)
+	copy(batch.Data[:18], a.Data)
+	copy(batch.Data[18:], b.Data)
+	joint := gn.Forward(batch, true)
+
+	for i := 0; i < 18; i++ {
+		if math.Abs(joint.Data[i]-solo.Data[i]) > 1e-12 {
+			t.Fatalf("batch composition changed sample normalization at %d", i)
+		}
+	}
+}
+
+func TestGroupNormValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("groups not dividing channels did not panic")
+		}
+	}()
+	NewGroupNorm2D("gn", 4, 3)
+}

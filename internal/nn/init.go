@@ -1,0 +1,22 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"apf/internal/tensor"
+)
+
+// xavierUniform fills t with Glorot/Xavier uniform samples for the given
+// fan-in and fan-out.
+func xavierUniform(rng *rand.Rand, t *tensor.Tensor, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	t.FillUniform(rng, -limit, limit)
+}
+
+// heNormal fills t with Kaiming/He normal samples for the given fan-in,
+// appropriate ahead of ReLU activations.
+func heNormal(rng *rand.Rand, t *tensor.Tensor, fanIn int) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	t.FillRandn(rng, 0, std)
+}

@@ -1,0 +1,67 @@
+// Package nn is a from-scratch neural-network substrate with layer-level
+// backpropagation. It replaces the PyTorch framework used by the APF paper:
+// the federated-learning engine and the APF manager operate on the flat
+// parameter vector exposed by this package (see vectorize.go), exactly as
+// the paper's APF_Manager operates on the flattened PyTorch model.
+//
+// Layers cache activations on Forward and consume them on Backward, so a
+// layer instance must not be shared across concurrent training loops. In
+// the FL simulator every client owns a private model replica.
+package nn
+
+import "apf/internal/tensor"
+
+// Param is a single learnable (or tracked) tensor of a model, together with
+// its gradient accumulator.
+type Param struct {
+	// Name identifies the tensor (e.g. "conv1.w", "fc2.b"), mirroring the
+	// per-tensor buckets of the paper's Fig. 3.
+	Name string
+	// Data holds the current value.
+	Data *tensor.Tensor
+	// Grad accumulates gradients; Backward adds into it and the training
+	// loop zeroes it between steps.
+	Grad *tensor.Tensor
+	// Trainable is false for tracked statistics (batch-norm running
+	// mean/var) that are synchronized and freezable like parameters but
+	// never updated by the optimizer.
+	Trainable bool
+}
+
+// newParam allocates a named trainable parameter of the given shape.
+func newParam(name string, shape ...int) *Param {
+	return &Param{
+		Name:      name,
+		Data:      tensor.New(shape...),
+		Grad:      tensor.New(shape...),
+		Trainable: true,
+	}
+}
+
+// newBuffer allocates a named non-trainable tracked tensor.
+func newBuffer(name string, shape ...int) *Param {
+	p := newParam(name, shape...)
+	p.Trainable = false
+	return p
+}
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output. train selects training-time
+	// behaviour (dropout masks, batch-norm batch statistics).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient of the loss with respect to the
+	// layer's last Forward output and returns the gradient with respect
+	// to its input, accumulating parameter gradients into Params().
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's parameters (possibly empty). The slice
+	// and its entries are stable across calls.
+	Params() []*Param
+}
+
+// ZeroGrads zeroes the gradient of every parameter.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}

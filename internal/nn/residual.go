@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"math/rand"
+
+	"apf/internal/tensor"
+)
+
+// NormFactory builds a channelwise normalization layer for c channels.
+// BatchNormFactory and GroupNormFactory are provided; BasicBlock accepts
+// either (group norm is the usual choice for federated training on
+// non-IID data, where batch statistics differ across clients).
+type NormFactory func(name string, c int) Layer
+
+// BatchNormFactory builds BatchNorm2D layers.
+func BatchNormFactory(name string, c int) Layer { return NewBatchNorm2D(name, c) }
+
+// GroupNormFactory returns a NormFactory building GroupNorm2D layers with
+// the given group count (clamped to the channel count when larger).
+func GroupNormFactory(groups int) NormFactory {
+	return func(name string, c int) Layer {
+		g := groups
+		if g > c {
+			g = c
+		}
+		for c%g != 0 {
+			g--
+		}
+		return NewGroupNorm2D(name, c, g)
+	}
+}
+
+// BasicBlock is the ResNet v1 basic residual block:
+//
+//	y = ReLU( Norm(conv3x3(ReLU(Norm(conv3x3(x))))) + shortcut(x) )
+//
+// with an optional 1×1 strided convolution + Norm on the shortcut when the
+// block changes resolution or channel count.
+type BasicBlock struct {
+	conv1 *Conv2D
+	norm1 Layer
+	relu1 *ReLU
+	conv2 *Conv2D
+	norm2 Layer
+
+	downConv *Conv2D // nil when the shortcut is the identity
+	downNorm Layer   // nil when the shortcut is the identity
+
+	lastSumPos []bool // mask of positive post-sum activations for the final ReLU
+	params     []*Param
+}
+
+var _ Layer = (*BasicBlock)(nil)
+
+// NewBasicBlock constructs a residual block with batch normalization (the
+// classic ResNet recipe), mapping inC channels to outC channels; stride > 1
+// downsamples in the first convolution.
+func NewBasicBlock(rng *rand.Rand, name string, inC, outC, stride int) *BasicBlock {
+	return NewBasicBlockNorm(rng, name, inC, outC, stride, BatchNormFactory)
+}
+
+// NewBasicBlockNorm constructs a residual block with the given
+// normalization factory.
+func NewBasicBlockNorm(rng *rand.Rand, name string, inC, outC, stride int, norm NormFactory) *BasicBlock {
+	b := &BasicBlock{
+		conv1: NewConv2D(rng, name+".conv1", inC, outC, 3, stride, 1),
+		norm1: norm(name+".norm1", outC),
+		relu1: NewReLU(),
+		conv2: NewConv2D(rng, name+".conv2", outC, outC, 3, 1, 1),
+		norm2: norm(name+".norm2", outC),
+	}
+	if stride != 1 || inC != outC {
+		b.downConv = NewConv2D(rng, name+".down.conv", inC, outC, 1, stride, 0)
+		b.downNorm = norm(name+".down.norm", outC)
+	}
+	for _, l := range []Layer{b.conv1, b.norm1, b.conv2, b.norm2} {
+		b.params = append(b.params, l.Params()...)
+	}
+	if b.downConv != nil {
+		b.params = append(b.params, b.downConv.Params()...)
+		b.params = append(b.params, b.downNorm.Params()...)
+	}
+	return b
+}
+
+// Forward runs the residual computation.
+func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	main := b.conv1.Forward(x, train)
+	main = b.norm1.Forward(main, train)
+	main = b.relu1.Forward(main, train)
+	main = b.conv2.Forward(main, train)
+	main = b.norm2.Forward(main, train)
+
+	skip := x
+	if b.downConv != nil {
+		skip = b.downConv.Forward(x, train)
+		skip = b.downNorm.Forward(skip, train)
+	}
+
+	sum := tensor.Add(main, skip)
+	b.lastSumPos = make([]bool, sum.Size())
+	out := tensor.New(sum.Shape...)
+	for i, v := range sum.Data {
+		if v > 0 {
+			out.Data[i] = v
+			b.lastSumPos[i] = true
+		}
+	}
+	return out
+}
+
+// Backward propagates through both the main and shortcut paths and sums the
+// input gradients.
+func (b *BasicBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if b.lastSumPos == nil {
+		panic("nn: BasicBlock.Backward called before Forward")
+	}
+	dSum := tensor.New(grad.Shape...)
+	for i, pos := range b.lastSumPos {
+		if pos {
+			dSum.Data[i] = grad.Data[i]
+		}
+	}
+
+	dMain := b.norm2.Backward(dSum)
+	dMain = b.conv2.Backward(dMain)
+	dMain = b.relu1.Backward(dMain)
+	dMain = b.norm1.Backward(dMain)
+	dMain = b.conv1.Backward(dMain)
+
+	dSkip := dSum
+	if b.downConv != nil {
+		dSkip = b.downNorm.Backward(dSum)
+		dSkip = b.downConv.Backward(dSkip)
+	}
+
+	dMain.AddAssign(dSkip)
+	return dMain
+}
+
+// Params returns the parameters of all sub-layers.
+func (b *BasicBlock) Params() []*Param { return b.params }

@@ -1,0 +1,79 @@
+package nn
+
+import "fmt"
+
+// The APF paper operates on the model as one flat scalar vector (its §3.2
+// footnote: expand every tensor with Tensor.view(-1) and concatenate).
+// These helpers provide that flat view over a []*Param model.
+
+// ParamCount returns the total number of scalars across params.
+func ParamCount(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.Data.Size()
+	}
+	return n
+}
+
+// Span names a contiguous region of the flat parameter vector belonging to
+// one named tensor, mirroring the per-tensor buckets of the paper's Fig. 3.
+type Span struct {
+	Name      string
+	Offset    int
+	Length    int
+	Trainable bool
+}
+
+// Spans returns the flat-vector layout of params in order.
+func Spans(params []*Param) []Span {
+	spans := make([]Span, 0, len(params))
+	off := 0
+	for _, p := range params {
+		spans = append(spans, Span{Name: p.Name, Offset: off, Length: p.Data.Size(), Trainable: p.Trainable})
+		off += p.Data.Size()
+	}
+	return spans
+}
+
+// FlattenParams copies all parameter values into dst (allocated when nil or of
+// the wrong length) and returns it.
+func FlattenParams(params []*Param, dst []float64) []float64 {
+	n := ParamCount(params)
+	if len(dst) != n {
+		dst = make([]float64, n)
+	}
+	off := 0
+	for _, p := range params {
+		copy(dst[off:], p.Data.Data)
+		off += p.Data.Size()
+	}
+	return dst
+}
+
+// SetFlat writes src back into the parameter tensors. len(src) must equal
+// ParamCount(params).
+func SetFlat(params []*Param, src []float64) {
+	if len(src) != ParamCount(params) {
+		panic(fmt.Sprintf("nn: SetFlat length %d does not match parameter count %d", len(src), ParamCount(params)))
+	}
+	off := 0
+	for _, p := range params {
+		copy(p.Data.Data, src[off:off+p.Data.Size()])
+		off += p.Data.Size()
+	}
+}
+
+// FlattenGrads copies all gradient values into dst (allocated when nil or
+// of the wrong length) and returns it.
+func FlattenGrads(params []*Param, dst []float64) []float64 {
+	n := ParamCount(params)
+	if len(dst) != n {
+		dst = make([]float64, n)
+	}
+	off := 0
+	for _, p := range params {
+		copy(dst[off:], p.Grad.Data)
+		off += p.Data.Size()
+	}
+	return dst
+}

@@ -1,0 +1,198 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"apf/internal/nn"
+	"apf/internal/tensor"
+)
+
+// quadNet builds a one-parameter "model" whose loss is (x-target)²/2 by
+// setting the gradient manually.
+func singleParam(v float64) []*nn.Param {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewNetwork(nn.NewDense(rng, "fc", 1, 1))
+	params := net.Params()
+	params[0].Data.Data[0] = v
+	return params
+}
+
+// setQuadGrad writes the gradient of (x-target)²/2 for every trainable
+// scalar.
+func setQuadGrad(params []*nn.Param, target float64) {
+	for _, p := range params {
+		for j := range p.Grad.Data {
+			p.Grad.Data[j] = p.Data.Data[j] - target
+		}
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	params := singleParam(10)
+	sgd := NewSGD(params, 0.1, 0, 0)
+	for i := 0; i < 200; i++ {
+		setQuadGrad(params, 3)
+		sgd.Step()
+	}
+	for _, p := range params {
+		for _, v := range p.Data.Data {
+			if math.Abs(v-3) > 1e-6 {
+				t.Errorf("SGD did not converge: %v", v)
+			}
+		}
+	}
+}
+
+func TestSGDMomentumAcceleratesDescent(t *testing.T) {
+	run := func(momentum float64) float64 {
+		params := singleParam(10)
+		sgd := NewSGD(params, 0.01, momentum, 0)
+		for i := 0; i < 50; i++ {
+			setQuadGrad(params, 0)
+			sgd.Step()
+		}
+		return math.Abs(params[0].Data.Data[0])
+	}
+	if run(0.9) >= run(0) {
+		t.Error("momentum should make faster progress on a smooth quadratic")
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	params := singleParam(1)
+	sgd := NewSGD(params, 0.1, 0, 0.5)
+	// Zero task gradient: only decay acts.
+	nn.ZeroGrads(params)
+	sgd.Step()
+	want := 1 - 0.1*0.5
+	got := params[0].Data.Data[0]
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("weight decay step = %v, want %v", got, want)
+	}
+}
+
+func TestSGDSkipsNonTrainable(t *testing.T) {
+	params := singleParam(5)
+	params[1].Trainable = false
+	params[1].Data.Data[0] = 42
+	params[1].Grad.Data[0] = 100
+	sgd := NewSGD(params, 0.1, 0.9, 0.1)
+	sgd.Step()
+	if params[1].Data.Data[0] != 42 {
+		t.Error("SGD updated a non-trainable parameter")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	params := singleParam(10)
+	adam := NewAdam(params, 0.2, 0)
+	for i := 0; i < 400; i++ {
+		setQuadGrad(params, -2)
+		adam.Step()
+	}
+	for _, p := range params {
+		for _, v := range p.Data.Data {
+			if math.Abs(v+2) > 1e-3 {
+				t.Errorf("Adam did not converge: %v", v)
+			}
+		}
+	}
+}
+
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	// With bias correction, the first Adam step is ≈ lr regardless of the
+	// gradient scale.
+	for _, scale := range []float64{1e-3, 1, 1e3} {
+		params := singleParam(0)
+		adam := NewAdam(params, 0.1, 0)
+		params[0].Grad.Data[0] = scale
+		params[1].Grad.Data[0] = scale
+		adam.Step()
+		if got := math.Abs(params[0].Data.Data[0]); math.Abs(got-0.1) > 1e-6 {
+			t.Errorf("first Adam step %v for gradient scale %v, want ≈ lr", got, scale)
+		}
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	params := singleParam(0)
+	for _, o := range []Optimizer{NewSGD(params, 0.1, 0, 0), NewAdam(params, 0.1, 0)} {
+		o.SetLR(0.5)
+		if o.LR() != 0.5 {
+			t.Errorf("SetLR/LR round trip failed for %T", o)
+		}
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	c := ConstantSchedule{Rate: 0.3}
+	if c.LRAt(0) != 0.3 || c.LRAt(1000) != 0.3 {
+		t.Error("constant schedule wrong")
+	}
+
+	m := MultiplicativeDecay{Base: 1, Factor: 0.5, Every: 10}
+	if m.LRAt(0) != 1 || m.LRAt(9) != 1 {
+		t.Error("decay applied too early")
+	}
+	if m.LRAt(10) != 0.5 || m.LRAt(25) != 0.25 {
+		t.Errorf("decay wrong: %v %v", m.LRAt(10), m.LRAt(25))
+	}
+
+	s := StepDecay{Base: 1, Milestones: []int{5, 15}}
+	if s.LRAt(4) != 1 || s.LRAt(5) != 0.1 || s.LRAt(20) != 0.01 {
+		t.Errorf("step decay wrong: %v %v %v", s.LRAt(4), s.LRAt(5), s.LRAt(20))
+	}
+}
+
+func TestMultiplicativeDecayValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Every=0")
+		}
+	}()
+	MultiplicativeDecay{Base: 1, Factor: 0.9}.LRAt(3)
+}
+
+// TestOptimizerTrainsRealNetwork trains the same tiny network with both
+// optimizers and checks both reach low loss.
+func TestOptimizerTrainsRealNetwork(t *testing.T) {
+	build := func() (*nn.Network, *tensor.Tensor, []int) {
+		rng := rand.New(rand.NewSource(3))
+		net := nn.NewNetwork(
+			nn.NewDense(rng, "fc1", 2, 8),
+			nn.NewTanh(),
+			nn.NewDense(rng, "fc2", 8, 2),
+		)
+		x := tensor.New(32, 2)
+		labels := make([]int, 32)
+		for i := 0; i < 32; i++ {
+			c := i % 2
+			labels[i] = c
+			x.Data[2*i] = float64(2*c-1) + 0.2*rng.NormFloat64()
+			x.Data[2*i+1] = float64(1-2*c) + 0.2*rng.NormFloat64()
+		}
+		return net, x, labels
+	}
+
+	optimizers := map[string]func(p []*nn.Param) Optimizer{
+		"sgd":  func(p []*nn.Param) Optimizer { return NewSGD(p, 0.3, 0.9, 0) },
+		"adam": func(p []*nn.Param) Optimizer { return NewAdam(p, 0.05, 0) },
+	}
+	for name, mk := range optimizers {
+		t.Run(name, func(t *testing.T) {
+			net, x, labels := build()
+			o := mk(net.Params())
+			for i := 0; i < 150; i++ {
+				nn.ZeroGrads(net.Params())
+				net.LossGrad(x, labels)
+				o.Step()
+			}
+			loss, acc := net.Eval(x, labels)
+			if acc < 0.95 || loss > 0.3 {
+				t.Errorf("%s: loss=%v acc=%v after training", name, loss, acc)
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+// Package quantize implements IEEE-754 binary16 (half precision)
+// conversion. The paper's §7.7 stacks a Quantization_Manager on top of APF
+// that transmits parameters as 16-bit floats (PyTorch's Tensor.half());
+// this package provides the identical numeric semantics.
+package quantize
+
+import "math"
+
+// Float64ToHalf converts v to the nearest IEEE binary16 value, with
+// round-to-nearest-even, returning its 16-bit encoding. Out-of-range values
+// saturate to ±Inf; NaN is preserved.
+func Float64ToHalf(v float64) uint16 {
+	b := math.Float32bits(float32(v))
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xff
+	mant := b & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if mant != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	case exp == 0 && mant == 0:
+		return sign
+	}
+
+	// Unbias from float32 (127) and rebias for half (15).
+	e := exp - 127 + 15
+	switch {
+	case e >= 0x1f: // overflow → Inf
+		return sign | 0x7c00
+	case e <= 0:
+		// Subnormal half (or underflow to zero).
+		if e < -10 {
+			return sign
+		}
+		mant |= 0x800000 // implicit leading 1
+		shift := uint32(14 - e)
+		half := uint16(mant >> shift)
+		// Round to nearest even.
+		rem := mant & ((1 << shift) - 1)
+		mid := uint32(1) << (shift - 1)
+		if rem > mid || (rem == mid && half&1 == 1) {
+			half++
+		}
+		return sign | half
+	default:
+		half := sign | uint16(e<<10) | uint16(mant>>13)
+		// Round to nearest even on the 13 dropped bits.
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // may carry into the exponent, which is correct
+		}
+		return half
+	}
+}
+
+// HalfToFloat64 decodes a 16-bit IEEE binary16 encoding.
+func HalfToFloat64(h uint16) float64 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h & 0x3ff)
+
+	var bits32 uint32
+	switch {
+	case exp == 0 && mant == 0:
+		bits32 = sign
+	case exp == 0:
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		bits32 = sign | e<<23 | mant<<13
+	case exp == 0x1f:
+		bits32 = sign | 0xff<<23 | mant<<13
+	default:
+		bits32 = sign | (exp-15+127)<<23 | mant<<13
+	}
+	return float64(math.Float32frombits(bits32))
+}
+
+// RoundTrip quantizes v through half precision and back, simulating
+// transmission of a 16-bit representation.
+func RoundTrip(v float64) float64 { return HalfToFloat64(Float64ToHalf(v)) }
+
+// RoundTripSlice quantizes every element of xs in place and returns xs.
+func RoundTripSlice(xs []float64) []float64 {
+	for i, v := range xs {
+		xs[i] = RoundTrip(v)
+	}
+	return xs
+}

@@ -1,0 +1,163 @@
+package quantize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	tests := []struct {
+		name string
+		v    float64
+		bits uint16
+	}{
+		{"zero", 0, 0x0000},
+		{"neg zero", math.Copysign(0, -1), 0x8000},
+		{"one", 1, 0x3c00},
+		{"neg one", -1, 0xbc00},
+		{"two", 2, 0x4000},
+		{"half", 0.5, 0x3800},
+		{"max half", 65504, 0x7bff},
+		{"smallest normal", 6.103515625e-05, 0x0400},
+		{"smallest subnormal", 5.960464477539063e-08, 0x0001},
+		{"inf", math.Inf(1), 0x7c00},
+		{"neg inf", math.Inf(-1), 0xfc00},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Float64ToHalf(tt.v); got != tt.bits {
+				t.Errorf("Float64ToHalf(%v) = %#04x, want %#04x", tt.v, got, tt.bits)
+			}
+			back := HalfToFloat64(tt.bits)
+			if math.IsInf(tt.v, 0) {
+				if !math.IsInf(back, int(math.Copysign(1, tt.v))) {
+					t.Errorf("HalfToFloat64(%#04x) = %v", tt.bits, back)
+				}
+				return
+			}
+			if back != tt.v {
+				t.Errorf("HalfToFloat64(%#04x) = %v, want %v", tt.bits, back, tt.v)
+			}
+		})
+	}
+}
+
+func TestNaNPreserved(t *testing.T) {
+	h := Float64ToHalf(math.NaN())
+	if !math.IsNaN(HalfToFloat64(h)) {
+		t.Error("NaN not preserved")
+	}
+}
+
+func TestOverflowSaturates(t *testing.T) {
+	if !math.IsInf(RoundTrip(1e6), 1) {
+		t.Error("large positive should saturate to +Inf")
+	}
+	if !math.IsInf(RoundTrip(-1e6), -1) {
+		t.Error("large negative should saturate to -Inf")
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	if got := RoundTrip(1e-12); got != 0 {
+		t.Errorf("tiny value should flush to 0, got %v", got)
+	}
+}
+
+func TestRoundTripSlice(t *testing.T) {
+	xs := []float64{0.1, -3.25, 100}
+	RoundTripSlice(xs)
+	if xs[1] != -3.25 {
+		t.Error("exactly representable value changed")
+	}
+	if math.Abs(xs[0]-0.1) > 1e-4 {
+		t.Errorf("0.1 quantized too coarsely: %v", xs[0])
+	}
+}
+
+// Property: round trip is idempotent and the relative error of normal-range
+// values is within half precision's 2^-11 bound.
+func TestQuickRoundTripError(t *testing.T) {
+	f := func(raw float64) bool {
+		v := math.Mod(raw, 60000)
+		if math.IsNaN(v) {
+			v = 1
+		}
+		q := RoundTrip(v)
+		if RoundTrip(q) != q {
+			return false // must be idempotent
+		}
+		if v == 0 {
+			return q == 0
+		}
+		if math.Abs(v) < 6.2e-05 {
+			// Subnormal range: absolute error bounded by one subnormal ulp.
+			return math.Abs(q-v) <= 6e-8
+		}
+		return math.Abs(q-v)/math.Abs(v) <= 1.0/2048
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantization is monotone (order-preserving).
+func TestQuickMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 60000)
+		b = math.Mod(b, 60000)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return RoundTrip(a) <= RoundTrip(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzHalfBits checks that decoding any 16-bit pattern and re-encoding it
+// is the identity (modulo NaN payload canonicalization): the fp16 codec
+// never corrupts representable values.
+func FuzzHalfBits(f *testing.F) {
+	for _, seed := range []uint16{0, 1, 0x3c00, 0x7c00, 0x8000, 0xfc00, 0x7e00, 0xffff, 0x0400, 0x7bff} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, h uint16) {
+		v := HalfToFloat64(h)
+		back := Float64ToHalf(v)
+		if math.IsNaN(v) {
+			if !math.IsNaN(HalfToFloat64(back)) {
+				t.Fatalf("NaN %#04x did not survive round trip (got %#04x)", h, back)
+			}
+			return
+		}
+		if back != h {
+			t.Fatalf("half bits %#04x -> %v -> %#04x", h, v, back)
+		}
+	})
+}
+
+// FuzzHalfValue checks that arbitrary float64 inputs never panic and
+// always produce a representable (or saturated) result.
+func FuzzHalfValue(f *testing.F) {
+	for _, seed := range []float64{0, 1, -1, 0.1, 65504, 65520, 1e-8, -1e300, math.Inf(1)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v float64) {
+		q := RoundTrip(v)
+		if math.IsNaN(v) {
+			if !math.IsNaN(q) {
+				t.Fatal("NaN lost")
+			}
+			return
+		}
+		if RoundTrip(q) != q {
+			t.Fatalf("not idempotent: %v -> %v -> %v", v, q, RoundTrip(q))
+		}
+	})
+}

@@ -1,0 +1,146 @@
+// Package stats provides the small statistical helpers the reproduction
+// needs: means, percentiles, Dirichlet sampling for non-IID data splits,
+// and deterministic RNG stream splitting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, v := range xs {
+		s += (v - m) * (v - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// GammaSample draws one Gamma(shape, 1) variate using the
+// Marsaglia–Tsang method (with Ahrens-style boosting for shape < 1).
+func GammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		panic(fmt.Sprintf("stats: Gamma shape must be positive, got %v", shape))
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) · U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return GammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet draws one sample from a symmetric Dirichlet(alpha) distribution
+// of the given dimension. It is used to synthesize non-IID client class
+// mixes as in the paper's §7.1 (concentration α=1; α→∞ approaches IID).
+func Dirichlet(rng *rand.Rand, alpha float64, dim int) []float64 {
+	if dim <= 0 {
+		panic(fmt.Sprintf("stats: Dirichlet dimension must be positive, got %d", dim))
+	}
+	out := make([]float64, dim)
+	sum := 0.0
+	for i := range out {
+		out[i] = GammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Degenerate draw (possible only in floating-point corner cases):
+		// fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(dim)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SplitRNG derives an independent deterministic RNG stream from a base seed
+// and a stream index, so that clients, data generators, and managers can be
+// seeded reproducibly without sharing rand.Rand state across goroutines.
+func SplitRNG(seed int64, stream int64) *rand.Rand {
+	// SplitMix64-style mixing of (seed, stream) into a child seed.
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}

@@ -1,0 +1,176 @@
+// Package tensor implements dense, row-major, float64 tensors and the
+// numeric kernels used by the neural-network substrate. It is intentionally
+// small: only the operations needed by the APF reproduction are provided,
+// but each is implemented carefully and tested against naive references.
+//
+// A Tensor owns its backing slice. Shape and Data are exported for
+// hot-path access by sibling packages; callers must not resize them.
+package tensor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tensor is a dense row-major multi-dimensional array of float64.
+//
+// The zero value is not usable; construct tensors with New, FromSlice, or
+// the fill helpers.
+type Tensor struct {
+	// Shape holds the extent of each dimension. It is owned by the
+	// tensor; callers must treat it as read-only.
+	Shape []int
+	// Data is the row-major backing storage of length prod(Shape). It is
+	// shared, not copied, by views such as Reshape.
+	Data []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := sizeOf(shape)
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is used
+// directly (not copied); len(data) must equal prod(shape).
+func FromSlice(data []float64, shape ...int) *Tensor {
+	if n := sizeOf(shape); n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v requires %d elements, got %d", shape, n, len(data)))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor filled with 1.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// sizeOf returns the number of elements implied by shape.
+func sizeOf(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Dim returns the extent of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view sharing t's data with a new shape. The total
+// element count must be unchanged. One dimension may be -1, in which case it
+// is inferred.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = append([]int(nil), shape...)
+	infer := -1
+	known := 1
+	for i, d := range shape {
+		switch {
+		case d == -1:
+			if infer >= 0 {
+				panic("tensor: at most one dimension may be -1 in Reshape")
+			}
+			infer = i
+		case d < 0:
+			panic(fmt.Sprintf("tensor: invalid dimension %d in Reshape", d))
+		default:
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || len(t.Data)%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.Shape, shape))
+		}
+		shape[infer] = len(t.Data) / known
+		known *= shape[infer]
+	}
+	if known != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v", t.Shape, len(t.Data), shape))
+	}
+	return &Tensor{Shape: shape, Data: t.Data}
+}
+
+// offset computes the flat offset of a multi-dimensional index.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given multi-dimensional index. It is a
+// convenience for tests and setup code, not a hot-path accessor.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if d != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	b.WriteString("Tensor")
+	b.WriteString(fmt.Sprint(t.Shape))
+	b.WriteByte('[')
+	limit := len(t.Data)
+	const maxShown = 16
+	truncated := false
+	if limit > maxShown {
+		limit = maxShown
+		truncated = true
+	}
+	for i := 0; i < limit; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatFloat(t.Data[i], 'g', 4, 64))
+	}
+	if truncated {
+		b.WriteString(" ...")
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,427 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewAndSize(t *testing.T) {
+	tests := []struct {
+		name  string
+		shape []int
+		want  int
+	}{
+		{"scalarish", []int{1}, 1},
+		{"vector", []int{5}, 5},
+		{"matrix", []int{3, 4}, 12},
+		{"rank4", []int{2, 3, 4, 5}, 120},
+		{"zero-dim", []int{3, 0, 4}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			x := New(tt.shape...)
+			if got := x.Size(); got != tt.want {
+				t.Errorf("Size() = %d, want %d", got, tt.want)
+			}
+			if x.Rank() != len(tt.shape) {
+				t.Errorf("Rank() = %d, want %d", x.Rank(), len(tt.shape))
+			}
+			for _, v := range x.Data {
+				if v != 0 {
+					t.Fatalf("New not zero-filled: %v", x.Data)
+				}
+			}
+		})
+	}
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with mismatched length did not panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetOffset(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(7.5, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 7.5 {
+		t.Errorf("At(1,2,3) = %v, want 7.5", got)
+	}
+	// Row-major layout: offset of (1,2,3) in 2x3x4 is 1*12+2*4+3 = 23.
+	if x.Data[23] != 7.5 {
+		t.Errorf("expected value at flat offset 23, data=%v", x.Data)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestReshape(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	if y.At(2, 1) != 6 {
+		t.Errorf("reshape changed element order: %v", y.Data)
+	}
+	// Views share storage.
+	y.Set(99, 0, 0)
+	if x.At(0, 0) != 99 {
+		t.Error("Reshape must share backing data")
+	}
+	z := x.Reshape(-1, 2)
+	if z.Shape[0] != 3 || z.Shape[1] != 2 {
+		t.Errorf("inferred reshape = %v, want [3 2]", z.Shape)
+	}
+}
+
+func TestReshapeInvalid(t *testing.T) {
+	x := New(2, 3)
+	for _, shape := range [][]int{{4, 2}, {-1, -1}, {-1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reshape(%v) did not panic", shape)
+				}
+			}()
+			x.Reshape(shape...)
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3}, 3)
+	y := x.Clone()
+	y.Data[0] = 42
+	if x.Data[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+
+	if got := Add(a, b).Data; got[3] != 44 {
+		t.Errorf("Add wrong: %v", got)
+	}
+	if got := Sub(b, a).Data; got[0] != 9 {
+		t.Errorf("Sub wrong: %v", got)
+	}
+	if got := MulElem(a, b).Data; got[2] != 90 {
+		t.Errorf("MulElem wrong: %v", got)
+	}
+
+	c := a.Clone()
+	c.Axpy(0.5, b)
+	want := []float64{6, 12, 18, 24}
+	for i, v := range c.Data {
+		if v != want[i] {
+			t.Errorf("Axpy[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+
+	c.Scale(2)
+	if c.Data[0] != 12 {
+		t.Errorf("Scale wrong: %v", c.Data)
+	}
+	c.Zero()
+	if c.Sum() != 0 {
+		t.Errorf("Zero wrong: %v", c.Data)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a, b := New(2, 2), New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched shapes did not panic")
+		}
+	}()
+	Add(a, b)
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{3, 4}, 2)
+	if x.Sum() != 7 {
+		t.Errorf("Sum = %v", x.Sum())
+	}
+	if x.Mean() != 3.5 {
+		t.Errorf("Mean = %v", x.Mean())
+	}
+	if !almostEqual(x.Norm2(), 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", x.Norm2())
+	}
+	empty := New(0)
+	if empty.Mean() != 0 {
+		t.Error("Mean of empty tensor should be 0")
+	}
+}
+
+// matMulNaive is the textbook reference implementation.
+func matMulNaive(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for kk := 0; kk < k; kk++ {
+				s += a.At(i, kk) * b.At(kk, j)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(7), 1+rng.Intn(7), 1+rng.Intn(7)
+		a := Randn(rng, 0, 1, m, k)
+		b := Randn(rng, 0, 1, k, n)
+		want := matMulNaive(a, b)
+
+		got := MatMul(a, b)
+		for i := range got.Data {
+			if !almostEqual(got.Data[i], want.Data[i], 1e-12) {
+				t.Fatalf("MatMul mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+			}
+		}
+
+		gotTA := MatMulTransA(Transpose2D(a), b)
+		gotTB := MatMulTransB(a, Transpose2D(b))
+		for i := range want.Data {
+			if !almostEqual(gotTA.Data[i], want.Data[i], 1e-12) {
+				t.Fatalf("MatMulTransA mismatch at %d", i)
+			}
+			if !almostEqual(gotTB.Data[i], want.Data[i], 1e-12) {
+				t.Fatalf("MatMulTransB mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestMatMulShapeChecks(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func()
+	}{
+		{"inner mismatch", func() { MatMul(New(2, 3), New(4, 2)) }},
+		{"rank", func() { MatMul(New(2, 3, 1), New(3, 2)) }},
+		{"transA inner", func() { MatMulTransA(New(2, 3), New(3, 2)) }},
+		{"transB inner", func() { MatMulTransB(New(2, 3), New(2, 4)) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tt.f()
+		})
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := Transpose2D(a)
+	if at.Shape[0] != 3 || at.Shape[1] != 2 {
+		t.Fatalf("transpose shape %v", at.Shape)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Errorf("transpose values wrong: %v", at.Data)
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	a := FromSlice([]float64{1, 5, 2, 7, 0, 3, 3, 3, 1}, 3, 3)
+	got := ArgMaxRows(a)
+	want := []int{1, 0, 0} // last row ties resolve to the lowest index
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ArgMaxRows[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFillRandnStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := New(20000)
+	x.FillRandn(rng, 2, 3)
+	mean := x.Mean()
+	if math.Abs(mean-2) > 0.1 {
+		t.Errorf("sample mean %v too far from 2", mean)
+	}
+	varSum := 0.0
+	for _, v := range x.Data {
+		varSum += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(varSum / float64(x.Size()))
+	if math.Abs(std-3) > 0.15 {
+		t.Errorf("sample std %v too far from 3", std)
+	}
+}
+
+func TestFillUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := Uniform(rng, -2, 5, 1000)
+	for _, v := range x.Data {
+		if v < -2 || v >= 5 {
+			t.Fatalf("uniform sample %v out of [-2,5)", v)
+		}
+	}
+}
+
+// Property: Dot is symmetric and matches Norm2 on self-products.
+func TestQuickDotProperties(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				vals[i] = math.Mod(v, 1000)
+				if math.IsNaN(vals[i]) {
+					vals[i] = 0
+				}
+			}
+		}
+		a := FromSlice(vals, len(vals))
+		b := a.Clone()
+		b.Scale(2)
+		if !almostEqual(Dot(a, b), Dot(b, a), 1e-9) {
+			return false
+		}
+		n := a.Norm2()
+		return almostEqual(Dot(a, a), n*n, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add then Sub is the identity.
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		sanitize := func(s []float64) []float64 {
+			out := make([]float64, n)
+			for i := 0; i < n; i++ {
+				v := s[i]
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 1
+				}
+				out[i] = math.Mod(v, 1e6)
+			}
+			return out
+		}
+		a := FromSlice(sanitize(xs), n)
+		b := FromSlice(sanitize(ys), n)
+		back := Sub(Add(a, b), b)
+		for i := range a.Data {
+			if !almostEqual(back.Data[i], a.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MatMul distributes over addition: A(B+C) = AB + AC.
+func TestQuickMatMulDistributive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := Randn(rng, 0, 1, m, k)
+		b := Randn(rng, 0, 1, k, n)
+		c := Randn(rng, 0, 1, k, n)
+		left := MatMul(a, Add(b, c))
+		right := Add(MatMul(a, b), MatMul(a, c))
+		for i := range left.Data {
+			if !almostEqual(left.Data[i], right.Data[i], 1e-9) {
+				t.Fatalf("distributivity failed at trial %d", trial)
+			}
+		}
+	}
+}
+
+func TestFullOnesString(t *testing.T) {
+	f := Full(2.5, 2, 2)
+	for _, v := range f.Data {
+		if v != 2.5 {
+			t.Fatal("Full wrong")
+		}
+	}
+	o := Ones(3)
+	if o.Sum() != 3 {
+		t.Fatal("Ones wrong")
+	}
+	s := o.String()
+	if !strings.Contains(s, "Tensor[3]") {
+		t.Errorf("String = %q", s)
+	}
+	big := New(100)
+	if !strings.Contains(big.String(), "...") {
+		t.Error("large tensor String should truncate")
+	}
+}
+
+func TestCopyFromFillDim(t *testing.T) {
+	a := New(2, 2)
+	b := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	a.CopyFrom(b)
+	if a.At(1, 1) != 4 {
+		t.Fatal("CopyFrom wrong")
+	}
+	a.Fill(7)
+	if a.Sum() != 28 {
+		t.Fatal("Fill wrong")
+	}
+	if a.Dim(0) != 2 || a.Rank() != 2 {
+		t.Fatal("Dim/Rank wrong")
+	}
+	c := a.Clone()
+	c.SubAssign(b)
+	if c.At(0, 0) != 6 {
+		t.Fatal("SubAssign wrong")
+	}
+	c.MulAssign(b)
+	if c.At(0, 1) != 10 {
+		t.Fatalf("MulAssign wrong: %v", c.Data)
+	}
+}
+
+func TestNegativeShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dimension did not panic")
+		}
+	}()
+	New(2, -1)
+}

@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"apf/internal/data"
+	"apf/internal/fl"
+	"apf/internal/nn"
+	"apf/internal/stats"
+)
+
+// ClientConfig parameterizes one trainer client.
+type ClientConfig struct {
+	// Addr is the server address.
+	Addr string
+	// Name labels this client in server-side errors.
+	Name string
+	// Model/Optimizer/Manager mirror the simulator factories; the model
+	// is re-initialized from the server's Welcome payload.
+	Model     fl.ModelFactory
+	Optimizer fl.OptimizerFactory
+	Manager   fl.ManagerFactory
+	// Data and Indices define the local shard.
+	Data    *data.Dataset
+	Indices []int
+	// LocalIters and BatchSize configure the local phase per round.
+	LocalIters int
+	BatchSize  int
+	// Seed drives the local RNG streams.
+	Seed int64
+	// DialTimeout and IOTimeout bound connection setup and each message
+	// exchange (defaults 10s / 30s).
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+}
+
+// ClientResult summarizes one client's run.
+type ClientResult struct {
+	ClientID int
+	Rounds   int
+	// UpBytes/DownBytes are the manager-reported payload bytes (the
+	// scheme's accounting model).
+	UpBytes   int64
+	DownBytes int64
+	// WireRead/WireWritten are the measured TCP bytes.
+	WireRead    int64
+	WireWritten int64
+	// FinalModel is the client's final dense model vector.
+	FinalModel []float64
+}
+
+// RunClient connects to the server, trains for the announced number of
+// rounds, and returns its accounting. It honours ctx cancellation.
+func RunClient(ctx context.Context, cfg ClientConfig) (*ClientResult, error) {
+	if cfg.LocalIters <= 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("transport: invalid client config iters=%d batch=%d", cfg.LocalIters, cfg.BatchSize)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = defaultIOTimeout
+	}
+
+	dialer := net.Dialer{Timeout: cfg.DialTimeout}
+	rawConn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", cfg.Addr, err)
+	}
+	conn := &countingConn{Conn: rawConn}
+	defer closeQuietly(conn)
+
+	// Tear the connection down on cancellation to unblock I/O.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeQuietly(conn)
+		case <-stop:
+		}
+	}()
+
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	send := func(msg any) error {
+		if err := conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout)); err != nil {
+			return err
+		}
+		return enc.Encode(msg)
+	}
+	recv := func(msg any) error {
+		if err := conn.SetReadDeadline(time.Now().Add(cfg.IOTimeout)); err != nil {
+			return err
+		}
+		return dec.Decode(msg)
+	}
+
+	if err := send(&JoinMsg{Name: cfg.Name}); err != nil {
+		return nil, fmt.Errorf("transport: join: %w", err)
+	}
+	var welcome WelcomeMsg
+	if err := recv(&welcome); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("transport: welcome: %w", err)
+	}
+
+	// RNG stream ids match the in-process engine (fl.New) exactly, so a
+	// TCP deployment reproduces the simulator's training bit for bit —
+	// the equivalence test in this package depends on it.
+	net0 := cfg.Model(stats.SplitRNG(cfg.Seed, int64(2_000_000+welcome.ClientID)))
+	params := net0.Params()
+	if nn.ParamCount(params) != welcome.Dim {
+		return nil, protocolErrorf("server model dimension %d, local model has %d", welcome.Dim, nn.ParamCount(params))
+	}
+	nn.SetFlat(params, welcome.Init)
+	optim := cfg.Optimizer(params)
+	batcher := data.NewBatcher(cfg.Data, cfg.Indices, cfg.BatchSize, stats.SplitRNG(cfg.Seed, int64(3_000_000+welcome.ClientID)))
+	manager := cfg.Manager(welcome.ClientID, welcome.Dim)
+	codec, hasCodec := manager.(fl.CompactCodec)
+
+	res := &ClientResult{ClientID: welcome.ClientID, Rounds: welcome.Rounds}
+	x := make([]float64, welcome.Dim)
+
+	for round := 0; round < welcome.Rounds; round++ {
+		for i := 0; i < cfg.LocalIters; i++ {
+			xb, yb := batcher.Next()
+			nn.ZeroGrads(params)
+			net0.LossGrad(xb, yb)
+			optim.Step()
+			x = nn.FlattenParams(params, x)
+			manager.PostIterate(round, x)
+			nn.SetFlat(params, x)
+		}
+
+		contrib, weight, up := manager.PrepareUpload(round, x)
+		payload := contrib
+		if hasCodec {
+			payload = codec.CompactUpload(round, contrib)
+		}
+		if err := send(&UpdateMsg{Round: round, Payload: payload, Weight: weight}); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("transport: round %d push: %w", round, err)
+		}
+
+		var g GlobalMsg
+		if err := recv(&g); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("transport: round %d pull: %w", round, err)
+		}
+		if g.Round != round {
+			return nil, protocolErrorf("server sent round %d during round %d", g.Round, round)
+		}
+		dense := g.Payload
+		if hasCodec {
+			dense = codec.ExpandDownload(round, g.Payload)
+		}
+		down := manager.ApplyDownload(round, x, dense)
+		nn.SetFlat(params, x)
+
+		res.UpBytes += up
+		res.DownBytes += down
+	}
+
+	res.WireRead, res.WireWritten = conn.Counts()
+	res.FinalModel = append([]float64(nil), x...)
+	return res, nil
+}

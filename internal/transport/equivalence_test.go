@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"apf/internal/core"
+	"apf/internal/data"
+	"apf/internal/fl"
+	"apf/internal/nn"
+	"apf/internal/stats"
+)
+
+// TestTCPMatchesSimulatorBitExact is the transport's strongest correctness
+// check: the same federated configuration run through the in-process
+// simulator (package fl) and through a real TCP cluster must produce the
+// bit-identical global model — every RNG stream, aggregation order, and
+// APF decision lines up.
+func TestTCPMatchesSimulatorBitExact(t *testing.T) {
+	const (
+		seed    = 61
+		clients = 3
+		rounds  = 12
+		iters   = 3
+		batch   = 10
+	)
+	ds := data.SynthImages(data.ImageConfig{
+		Classes: 3, Channels: 1, Size: 6, Samples: 90, NoiseStd: 0.5, Seed: seed,
+	})
+	rng := stats.SplitRNG(seed, 50)
+	parts := data.PartitionIID(rng, ds.Len(), clients)
+
+	var tcpManagers []*core.Manager
+	apfFactory := func(capture bool) fl.ManagerFactory {
+		return func(clientID, dim int) fl.SyncManager {
+			m := core.NewManager(core.Config{
+				Dim:              dim,
+				CheckEveryRounds: 2,
+				Threshold:        0.3,
+				EMAAlpha:         0.85,
+				Seed:             seed,
+			})
+			if capture {
+				tcpManagers = append(tcpManagers, m)
+			}
+			return m
+		}
+	}
+
+	// Arm 1: the in-process simulator.
+	engine := fl.New(fl.Config{
+		Rounds:     rounds,
+		LocalIters: iters,
+		BatchSize:  batch,
+		Seed:       seed,
+	}, tinyModel, tinySGD, apfFactory(false), ds, parts, nil)
+	engine.Run()
+	simGlobal := engine.Global()
+
+	// Arm 2: a real TCP cluster with the identical configuration. The
+	// server starts from the same canonical init the engine derives.
+	initNet := tinyModel(stats.SplitRNG(seed, 1_000_000))
+	init := nn.FlattenParams(initNet.Params(), nil)
+	srv, err := NewServer(ServerConfig{
+		Addr:       "127.0.0.1:0",
+		NumClients: clients,
+		Rounds:     rounds,
+		Init:       init,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	serverErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(ctx)
+		serverErr <- err
+	}()
+
+	// Dial sequentially (with a registration head start per client) so
+	// the accept order — and therefore each client's server-assigned id —
+	// matches the shard it trains, exactly as in the simulator.
+	results := make([]*ClientResult, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunClient(ctx, ClientConfig{
+				Addr:       srv.Addr().String(),
+				Name:       "eq",
+				Model:      tinyModel,
+				Optimizer:  tinySGD,
+				Manager:    apfFactory(true),
+				Data:       ds,
+				Indices:    parts[i],
+				LocalIters: iters,
+				BatchSize:  batch,
+				Seed:       seed,
+			})
+		}(i)
+		time.Sleep(100 * time.Millisecond)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+
+	// The TCP client model must match the simulator's global. Positions
+	// frozen at some point differ by bookkeeping noise only: clients pin
+	// them to the exact reference value, while the simulator's *dense*
+	// global carries Σ(wᵢ·ref) floating-point noise there — noise that,
+	// by design, nothing ever reads (ApplyDownload restores the
+	// reference). So every position must agree within an ulp-scale
+	// tolerance, and the vast majority must agree bit for bit.
+	if len(tcpManagers) != clients {
+		t.Fatalf("captured %d managers", len(tcpManagers))
+	}
+	exact := 0
+	for j := range simGlobal {
+		got := results[0].FinalModel[j]
+		want := simGlobal[j]
+		if got == want {
+			exact++
+			continue
+		}
+		if diff := math.Abs(got - want); diff > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("TCP model diverged from simulator at scalar %d: %v vs %v", j, got, want)
+		}
+	}
+	if float64(exact) < 0.9*float64(len(simGlobal)) {
+		t.Fatalf("only %d/%d scalars bit-exact — more than bookkeeping noise differs", exact, len(simGlobal))
+	}
+	// And every TCP client ends with the identical model.
+	for c := 1; c < clients; c++ {
+		for j := range results[0].FinalModel {
+			if results[c].FinalModel[j] != results[0].FinalModel[j] {
+				t.Fatalf("TCP clients diverged at scalar %d", j)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// dialRaw opens a raw gob session to the server for protocol-violation
+// tests.
+func dialRaw(t *testing.T, addr string) (net.Conn, *gob.Encoder, *gob.Decoder) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, gob.NewEncoder(conn), gob.NewDecoder(conn)
+}
+
+func startServer(t *testing.T, clients, rounds int) *Server {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Addr:       "127.0.0.1:0",
+		NumClients: clients,
+		Rounds:     rounds,
+		Init:       []float64{1, 2, 3},
+		IOTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestServerSurvivesClientCrashMidRound(t *testing.T) {
+	srv := startServer(t, 1, 3)
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(context.Background())
+		done <- err
+	}()
+
+	conn, enc, dec := dialRaw(t, srv.Addr().String())
+	if err := enc.Encode(&JoinMsg{Name: "crasher"}); err != nil {
+		t.Fatal(err)
+	}
+	var w WelcomeMsg
+	if err := dec.Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	// Complete round 0 then vanish.
+	if err := enc.Encode(&UpdateMsg{Round: 0, Payload: []float64{1, 2, 3}, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var g GlobalMsg
+	if err := dec.Decode(&g); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("server returned nil error after client crash")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server hung after client crash")
+	}
+}
+
+func TestServerRejectsWrongRound(t *testing.T) {
+	srv := startServer(t, 1, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(context.Background())
+		done <- err
+	}()
+
+	conn, enc, dec := dialRaw(t, srv.Addr().String())
+	defer conn.Close()
+	if err := enc.Encode(&JoinMsg{Name: "skewed"}); err != nil {
+		t.Fatal(err)
+	}
+	var w WelcomeMsg
+	if err := dec.Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	// Claim to be at round 7 during round 0.
+	if err := enc.Encode(&UpdateMsg{Round: 7, Payload: []float64{1, 2, 3}, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, errProtocol) {
+			t.Errorf("expected protocol violation, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server hung on wrong-round update")
+	}
+}
+
+func TestServerRejectsMismatchedPayloadLengths(t *testing.T) {
+	srv := startServer(t, 2, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(context.Background())
+		done <- err
+	}()
+
+	type session struct {
+		conn net.Conn
+		enc  *gob.Encoder
+		dec  *gob.Decoder
+	}
+	var sessions []session
+	for i := 0; i < 2; i++ {
+		conn, enc, dec := dialRaw(t, srv.Addr().String())
+		defer conn.Close()
+		if err := enc.Encode(&JoinMsg{Name: "c"}); err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, session{conn, enc, dec})
+	}
+	for i := range sessions {
+		var w WelcomeMsg
+		if err := sessions[i].dec.Decode(&w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Client 0 sends 3 scalars, client 1 only 2.
+	if err := sessions[0].enc.Encode(&UpdateMsg{Round: 0, Payload: []float64{1, 2, 3}, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sessions[1].enc.Encode(&UpdateMsg{Round: 0, Payload: []float64{1, 2}, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, errProtocol) {
+			t.Errorf("expected protocol violation, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server hung on mismatched payloads")
+	}
+}
+
+func TestServerRegistrationTimesOut(t *testing.T) {
+	srv := startServer(t, 1, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(context.Background())
+		done <- err
+	}()
+	// Connect but never send Join: the server's read deadline must fire.
+	conn, err := net.DialTimeout("tcp", srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("server accepted a silent registration")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server hung waiting for Join past its IO timeout")
+	}
+}
+
+func TestServerContextCancelDuringRegistration(t *testing.T) {
+	srv := startServer(t, 2, 1) // second client never arrives
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(ctx)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("expected context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not honour cancellation")
+	}
+}

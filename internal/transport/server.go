@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ServerConfig parameterizes an aggregation server.
+type ServerConfig struct {
+	// Addr is the listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// NumClients is the cluster size; the server waits for exactly this
+	// many registrations before round 0.
+	NumClients int
+	// Rounds is the number of aggregation rounds to run.
+	Rounds int
+	// Init is the initial global model distributed to every client.
+	Init []float64
+	// IOTimeout bounds each message exchange (default 30s).
+	IOTimeout time.Duration
+}
+
+// Server is the central FL aggregation endpoint.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu        sync.Mutex
+	bytesRead int64
+	bytesSent int64
+}
+
+// NewServer binds the listen socket. Call Run to serve.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.NumClients <= 0 || cfg.Rounds <= 0 || len(cfg.Init) == 0 {
+		return nil, fmt.Errorf("transport: invalid server config clients=%d rounds=%d dim=%d",
+			cfg.NumClients, cfg.Rounds, len(cfg.Init))
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = defaultIOTimeout
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addr, err)
+	}
+	return &Server{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// WireBytes returns the total bytes received from and sent to clients.
+func (s *Server) WireBytes() (read, sent int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesRead, s.bytesSent
+}
+
+// peer is the server-side state of one client connection.
+type peer struct {
+	conn *countingConn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	name string
+}
+
+// Run accepts the configured number of clients, drives all rounds, and
+// returns the final global model. It honours ctx cancellation by tearing
+// down the listener and all connections.
+func (s *Server) Run(ctx context.Context) ([]float64, error) {
+	defer closeQuietly(s.ln)
+
+	// Tear everything down if the context is cancelled.
+	var peersMu sync.Mutex
+	var peers []*peer
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeQuietly(s.ln)
+			peersMu.Lock()
+			for _, p := range peers {
+				closeQuietly(p.conn)
+			}
+			peersMu.Unlock()
+		case <-stop:
+		}
+	}()
+
+	// Registration barrier.
+	for len(peers) < s.cfg.NumClients {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
+		cc := &countingConn{Conn: conn}
+		p := &peer{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}
+		var join JoinMsg
+		if err := s.recv(p, &join); err != nil {
+			closeQuietly(cc)
+			return nil, fmt.Errorf("transport: registration: %w", err)
+		}
+		p.name = join.Name
+		peersMu.Lock()
+		peers = append(peers, p)
+		peersMu.Unlock()
+	}
+	defer func() {
+		for _, p := range peers {
+			closeQuietly(p.conn)
+		}
+	}()
+
+	for id, p := range peers {
+		w := WelcomeMsg{
+			ClientID:   id,
+			NumClients: s.cfg.NumClients,
+			Rounds:     s.cfg.Rounds,
+			Dim:        len(s.cfg.Init),
+			Init:       s.cfg.Init,
+		}
+		if err := s.send(p, &w); err != nil {
+			return nil, fmt.Errorf("transport: welcome client %d: %w", id, err)
+		}
+	}
+
+	global := append([]float64(nil), s.cfg.Init...)
+	for round := 0; round < s.cfg.Rounds; round++ {
+		updates := make([]UpdateMsg, len(peers))
+		var wg sync.WaitGroup
+		errs := make([]error, len(peers))
+		for i, p := range peers {
+			wg.Add(1)
+			go func(i int, p *peer) {
+				defer wg.Done()
+				errs[i] = s.recv(p, &updates[i])
+			}(i, p)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				return nil, fmt.Errorf("transport: round %d recv from client %d (%s): %w", round, i, peers[i].name, err)
+			}
+			if updates[i].Round != round {
+				return nil, protocolErrorf("client %d sent round %d during round %d", i, updates[i].Round, round)
+			}
+		}
+
+		agg, err := aggregate(updates)
+		if err != nil {
+			return nil, fmt.Errorf("transport: round %d: %w", round, err)
+		}
+		msg := GlobalMsg{Round: round, Payload: agg}
+		for i, p := range peers {
+			if err := s.send(p, &msg); err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				return nil, fmt.Errorf("transport: round %d send to client %d: %w", round, i, err)
+			}
+		}
+		// A full-length aggregate is the new dense global; compact
+		// (mask-elided) aggregates only update the transmitted positions
+		// on the clients, so the server's dense copy is informational.
+		if len(agg) == len(global) {
+			global = agg
+		}
+	}
+
+	s.mu.Lock()
+	for _, p := range peers {
+		r, w := p.conn.Counts()
+		s.bytesRead += r
+		s.bytesSent += w
+	}
+	s.mu.Unlock()
+	return global, nil
+}
+
+// aggregate computes the weighted mean of equal-length payloads.
+func aggregate(updates []UpdateMsg) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, protocolErrorf("no updates")
+	}
+	n := len(updates[0].Payload)
+	totalW := 0.0
+	for i, u := range updates {
+		if len(u.Payload) != n {
+			return nil, protocolErrorf("payload length mismatch: client 0 sent %d, client %d sent %d", n, i, len(u.Payload))
+		}
+		if u.Weight < 0 {
+			return nil, protocolErrorf("negative weight %v from client %d", u.Weight, i)
+		}
+		totalW += u.Weight
+	}
+	if totalW == 0 {
+		return nil, protocolErrorf("all contributions withheld (total weight 0)")
+	}
+	out := make([]float64, n)
+	for _, u := range updates {
+		if u.Weight == 0 {
+			continue
+		}
+		w := u.Weight / totalW
+		for j, v := range u.Payload {
+			out[j] += w * v
+		}
+	}
+	return out, nil
+}
+
+// send encodes one message with a write deadline.
+func (s *Server) send(p *peer, msg any) error {
+	if err := p.conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
+		return err
+	}
+	return p.enc.Encode(msg)
+}
+
+// recv decodes one message with a read deadline.
+func (s *Server) recv(p *peer, msg any) error {
+	if err := p.conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
+		return err
+	}
+	return p.dec.Decode(msg)
+}

@@ -1,0 +1,101 @@
+// Package transport runs the federated protocol over a real network: a TCP
+// aggregation server and trainer clients exchanging gob-encoded messages.
+// It complements the in-process simulator (package fl) by demonstrating the
+// same SyncManager schemes — including APF's compact, mask-elided payloads
+// (fl.CompactCodec) — end to end over an actual transport, with measured
+// wire bytes.
+//
+// Protocol, per connection:
+//
+//	client → server  JoinMsg
+//	server → client  WelcomeMsg   (after all clients joined)
+//	repeat Rounds times:
+//	  client → server  UpdateMsg
+//	  server → client  GlobalMsg  (after all updates arrived)
+//
+// The server averages compact payloads positionally, which is sound because
+// deterministic managers produce identical freezing masks on every client.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Default I/O deadline applied to every message exchange.
+const defaultIOTimeout = 30 * time.Second
+
+// JoinMsg registers a client with the server.
+type JoinMsg struct {
+	Name string
+}
+
+// WelcomeMsg tells a client its identity and the run geometry.
+type WelcomeMsg struct {
+	ClientID   int
+	NumClients int
+	Rounds     int
+	Dim        int
+	Init       []float64
+}
+
+// UpdateMsg carries one client's per-round push.
+type UpdateMsg struct {
+	Round   int
+	Payload []float64
+	Weight  float64
+}
+
+// GlobalMsg carries the aggregated model back to the clients.
+type GlobalMsg struct {
+	Round   int
+	Payload []float64
+}
+
+// countingConn wraps a connection and counts bytes in both directions.
+type countingConn struct {
+	net.Conn
+	mu      sync.Mutex
+	read    int64
+	written int64
+}
+
+// Read implements io.Reader with byte counting.
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.read += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write implements io.Writer with byte counting.
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.written += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Counts returns the bytes read and written so far.
+func (c *countingConn) Counts() (read, written int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.read, c.written
+}
+
+// errProtocol wraps protocol violations distinguishable from I/O errors.
+var errProtocol = errors.New("transport: protocol violation")
+
+// protocolErrorf builds an error matching errProtocol under errors.Is.
+func protocolErrorf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errProtocol, fmt.Sprintf(format, args...))
+}
+
+// closeQuietly closes c, ignoring errors (shutdown paths).
+func closeQuietly(c io.Closer) { _ = c.Close() }
