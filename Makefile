@@ -1,0 +1,28 @@
+# Development entry points. `make ci` is what the CI workflow runs.
+
+GO ?= go
+
+.PHONY: tier1 vet race bench hotpath ci
+
+# Tier-1 verify (see ROADMAP.md): must stay green on every commit.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The engine pool, sharded aggregation, and transport goroutines are the
+# concurrency surface; run them under the race detector.
+race:
+	$(GO) test -race ./internal/fl/ ./internal/transport/
+
+# Quick look at the round-critical benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkManagerRound$$|BenchmarkAggregate$$' -benchmem .
+
+# Regenerate the tracked hot-path perf report.
+hotpath:
+	$(GO) run ./cmd/apfbench -hotpath BENCH_hotpath.json
+
+ci: tier1 vet race hotpath

@@ -13,12 +13,15 @@
 package apf_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"apf"
 	"apf/internal/core"
 	"apf/internal/experiments"
+	"apf/internal/fl"
+	"apf/internal/hotbench"
 	"apf/internal/nn"
 	"apf/internal/perturb"
 	"apf/internal/quantize"
@@ -137,6 +140,53 @@ func BenchmarkEMATrackerObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Observe(delta)
+	}
+}
+
+// ---- Hot-path benchmarks (tracked in BENCH_hotpath.json) ----
+
+// BenchmarkManagerRound measures one full steady-state client round
+// (rollback + upload + compact codec + download/check) over the
+// Dim × frozen-ratio grid. `apfbench -hotpath` records the same cases.
+func BenchmarkManagerRound(b *testing.B) {
+	for _, c := range hotbench.Cases() {
+		b.Run(fmt.Sprintf("dim=%d/frozen=%.2f", c.Dim, c.Frozen), func(b *testing.B) {
+			m, x, start := hotbench.NewManagerAt(c.Dim, c.Frozen)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hotbench.Round(m, start+i, x)
+			}
+		})
+	}
+}
+
+// BenchmarkAggregate measures the server-side weighted aggregation over
+// 10 client contributions: the sharded worker-pool reduction the engine
+// uses, with the serial client-major loop it replaced as the reference.
+func BenchmarkAggregate(b *testing.B) {
+	for _, dim := range []int{10_000, 1_000_000} {
+		contribs, weights := hotbench.NewAggregateInput(dim)
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			agg := fl.NewAggregator(0)
+			defer agg.Close()
+			dst := make([]float64, dim)
+			if !agg.WeightedMean(dst, contribs, weights) {
+				b.Fatal("nothing aggregated")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agg.WeightedMean(dst, contribs, weights)
+			}
+		})
+		b.Run(fmt.Sprintf("dim=%d/serial", dim), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hotbench.SerialAggregate(dim, contribs, weights)
+			}
+		})
 	}
 }
 

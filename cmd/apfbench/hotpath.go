@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"apf/internal/fl"
+	"apf/internal/hotbench"
+)
+
+// Pre-optimization hot-path numbers, measured on the reference machine
+// (Intel Xeon @ 2.70GHz, linux/amd64) with the same hotbench fixtures
+// before the word-level mask iteration, scratch buffers, and sharded
+// aggregation landed. They anchor the speedup column of
+// BENCH_hotpath.json; absolute current numbers vary with hardware, the
+// ratio is the tracked quantity.
+var baselineRound = map[string]float64{
+	"dim=10000/frozen=0.00":   169_710,
+	"dim=10000/frozen=0.50":   212_756,
+	"dim=10000/frozen=0.95":   214_130,
+	"dim=1000000/frozen=0.00": 18_410_770,
+	"dim=1000000/frozen=0.50": 22_382_860,
+	"dim=1000000/frozen=0.95": 22_673_637,
+}
+
+var baselineAggregate = map[string]float64{
+	"dim=10000":   63_162,
+	"dim=1000000": 12_429_250,
+}
+
+// hotpathEntry is one benchmark case in BENCH_hotpath.json.
+type hotpathEntry struct {
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	BaselineNsOp   float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	BaselineAllocs int64   `json:"baseline_allocs_per_op"`
+}
+
+// hotpathReport is the BENCH_hotpath.json document.
+type hotpathReport struct {
+	GoVersion    string         `json:"go_version"`
+	GOMAXPROCS   int            `json:"gomaxprocs"`
+	BaselineNote string         `json:"baseline_note"`
+	ManagerRound []hotpathEntry `json:"manager_round"`
+	Aggregate    []hotpathEntry `json:"aggregate"`
+}
+
+// runHotpath measures the hotbench grid with testing.Benchmark and writes
+// the report to path.
+func runHotpath(path string) error {
+	// Fail fast on an unwritable path before spending minutes measuring.
+	probe, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+
+	rep := hotpathReport{
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		BaselineNote: "baseline_ns_per_op measured pre-optimization on Intel Xeon @ 2.70GHz, linux/amd64; compare speedups, not absolute times, across machines",
+	}
+
+	for _, c := range hotbench.Cases() {
+		name := fmt.Sprintf("dim=%d/frozen=%.2f", c.Dim, c.Frozen)
+		fmt.Fprintf(os.Stderr, "hotpath: ManagerRound/%s\n", name)
+		m, x, start := hotbench.NewManagerAt(c.Dim, c.Frozen)
+		hotbench.Round(m, start, x) // warm scratch buffers
+		offset := 1
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hotbench.Round(m, start+offset+i, x)
+			}
+			offset += b.N
+		})
+		e := hotpathEntry{
+			Name:           name,
+			NsPerOp:        float64(r.NsPerOp()),
+			AllocsPerOp:    r.AllocsPerOp(),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			BaselineAllocs: 3,
+		}
+		if base, ok := baselineRound[name]; ok {
+			e.BaselineNsOp = base
+			e.Speedup = base / e.NsPerOp
+		}
+		rep.ManagerRound = append(rep.ManagerRound, e)
+	}
+
+	for _, dim := range []int{10_000, 1_000_000} {
+		name := fmt.Sprintf("dim=%d", dim)
+		fmt.Fprintf(os.Stderr, "hotpath: Aggregate/%s\n", name)
+		contribs, weights := hotbench.NewAggregateInput(dim)
+		agg := fl.NewAggregator(0)
+		dst := make([]float64, dim)
+		agg.WeightedMean(dst, contribs, weights)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				agg.WeightedMean(dst, contribs, weights)
+			}
+		})
+		agg.Close()
+		e := hotpathEntry{
+			Name:           name,
+			NsPerOp:        float64(r.NsPerOp()),
+			AllocsPerOp:    r.AllocsPerOp(),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			BaselineAllocs: 1,
+		}
+		if base, ok := baselineAggregate[name]; ok {
+			e.BaselineNsOp = base
+			e.Speedup = base / e.NsPerOp
+		}
+		rep.Aggregate = append(rep.Aggregate, e)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hotpath: wrote %s\n", path)
+	return nil
+}

@@ -6,6 +6,7 @@
 //	apfbench -exp fig11                 # quick scale (seconds)
 //	apfbench -exp table2 -scale full    # paper-like scale (hours on CPU)
 //	apfbench -exp all -seed 7
+//	apfbench -hotpath BENCH_hotpath.json  # hot-path perf report
 //
 // Output is a textual report per experiment: markdown tables for the
 // paper's tables and per-series digests (+ optional TSV dumps via -tsv)
@@ -34,17 +35,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("apfbench", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "", "experiment id (see -list), or 'all'")
-		scale = fs.String("scale", "quick", "experiment scale: quick | full")
-		seed  = fs.Int64("seed", 1, "base RNG seed")
-		list  = fs.Bool("list", false, "list experiment ids and exit")
-		tsv   = fs.String("tsv", "", "directory to dump figure series as TSV files")
-		plot  = fs.Bool("plot", false, "render figures as terminal plots")
+		exp     = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		scale   = fs.String("scale", "quick", "experiment scale: quick | full")
+		seed    = fs.Int64("seed", 1, "base RNG seed")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		tsv     = fs.String("tsv", "", "directory to dump figure series as TSV files")
+		plot    = fs.Bool("plot", false, "render figures as terminal plots")
+		hotpath = fs.String("hotpath", "", "measure the APF hot-path benchmarks and write the JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *hotpath != "" {
+		return runHotpath(*hotpath)
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-8s %s\n", id, experiments.Title(id))

@@ -133,11 +133,31 @@ type Manager struct {
 
 	mask      *bitset.BitSet // frozen scalars for maskRound
 	maskRound int
+	// maskCount is the set-bit count of mask (cached with each rebuild).
+	maskCount int
+	// maskValidUntil is the last round (inclusive) for which the current
+	// mask words stay correct: freezing deadlines only change at stability
+	// checks, so between checks the mask is static until the earliest
+	// frozen scalar's deadline expires. Rounds inside the window skip the
+	// O(Dim) rebuild entirely.
+	maskValidUntil int
 
 	threshold   float64
 	checkCount  int
 	initialized bool
 	initRound   int
+	// lastRound is the most recent round observed by ApplyDownload; lazy
+	// mask refreshes (FrozenRatio/MaskWords after a check reset) derive
+	// their round from it rather than guessing from the check count.
+	lastRound int
+
+	// Hot-path scratch, lazily sized to Dim and reused every round so
+	// steady-state rounds allocate nothing. Each buffer backs the return
+	// value of exactly one method; see the method contracts.
+	contribBuf []float64 // PrepareUpload
+	deltaBuf   []float64 // stabilityCheck
+	compactBuf []float64 // CompactUpload
+	denseBuf   []float64 // ExpandDownload
 }
 
 // NewManager constructs an APF manager.
@@ -150,17 +170,19 @@ func NewManager(cfg Config) *Manager {
 		panic(fmt.Sprintf("core: invalid check interval %d", cfg.CheckEveryRounds))
 	}
 	m := &Manager{
-		cfg:         cfg,
-		ref:         make([]float64, cfg.Dim),
-		lastCheck:   make([]float64, cfg.Dim),
-		tracker:     perturb.NewEMATracker(cfg.Dim, cfg.EMAAlpha),
-		period:      make([]float64, cfg.Dim),
-		unfreezeAt:  make([]int, cfg.Dim),
-		randomUntil: make([]int, cfg.Dim),
-		mask:        bitset.New(cfg.Dim),
-		maskRound:   -1,
-		threshold:   cfg.Threshold,
-		initRound:   -1,
+		cfg:            cfg,
+		ref:            make([]float64, cfg.Dim),
+		lastCheck:      make([]float64, cfg.Dim),
+		tracker:        perturb.NewEMATracker(cfg.Dim, cfg.EMAAlpha),
+		period:         make([]float64, cfg.Dim),
+		unfreezeAt:     make([]int, cfg.Dim),
+		randomUntil:    make([]int, cfg.Dim),
+		mask:           bitset.New(cfg.Dim),
+		maskRound:      -1,
+		maskValidUntil: -1,
+		threshold:      cfg.Threshold,
+		initRound:      -1,
+		lastRound:      -1,
 	}
 	return m
 }
@@ -170,18 +192,37 @@ func (m *Manager) frozenAt(j, round int) bool {
 	return round < m.unfreezeAt[j] || round < m.randomUntil[j]
 }
 
-// refreshMask rebuilds the freezing bitmap for round.
+// refreshMask makes the freezing bitmap current for round. Scalars only
+// gain freezing deadlines at stability checks (which invalidate the mask
+// outright), so a mask built for an earlier round stays correct until the
+// first frozen deadline expires; advancing inside that window is O(1).
 func (m *Manager) refreshMask(round int) {
 	if m.maskRound == round {
 		return
 	}
-	m.mask.Reset()
-	for j := 0; j < m.cfg.Dim; j++ {
-		if m.frozenAt(j, round) {
-			m.mask.Set(j)
-		}
+	if m.maskRound >= 0 && round > m.maskRound && round <= m.maskValidUntil {
+		m.maskRound = round
+		return
 	}
+	count := 0
+	validUntil := math.MaxInt
+	m.mask.Fill(func(j int) bool {
+		u, r := m.unfreezeAt[j], m.randomUntil[j]
+		if round < u || round < r {
+			count++
+			if u < r {
+				u = r
+			}
+			if u < validUntil {
+				validUntil = u // scalar j unfreezes at round u
+			}
+			return true
+		}
+		return false
+	})
 	m.maskRound = round
+	m.maskCount = count
+	m.maskValidUntil = validUntil - 1
 }
 
 // PostIterate rolls frozen scalars back to their last synchronized values,
@@ -190,30 +231,30 @@ func (m *Manager) refreshMask(round int) {
 func (m *Manager) PostIterate(round int, x []float64) {
 	m.checkDim(x)
 	m.refreshMask(round)
-	if m.mask.Count() == 0 {
+	if m.maskCount == 0 {
 		return
 	}
-	for j := 0; j < m.cfg.Dim; j++ {
-		if m.mask.Get(j) {
-			x[j] = m.ref[j]
-		}
-	}
+	m.mask.ApplyMasked(x, m.ref)
 }
 
 // PrepareUpload packages the contribution for server aggregation. Frozen
 // entries carry their (cluster-wide identical) frozen values and cost no
 // bandwidth; only the unfrozen scalars are counted as pushed bytes.
+//
+// The returned slice is a manager-owned scratch buffer, overwritten by the
+// next PrepareUpload call; it never aliases x.
 func (m *Manager) PrepareUpload(round int, x []float64) ([]float64, float64, int64) {
 	m.checkDim(x)
 	m.refreshMask(round)
-	contrib := append([]float64(nil), x...)
-	for j := 0; j < m.cfg.Dim; j++ {
-		if m.mask.Get(j) {
-			contrib[j] = m.ref[j]
-		}
+	if m.contribBuf == nil {
+		m.contribBuf = make([]float64, m.cfg.Dim)
 	}
-	unfrozen := m.cfg.Dim - m.mask.Count()
-	return contrib, 1, int64(unfrozen) * int64(m.cfg.BytesPerValue)
+	m.mask.ApplyUnmasked(m.contribBuf, x)
+	if m.maskCount > 0 {
+		m.mask.ApplyMasked(m.contribBuf, m.ref)
+	}
+	unfrozen := m.cfg.Dim - m.maskCount
+	return m.contribBuf, 1, int64(unfrozen) * int64(m.cfg.BytesPerValue)
 }
 
 // ApplyDownload merges the aggregated unfrozen scalars into the local
@@ -223,16 +264,13 @@ func (m *Manager) ApplyDownload(round int, x, global []float64) int64 {
 	m.checkDim(x)
 	m.checkDim(global)
 	m.refreshMask(round)
-	unfrozen := 0
-	for j := 0; j < m.cfg.Dim; j++ {
-		if !m.mask.Get(j) {
-			x[j] = global[j]
-			m.ref[j] = global[j]
-			unfrozen++
-		} else {
-			x[j] = m.ref[j]
-		}
+	m.lastRound = round
+	m.mask.ApplyUnmasked(x, global)
+	m.mask.ApplyUnmasked(m.ref, global)
+	if m.maskCount > 0 {
+		m.mask.ApplyMasked(x, m.ref)
 	}
+	unfrozen := m.cfg.Dim - m.maskCount
 	if !m.initialized {
 		// Seed the check baseline from *synchronized* state: every
 		// client sees the identical post-aggregation vector here, which
@@ -258,18 +296,20 @@ func (m *Manager) ApplyDownload(round int, x, global []float64) int64 {
 // and the random-freezing extensions add their masks on top.
 func (m *Manager) stabilityCheck(round int, x []float64) {
 	m.checkCount++
-	delta := make([]float64, m.cfg.Dim)
+	// The caller (ApplyDownload) refreshed the mask for this round, so the
+	// bitmap is exactly the frozen-now set; every loop below iterates it
+	// word-level instead of re-deriving per-scalar freezing.
+	if m.deltaBuf == nil {
+		m.deltaBuf = make([]float64, m.cfg.Dim)
+	}
+	delta := m.deltaBuf
 	for j := range delta {
 		delta[j] = x[j] - m.lastCheck[j]
 	}
-	frozenNow := func(j int) bool { return m.frozenAt(j, round) }
-	m.tracker.ObserveMasked(delta, frozenNow)
+	m.tracker.ObserveUnfrozen(delta, m.mask)
 
 	step := float64(m.cfg.CheckEveryRounds)
-	for j := 0; j < m.cfg.Dim; j++ {
-		if frozenNow(j) {
-			continue
-		}
+	m.mask.IterateClear(func(j int) {
 		p := m.tracker.Perturbation(j)
 		stable := p < m.threshold
 		m.period[j] = m.cfg.Policy.NextPeriod(m.period[j], stable, step)
@@ -279,16 +319,20 @@ func (m *Manager) stabilityCheck(round int, x []float64) {
 		} else {
 			m.unfreezeAt[j] = 0
 		}
-	}
+	})
 
 	m.applyRandomFreezing(round)
 	copy(m.lastCheck, x)
 
-	// Threshold decay (§6.1): halve once most parameters are frozen.
+	// Threshold decay (§6.1): halve once most parameters are frozen by
+	// *stability*. Randomly frozen scalars (APF#/APF++) say nothing about
+	// stability — under APF++ the freezing probability approaches 1, so
+	// counting them would fire the decay on nearly every check and drive
+	// the threshold to zero regardless of actual parameter maturity.
 	if m.cfg.ThresholdDecayFrac > 0 {
 		frozen := 0
 		for j := 0; j < m.cfg.Dim; j++ {
-			if m.frozenAt(j, round+1) {
+			if round+1 < m.unfreezeAt[j] {
 				frozen++
 			}
 		}
@@ -323,7 +367,7 @@ func (m *Manager) applyRandomFreezing(round int) {
 	}
 	rng := stats.SplitRNG(m.cfg.Seed, int64(m.checkCount))
 	for j := 0; j < m.cfg.Dim; j++ {
-		if m.frozenAt(j, round+1) {
+		if round+1 < m.unfreezeAt[j] {
 			continue // already frozen by stability or a previous draw
 		}
 		if rng.Float64() >= prob {
@@ -341,38 +385,36 @@ func (m *Manager) applyRandomFreezing(round int) {
 // CompactUpload extracts the unfrozen scalars of a dense contribution, in
 // index order — the compact tensor of Alg. 1 line 4 (masked_select) that
 // actually crosses the wire.
+//
+// The returned slice is a manager-owned scratch buffer, overwritten by the
+// next CompactUpload call.
 func (m *Manager) CompactUpload(round int, contrib []float64) []float64 {
 	m.checkDim(contrib)
 	m.refreshMask(round)
-	out := make([]float64, 0, m.cfg.Dim-m.mask.Count())
-	for j := 0; j < m.cfg.Dim; j++ {
-		if !m.mask.Get(j) {
-			out = append(out, contrib[j])
-		}
+	if cap(m.compactBuf) < m.cfg.Dim {
+		m.compactBuf = make([]float64, 0, m.cfg.Dim)
 	}
-	return out
+	m.compactBuf = m.mask.GatherUnmasked(m.compactBuf[:0], contrib)
+	return m.compactBuf
 }
 
 // ExpandDownload reconstructs the dense global vector from an aggregated
 // compact payload (Alg. 1 line 6, masked_fill), filling frozen entries from
 // the local reference values — which are identical on every client.
+//
+// The returned slice is a manager-owned scratch buffer, overwritten by the
+// next ExpandDownload call.
 func (m *Manager) ExpandDownload(round int, compact []float64) []float64 {
 	m.refreshMask(round)
-	unfrozen := m.cfg.Dim - m.mask.Count()
+	unfrozen := m.cfg.Dim - m.maskCount
 	if len(compact) != unfrozen {
 		panic(fmt.Sprintf("core: compact payload length %d, want %d unfrozen scalars", len(compact), unfrozen))
 	}
-	out := make([]float64, m.cfg.Dim)
-	i := 0
-	for j := 0; j < m.cfg.Dim; j++ {
-		if m.mask.Get(j) {
-			out[j] = m.ref[j]
-		} else {
-			out[j] = compact[i]
-			i++
-		}
+	if m.denseBuf == nil {
+		m.denseBuf = make([]float64, m.cfg.Dim)
 	}
-	return out
+	m.mask.ScatterUnmasked(m.denseBuf, compact, m.ref)
+	return m.denseBuf
 }
 
 // FrozenRatio returns the fraction of scalars frozen in the most recently
@@ -385,12 +427,22 @@ func (m *Manager) FrozenRatio() float64 {
 }
 
 // lastKnownRound picks a round for lazy mask refreshes triggered outside
-// the engine's call sequence.
+// the engine's call sequence (FrozenRatio/MaskWords right after a check
+// reset the mask). The mask then in force is the one governing the round
+// after the synchronization ApplyDownload last actually observed — the
+// same mask the §9 server placement ships to its clients. It is derived
+// from that observed round, NOT guessed as checkCount·CheckEveryRounds:
+// the guess undercounts whenever the first check was delayed past
+// initRound (e.g. a client joining late under partial participation) and
+// then reports freezing deadlines that have in fact already expired.
 func (m *Manager) lastKnownRound() int {
 	if m.maskRound >= 0 {
 		return m.maskRound
 	}
-	return m.checkCount * m.cfg.CheckEveryRounds
+	if m.lastRound >= 0 {
+		return m.lastRound + 1
+	}
+	return 0
 }
 
 // MaskWords exposes the freezing bitmap for cross-client consistency

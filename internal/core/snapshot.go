@@ -22,6 +22,9 @@ type State struct {
 	CheckCount  int
 	Initialized bool
 	InitRound   int
+	// LastRound is the most recent round observed by ApplyDownload (-1
+	// before the first download).
+	LastRound int
 }
 
 // Snapshot captures the manager's full protocol state. The configuration
@@ -41,6 +44,7 @@ func (m *Manager) Snapshot() *State {
 		CheckCount:  m.checkCount,
 		Initialized: m.initialized,
 		InitRound:   m.initRound,
+		LastRound:   m.lastRound,
 	}
 }
 
@@ -87,6 +91,10 @@ func Restore(cfg Config, s *State) (*Manager, error) {
 	m.checkCount = s.CheckCount
 	m.initialized = s.Initialized
 	m.initRound = s.InitRound
+	m.lastRound = s.LastRound
+	if !s.Initialized {
+		m.lastRound = -1 // snapshots predating LastRound decode it as 0
+	}
 	m.maskRound = -1
 	return m, nil
 }

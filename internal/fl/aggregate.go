@@ -1,0 +1,122 @@
+package fl
+
+import "fmt"
+
+// Aggregator computes the server-side weighted mean of client contributions
+// by sharding the parameter range across a persistent worker pool. Shards
+// are disjoint and each accumulates its clients in submission order, so
+// every output scalar sees exactly the addition sequence of the serial
+// loop this replaces — the result is bit-identical regardless of worker
+// count or scheduling.
+//
+// An Aggregator is NOT safe for concurrent WeightedMean calls; it reuses
+// internal job state across calls to keep the steady state allocation-free.
+type Aggregator struct {
+	pool    *workerPool
+	ownPool bool
+
+	// Job state for the WeightedMean in flight (published to the workers
+	// via the pool's Do barrier).
+	dst      []float64
+	contribs [][]float64
+	normw    []float64 // weights[k]/totalW, 0 for skipped clients
+	chunk    int
+
+	runFn func(int) // bound once so Do allocates nothing per call
+}
+
+// NewAggregator builds an aggregator over its own pool of the given worker
+// count (<= 0 means GOMAXPROCS). Close must be called to release the pool.
+func NewAggregator(workers int) *Aggregator {
+	return newAggregatorOn(newWorkerPool(workers), true)
+}
+
+func newAggregatorOn(pool *workerPool, own bool) *Aggregator {
+	a := &Aggregator{pool: pool, ownPool: own}
+	a.runFn = a.runChunk
+	return a
+}
+
+// minChunk keeps shards coarse enough that the per-task dispatch cost stays
+// negligible against the arithmetic.
+const minChunk = 4096
+
+// WeightedMean fills dst[j] = Σ_k (weights[k]/ΣW)·contribs[k][j], skipping
+// clients with weight 0 (their contrib may be nil — e.g. inactive clients
+// under partial participation). When the total weight is 0 there is nothing
+// to aggregate: dst is left untouched and false is returned.
+func (a *Aggregator) WeightedMean(dst []float64, contribs [][]float64, weights []float64) bool {
+	if len(contribs) != len(weights) {
+		panic(fmt.Sprintf("fl: %d contributions for %d weights", len(contribs), len(weights)))
+	}
+	totalW := 0.0
+	for k, w := range weights {
+		if w == 0 {
+			continue
+		}
+		if len(contribs[k]) != len(dst) {
+			panic(fmt.Sprintf("fl: contribution %d has length %d, want %d", k, len(contribs[k]), len(dst)))
+		}
+		totalW += w
+	}
+	if totalW <= 0 {
+		return false
+	}
+
+	if cap(a.normw) < len(weights) {
+		a.normw = make([]float64, len(weights))
+	}
+	a.normw = a.normw[:len(weights)]
+	for k, w := range weights {
+		if w == 0 {
+			a.normw[k] = 0
+			continue
+		}
+		a.normw[k] = w / totalW
+	}
+
+	dim := len(dst)
+	chunk := (dim + a.pool.workers*4 - 1) / (a.pool.workers * 4)
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	nChunks := (dim + chunk - 1) / chunk
+
+	a.dst, a.contribs, a.chunk = dst, contribs, chunk
+	if nChunks <= 1 {
+		a.runChunk(0) // too small to be worth the barrier
+	} else {
+		a.pool.Do(nChunks, a.runFn)
+	}
+	a.dst, a.contribs = nil, nil
+	return true
+}
+
+// runChunk reduces one shard [ci·chunk, min(dim, (ci+1)·chunk)).
+func (a *Aggregator) runChunk(ci int) {
+	lo := ci * a.chunk
+	hi := lo + a.chunk
+	if hi > len(a.dst) {
+		hi = len(a.dst)
+	}
+	dst := a.dst[lo:hi]
+	for j := range dst {
+		dst[j] = 0
+	}
+	for k, c := range a.contribs {
+		w := a.normw[k]
+		if w == 0 {
+			continue
+		}
+		for j, v := range c[lo:hi] {
+			dst[j] += w * v
+		}
+	}
+}
+
+// Close releases the aggregator's pool (when it owns one).
+func (a *Aggregator) Close() {
+	if a.ownPool {
+		a.pool.Close()
+	}
+}

@@ -1,0 +1,108 @@
+package fl
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// serialWeightedMean is the client-major loop the sharded Aggregator
+// replaced, kept verbatim as the bit-exactness reference.
+func serialWeightedMean(dst []float64, contribs [][]float64, weights []float64) bool {
+	totalW := 0.0
+	for _, w := range weights {
+		totalW += w
+	}
+	if totalW <= 0 {
+		return false
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for k, c := range contribs {
+		if weights[k] == 0 {
+			continue
+		}
+		w := weights[k] / totalW
+		for j, v := range c {
+			dst[j] += w * v
+		}
+	}
+	return true
+}
+
+// TestWeightedMeanMatchesSerial checks the sharded reduction is bit-exact
+// against the serial loop across dimensions spanning the single-chunk fast
+// path, ragged tails, and many-chunk fan-out, including zero-weight clients
+// with nil contributions (inactive under partial participation). Run under
+// -race this also exercises the pool's publish/retire synchronization over
+// many back-to-back jobs.
+func TestWeightedMeanMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, workers := range []int{1, 3, 8} {
+		a := NewAggregator(workers)
+		for _, dim := range []int{1, 100, minChunk, minChunk + 1, 8*minChunk + 37} {
+			for _, clients := range []int{1, 7} {
+				contribs := make([][]float64, clients)
+				weights := make([]float64, clients)
+				for k := range contribs {
+					if k%3 == 2 {
+						// Inactive client: no contribution this round.
+						contribs[k], weights[k] = nil, 0
+						continue
+					}
+					contribs[k] = make([]float64, dim)
+					for j := range contribs[k] {
+						contribs[k][j] = rng.NormFloat64()
+					}
+					weights[k] = rng.Float64() + 0.1
+				}
+				got := make([]float64, dim)
+				want := make([]float64, dim)
+				if g, w := a.WeightedMean(got, contribs, weights), serialWeightedMean(want, contribs, weights); g != w {
+					t.Fatalf("workers=%d dim=%d clients=%d aggregated=%v, serial says %v", workers, dim, clients, g, w)
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("workers=%d dim=%d clients=%d element %d = %v, want %v (not bit-exact)", workers, dim, clients, j, got[j], want[j])
+					}
+				}
+			}
+		}
+		a.Close()
+	}
+}
+
+// TestWeightedMeanZeroTotalWeightLeavesDst verifies the "nothing to
+// aggregate" contract: dst keeps the previous global untouched.
+func TestWeightedMeanZeroTotalWeightLeavesDst(t *testing.T) {
+	a := NewAggregator(2)
+	defer a.Close()
+	dst := []float64{1, 2, 3}
+	if a.WeightedMean(dst, [][]float64{nil, nil}, []float64{0, 0}) {
+		t.Fatal("WeightedMean reported aggregation with zero total weight")
+	}
+	for j, v := range dst {
+		if v != float64(j+1) {
+			t.Fatalf("dst[%d] mutated to %v", j, v)
+		}
+	}
+}
+
+// TestPoolDoBarrier stresses the pool barrier: every index of every job
+// must run exactly once, with full completion before Do returns, across
+// jobs both wider and narrower than the worker count.
+func TestPoolDoBarrier(t *testing.T) {
+	p := newWorkerPool(4)
+	defer p.Close()
+	for job := 0; job < 200; job++ {
+		n := 1 + job%13
+		hits := make([]int32, n)
+		p.Do(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("job %d index %d ran %d times", job, i, h)
+			}
+		}
+	}
+}

@@ -3,7 +3,6 @@ package fl
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"apf/internal/data"
 	"apf/internal/nn"
@@ -149,6 +148,14 @@ type Engine struct {
 	evalNet *nn.Network
 	global  []float64
 	dim     int
+
+	// Run-scoped worker pool driving both the client phases and the
+	// sharded aggregation, plus reusable aggregation scratch.
+	pool     *workerPool
+	agg      *Aggregator
+	aggBuf   []float64
+	contribs [][]float64
+	weights  []float64
 }
 
 // New assembles an engine. parts[i] lists the training-set indices owned by
@@ -204,6 +211,19 @@ func (e *Engine) Run() *Result {
 	res := &Result{Dim: e.dim, NumClients: len(e.clients)}
 	best := 0.0
 
+	// One pool for the whole run: client phases and aggregation shards
+	// reuse the same persistent workers instead of spawning goroutines
+	// every round.
+	e.pool = newWorkerPool(0)
+	e.agg = newAggregatorOn(e.pool, false)
+	if e.aggBuf == nil {
+		e.aggBuf = make([]float64, e.dim)
+	}
+	defer func() {
+		e.pool.Close()
+		e.pool, e.agg = nil, nil
+	}()
+
 	for round := 0; round < e.cfg.Rounds; round++ {
 		active := e.activeSet(round)
 		e.parallel(func(c *client) {
@@ -214,23 +234,16 @@ func (e *Engine) Run() *Result {
 			}
 		})
 
-		// Server aggregation: weighted mean of the contributions.
-		totalW := 0.0
+		// Server aggregation: weighted mean of the contributions, sharded
+		// over the pool and double-buffered (aggBuf holds the previous
+		// global after the swap, ready to be overwritten next round).
+		e.contribs, e.weights = e.contribs[:0], e.weights[:0]
 		for _, c := range e.clients {
-			totalW += c.weight
+			e.contribs = append(e.contribs, c.contrib)
+			e.weights = append(e.weights, c.weight)
 		}
-		if totalW > 0 {
-			next := make([]float64, e.dim)
-			for _, c := range e.clients {
-				if c.weight == 0 {
-					continue
-				}
-				w := c.weight / totalW
-				for j, v := range c.contrib {
-					next[j] += w * v
-				}
-			}
-			e.global = next
+		if e.agg.WeightedMean(e.aggBuf, e.contribs, e.weights) {
+			e.global, e.aggBuf = e.aggBuf, e.global
 		}
 
 		e.parallel(func(c *client) {
@@ -323,17 +336,9 @@ func (e *Engine) idlePhase(c *client, round int) {
 	c.contrib, c.weight, c.up = nil, 0, 0
 }
 
-// parallel runs fn for every client concurrently and waits.
+// parallel runs fn for every client across the run's worker pool and waits.
 func (e *Engine) parallel(fn func(c *client)) {
-	var wg sync.WaitGroup
-	for _, c := range e.clients {
-		wg.Add(1)
-		go func(c *client) {
-			defer wg.Done()
-			fn(c)
-		}(c)
-	}
-	wg.Wait()
+	e.pool.Do(len(e.clients), func(i int) { fn(e.clients[i]) })
 }
 
 // localPhase runs one client's local iterations and prepares its upload.

@@ -39,7 +39,11 @@ type SyncManager interface {
 	// should fold into the weighted average for this client, the client's
 	// aggregation weight (0 withholds the contribution entirely, as CMFL
 	// does for irrelevant updates), and the bytes pushed on the wire.
-	// The returned slice must not alias x.
+	// The returned slice must not alias x; it may be manager-owned
+	// scratch, valid only until the next PrepareUpload call — callers
+	// that retain it across rounds must copy. (The engine consumes it
+	// before the round's download barrier; the transport encodes it
+	// synchronously.)
 	PrepareUpload(round int, x []float64) (contrib []float64, weight float64, upBytes int64)
 
 	// ApplyDownload merges the aggregated global vector into the local
@@ -59,6 +63,9 @@ type FrozenRatioReporter interface {
 // to put only the actually-transmitted scalars on the wire; the aggregation
 // server averages compact payloads positionally, which is sound because
 // every client's freezing mask is identical.
+// Like PrepareUpload's contribution, both returned slices may be
+// manager-owned scratch, valid only until the next call of the same
+// method.
 type CompactCodec interface {
 	// CompactUpload extracts the transmitted scalars from a dense
 	// contribution for the given round.

@@ -1,0 +1,87 @@
+package fl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool is a fixed set of persistent goroutines executing indexed
+// fan-out jobs. The engine previously spawned two goroutines per client per
+// round; at hundreds of clients and thousands of rounds that is millions of
+// goroutine launches whose stacks and scheduler churn dominate the barrier
+// cost. A pool amortizes the spawn to once per run, and Do itself performs
+// no allocation: the job is published through pre-existing fields and
+// workers pull indices from an atomic cursor.
+//
+// Do is not reentrant: a job function must not call Do on the same pool.
+type workerPool struct {
+	workers int
+	wake    chan struct{}
+	quit    chan struct{}
+
+	// Job state for the Do in flight, published to workers by the wake
+	// sends (channel happens-before) and retired by wg.Wait.
+	fn   func(int)
+	n    int
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// newWorkerPool starts a pool with the given worker count (<= 0 means
+// GOMAXPROCS).
+func newWorkerPool(workers int) *workerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &workerPool{
+		workers: workers,
+		wake:    make(chan struct{}),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.wake:
+			for {
+				i := int(p.next.Add(1)) - 1
+				if i >= p.n {
+					break
+				}
+				p.fn(i)
+			}
+			p.wg.Done()
+		}
+	}
+}
+
+// Do runs fn(i) for every i in [0, n) across the pool and waits for
+// completion. Exactly workers wake signals are sent and each consumed
+// signal is balanced by one wg.Done, so the barrier holds even when a fast
+// worker drains several signals; no job state from one Do can leak into the
+// next because Wait returns only after every signal is consumed.
+func (p *workerPool) Do(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	p.fn, p.n = fn, n
+	p.next.Store(0)
+	p.wg.Add(p.workers)
+	for i := 0; i < p.workers; i++ {
+		p.wake <- struct{}{}
+	}
+	p.wg.Wait()
+	p.fn = nil
+}
+
+// Close terminates the workers. The pool must be idle; Do must not be
+// called afterwards.
+func (p *workerPool) Close() { close(p.quit) }

@@ -1,0 +1,60 @@
+package hotbench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFixtureFrozenRatio verifies the warm-up lands the manager exactly on
+// each case's target frozen ratio before any benchmark round runs.
+func TestFixtureFrozenRatio(t *testing.T) {
+	for _, c := range Cases() {
+		if c.Dim > 100_000 && testing.Short() {
+			continue
+		}
+		m, x, start := NewManagerAt(c.Dim, c.Frozen)
+		want := float64(int(c.Frozen*float64(c.Dim))) / float64(c.Dim)
+		if got := m.FrozenRatio(); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("dim=%d frozen=%v: fixture frozen ratio %v, want %v", c.Dim, c.Frozen, got, want)
+		}
+		// The mask must stay pinned across steady-state rounds.
+		for i := 0; i < 3; i++ {
+			Round(m, start+i, x)
+		}
+		if got := m.FrozenRatio(); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("dim=%d frozen=%v: ratio drifted to %v after steady-state rounds", c.Dim, c.Frozen, got)
+		}
+	}
+}
+
+// TestSteadyStateRoundIsAllocationFree is the tentpole's memory-discipline
+// guarantee: once the manager's scratch buffers are warm, a full client
+// round — rollback, upload, compact codec both ways, download — performs
+// zero heap allocations.
+func TestSteadyStateRoundIsAllocationFree(t *testing.T) {
+	m, x, start := NewManagerAt(10_000, 0.5)
+	round := start
+	Round(m, round, x) // warm the scratch buffers
+	round++
+	avg := testing.AllocsPerRun(200, func() {
+		Round(m, round, x)
+		round++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state round allocates %v times per round, want 0", avg)
+	}
+}
+
+// TestSteadyStateRoundAcrossCheckBoundary confirms rounds that trigger the
+// periodic stability check still work from the benchmark fixture (the check
+// itself may allocate; it runs once every CheckEveryRounds).
+func TestSteadyStateRoundAcrossCheckBoundary(t *testing.T) {
+	m, x, start := NewManagerAt(10_000, 0.95)
+	for i := 0; i < 2*warmupRounds; i++ {
+		Round(m, start+i, x)
+	}
+	want := float64(9_500) / 10_000
+	if got := m.FrozenRatio(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("frozen ratio %v after crossing check boundaries, want %v", m.FrozenRatio(), want)
+	}
+}

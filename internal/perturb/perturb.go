@@ -16,6 +16,8 @@ package perturb
 import (
 	"fmt"
 	"math"
+
+	"apf/internal/bitset"
 )
 
 // WindowTracker computes the exact windowed effective perturbation over the
@@ -99,11 +101,20 @@ func (w *WindowTracker) PerturbationAll(dst []float64) []float64 {
 // EMATracker computes effective perturbation with exponential moving
 // averages (Eq. 17): E tracks the smoothed update, A the smoothed absolute
 // update, and P = |E|/A. Memory cost is O(dim) regardless of history.
+//
+// Each scalar's averages are seeded from its own first genuine
+// observation. Seeding is tracked per scalar — not by a tracker-global
+// first-call flag — because masked observation streams (frozen parameters
+// are skipped) deliver different scalars their first update at different
+// times; blending a late first observation into a zero baseline would bias
+// its effective perturbation low and freeze it prematurely.
 type EMATracker struct {
-	alpha float64
-	e     []float64
-	a     []float64
-	seen  int
+	alpha  float64
+	e      []float64
+	a      []float64
+	seeded *bitset.BitSet
+	nseed  int // cached count of seeded scalars
+	seen   int
 }
 
 // NewEMATracker constructs a tracker over dim scalars with smoothing factor
@@ -115,7 +126,12 @@ func NewEMATracker(dim int, alpha float64) *EMATracker {
 	if alpha < 0 || alpha >= 1 {
 		panic(fmt.Sprintf("perturb: EMA alpha %v out of [0,1)", alpha))
 	}
-	return &EMATracker{alpha: alpha, e: make([]float64, dim), a: make([]float64, dim)}
+	return &EMATracker{
+		alpha:  alpha,
+		e:      make([]float64, dim),
+		a:      make([]float64, dim),
+		seeded: bitset.New(dim),
+	}
 }
 
 // Dim returns the tracked scalar count.
@@ -124,23 +140,38 @@ func (t *EMATracker) Dim() int { return len(t.e) }
 // Seen returns how many updates have been observed.
 func (t *EMATracker) Seen() int { return t.seen }
 
+// observeOne folds scalar j's update v into its averages, seeding on the
+// scalar's first genuine observation.
+func (t *EMATracker) observeOne(j int, v float64) {
+	if !t.seeded.Get(j) {
+		// Seed the averages with the first observation rather than zero,
+		// so early perturbation values are meaningful.
+		t.e[j] = v
+		t.a[j] = math.Abs(v)
+		t.seeded.Set(j)
+		t.nseed++
+		return
+	}
+	a, b := t.alpha, 1-t.alpha
+	t.e[j] = a*t.e[j] + b*v
+	t.a[j] = a*t.a[j] + b*math.Abs(v)
+}
+
 // Observe folds one cumulative-update vector Δ into the moving averages.
 func (t *EMATracker) Observe(delta []float64) {
 	if len(delta) != len(t.e) {
 		panic(fmt.Sprintf("perturb: update length %d, want %d", len(delta), len(t.e)))
 	}
-	a, b := t.alpha, 1-t.alpha
-	if t.seen == 0 {
-		// Seed the averages with the first observation rather than zero,
-		// so early perturbation values are meaningful.
-		for j, v := range delta {
-			t.e[j] = v
-			t.a[j] = math.Abs(v)
-		}
-	} else {
+	if t.nseed == len(t.e) {
+		// Fast path: everything seeded, no per-element seeding branch.
+		a, b := t.alpha, 1-t.alpha
 		for j, v := range delta {
 			t.e[j] = a*t.e[j] + b*v
 			t.a[j] = a*t.a[j] + b*math.Abs(v)
+		}
+	} else {
+		for j, v := range delta {
+			t.observeOne(j, v)
 		}
 	}
 	t.seen++
@@ -154,20 +185,26 @@ func (t *EMATracker) ObserveMasked(delta []float64, skip func(j int) bool) {
 	if len(delta) != len(t.e) {
 		panic(fmt.Sprintf("perturb: update length %d, want %d", len(delta), len(t.e)))
 	}
-	a, b := t.alpha, 1-t.alpha
-	first := t.seen == 0
 	for j, v := range delta {
 		if skip != nil && skip(j) {
 			continue
 		}
-		if first {
-			t.e[j] = v
-			t.a[j] = math.Abs(v)
-			continue
-		}
-		t.e[j] = a*t.e[j] + b*v
-		t.a[j] = a*t.a[j] + b*math.Abs(v)
+		t.observeOne(j, v)
 	}
+	t.seen++
+}
+
+// ObserveUnfrozen folds Δ into the averages at every clear bit of frozen —
+// the bitmap form of ObserveMasked, iterated word-level so the APF
+// stability check skips 64 frozen scalars at a time.
+func (t *EMATracker) ObserveUnfrozen(delta []float64, frozen *bitset.BitSet) {
+	if len(delta) != len(t.e) {
+		panic(fmt.Sprintf("perturb: update length %d, want %d", len(delta), len(t.e)))
+	}
+	if frozen == nil || frozen.Len() != len(t.e) {
+		panic("perturb: frozen bitmap does not match tracker dimension")
+	}
+	frozen.IterateClear(func(j int) { t.observeOne(j, delta[j]) })
 	t.seen++
 }
 
@@ -182,15 +219,21 @@ type EMAState struct {
 	E     []float64
 	A     []float64
 	Seen  int
+	// Seeded marks the scalars whose averages hold at least one genuine
+	// observation, in bitset word layout. A nil Seeded (a snapshot taken
+	// before per-scalar seeding existed) is interpreted with the old
+	// semantics: every scalar counts as seeded once anything was seen.
+	Seeded []uint64
 }
 
 // Snapshot copies the tracker state for checkpointing.
 func (t *EMATracker) Snapshot() EMAState {
 	return EMAState{
-		Alpha: t.alpha,
-		E:     append([]float64(nil), t.e...),
-		A:     append([]float64(nil), t.a...),
-		Seen:  t.seen,
+		Alpha:  t.alpha,
+		E:      append([]float64(nil), t.e...),
+		A:      append([]float64(nil), t.a...),
+		Seen:   t.seen,
+		Seeded: append([]uint64(nil), t.seeded.Words()...),
 	}
 }
 
@@ -206,6 +249,20 @@ func RestoreEMATracker(s EMAState) (*EMATracker, error) {
 	copy(t.e, s.E)
 	copy(t.a, s.A)
 	t.seen = s.Seen
+	switch {
+	case s.Seeded != nil:
+		seeded, err := bitset.FromWords(len(s.E), s.Seeded)
+		if err != nil {
+			return nil, fmt.Errorf("perturb: restore seeded bitmap: %w", err)
+		}
+		t.seeded = seeded
+		t.nseed = seeded.Count()
+	case s.Seen > 0:
+		for j := range t.e {
+			t.seeded.Set(j)
+		}
+		t.nseed = len(t.e)
+	}
 	return t, nil
 }
 

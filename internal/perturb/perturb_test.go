@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"apf/internal/bitset"
 )
 
 func TestWindowMonotoneUpdatesGiveOne(t *testing.T) {
@@ -252,5 +254,73 @@ func TestWindowPerturbationAllMatchesScalar(t *testing.T) {
 	dst := make([]float64, 4)
 	if got := w.PerturbationAll(dst); &got[0] != &dst[0] {
 		t.Error("PerturbationAll reallocated a correctly sized dst")
+	}
+}
+
+// TestMaskedSeedingMatchesUnmaskedStream is the regression test for
+// per-scalar EMA seeding: a scalar that is skipped (frozen) during the
+// tracker's first observation must be seeded from its own first genuine
+// update, exactly as an unmasked tracker seeing the same stream would.
+// The old tracker-global first-call flag blended the late first update
+// into a zero baseline, biasing the perturbation low (premature freezing).
+func TestMaskedSeedingMatchesUnmaskedStream(t *testing.T) {
+	masked := NewEMATracker(2, 0.9)
+	masked.ObserveMasked([]float64{999, 1}, func(j int) bool { return j == 0 })
+	masked.ObserveMasked([]float64{1, -1}, nil)
+	masked.ObserveMasked([]float64{-1, 1}, nil)
+
+	// Scalar 0's genuine stream is {1, -1}.
+	ref := NewEMATracker(1, 0.9)
+	ref.Observe([]float64{1})
+	ref.Observe([]float64{-1})
+
+	if got, want := masked.Perturbation(0), ref.Perturbation(0); got != want {
+		t.Fatalf("late-seen scalar perturbation = %v, want %v (seeded from a zero baseline?)", got, want)
+	}
+}
+
+func TestObserveUnfrozenMatchesObserveMasked(t *testing.T) {
+	const dim = 200
+	rng := rand.New(rand.NewSource(11))
+	a := NewEMATracker(dim, 0.95)
+	b := NewEMATracker(dim, 0.95)
+	frozen := bitset.New(dim)
+	delta := make([]float64, dim)
+	for round := 0; round < 20; round++ {
+		frozen.Fill(func(int) bool { return rng.Float64() < 0.6 })
+		for j := range delta {
+			delta[j] = rng.NormFloat64()
+		}
+		a.ObserveUnfrozen(delta, frozen)
+		b.ObserveMasked(delta, frozen.Get)
+	}
+	if a.Seen() != b.Seen() {
+		t.Fatalf("Seen diverged: %d vs %d", a.Seen(), b.Seen())
+	}
+	for j := 0; j < dim; j++ {
+		if a.Perturbation(j) != b.Perturbation(j) {
+			t.Fatalf("perturbation diverged at scalar %d: %v vs %v", j, a.Perturbation(j), b.Perturbation(j))
+		}
+	}
+}
+
+func TestSnapshotPreservesPartialSeeding(t *testing.T) {
+	orig := NewEMATracker(3, 0.9)
+	orig.ObserveMasked([]float64{7, 7, 7}, func(j int) bool { return j == 1 })
+	restored, err := RestoreEMATracker(orig.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scalar 1 sees its first genuine update after the restore; both
+	// trackers must seed it rather than EMA-blend from zero.
+	orig.Observe([]float64{1, 5, 1})
+	restored.Observe([]float64{1, 5, 1})
+	for j := 0; j < 3; j++ {
+		if orig.Perturbation(j) != restored.Perturbation(j) {
+			t.Fatalf("scalar %d diverged after restore: %v vs %v", j, orig.Perturbation(j), restored.Perturbation(j))
+		}
+	}
+	if restored.Perturbation(1) != 1 {
+		t.Fatalf("restored scalar 1 perturbation = %v, want 1 (single seeded observation)", restored.Perturbation(1))
 	}
 }
