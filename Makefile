@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet race bench hotpath ci
+.PHONY: tier1 vet race fuzz bench hotpath ci
 
 # Tier-1 verify (see ROADMAP.md): must stay green on every commit.
 tier1:
@@ -12,10 +12,17 @@ tier1:
 vet:
 	$(GO) vet ./...
 
-# The engine pool, sharded aggregation, and transport goroutines are the
-# concurrency surface; run them under the race detector.
+# The engine pool, sharded aggregation, transport goroutines, and chaos
+# harness are the concurrency surface; run them under the race detector
+# (this includes the chaos fault-injection test suite).
 race:
-	$(GO) test -race ./internal/fl/ ./internal/transport/
+	$(GO) test -race ./internal/fl/ ./internal/transport/ ./internal/chaos/
+
+# Fuzz smoke: a short randomized pass over each wire-decode target on top
+# of the checked-in corpus (go only runs one -fuzz target per invocation).
+fuzz:
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzServerDecode$$' -fuzztime 10s
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzClientDecode$$' -fuzztime 10s
 
 # Quick look at the round-critical benchmarks.
 bench:
@@ -25,4 +32,4 @@ bench:
 hotpath:
 	$(GO) run ./cmd/apfbench -hotpath BENCH_hotpath.json
 
-ci: tier1 vet race hotpath
+ci: tier1 vet race fuzz hotpath

@@ -11,10 +11,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"apf/internal/chaos"
 	"apf/internal/core"
 	"apf/internal/data"
 	"apf/internal/fl"
@@ -40,9 +43,12 @@ func run(args []string) error {
 		seed   = fs.Int64("seed", 42, "shared seed (must match the server)")
 		shard  = fs.Int("shard", 0, "this client's shard index")
 		shards = fs.Int("shards", 3, "total number of shards (= clients)")
-		iters  = fs.Int("iters", 4, "local iterations per round (Fs)")
-		scheme = fs.String("scheme", "apf", "sync scheme: apf | none")
-		alpha  = fs.Float64("dirichlet", 1.0, "Dirichlet concentration for the non-IID split")
+		iters     = fs.Int("iters", 4, "local iterations per round (Fs)")
+		scheme    = fs.String("scheme", "apf", "sync scheme: apf | none")
+		alpha     = fs.Float64("dirichlet", 1.0, "Dirichlet concentration for the non-IID split")
+		retries   = fs.Int("retries", 0, "reconnect attempts after a connection failure (0 = fail fast)")
+		chaosSpec = fs.String("chaos", "", "fault-injection script, e.g. 'sever@3;delay@7:500ms' (testing)")
+		chaosSeed = fs.Int64("chaos-seed", 1, "seed for randomized chaos choices")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +79,20 @@ func run(args []string) error {
 		return fmt.Errorf("unknown scheme %q (want apf or none)", *scheme)
 	}
 
+	name := fmt.Sprintf("shard-%d", *shard)
+	var dial transport.DialFunc
+	if *chaosSpec != "" {
+		faults, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		script := chaos.NewScript(*chaosSeed, faults...)
+		dial = transport.DialFunc(script.Dialer(name, func(network, addr string) (net.Conn, error) {
+			return net.DialTimeout(network, addr, 10*time.Second)
+		}))
+		fmt.Printf("apf-client: chaos script armed with %d fault(s)\n", len(faults))
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -80,7 +100,8 @@ func run(args []string) error {
 		*shard, *shards, *model, *scheme, *addr)
 	res, err := transport.RunClient(ctx, transport.ClientConfig{
 		Addr:       *addr,
-		Name:       fmt.Sprintf("shard-%d", *shard),
+		Name:       name,
+		SessionKey: name,
 		Model:      p.Model,
 		Optimizer:  p.Optimizer,
 		Manager:    manager,
@@ -89,6 +110,8 @@ func run(args []string) error {
 		LocalIters: *iters,
 		BatchSize:  p.Batch,
 		Seed:       *seed + int64(*shard),
+		MaxRetries: *retries,
+		Dial:       dial,
 	})
 	if err != nil {
 		return err
@@ -97,5 +120,8 @@ func run(args []string) error {
 		res.Rounds, res.ClientID,
 		metrics.FormatBytes(res.UpBytes), metrics.FormatBytes(res.DownBytes),
 		metrics.FormatBytes(res.WireWritten), metrics.FormatBytes(res.WireRead))
+	if res.Reconnects > 0 {
+		fmt.Printf("apf-client: resumed its session %d time(s)\n", res.Reconnects)
+	}
 	return nil
 }

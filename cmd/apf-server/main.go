@@ -13,10 +13,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"apf/internal/chaos"
 	"apf/internal/metrics"
 	"apf/internal/preset"
 	"apf/internal/transport"
@@ -33,11 +35,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("apf-server", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":7070", "listen address")
-		clients = fs.Int("clients", 3, "number of clients to wait for")
-		rounds  = fs.Int("rounds", 50, "aggregation rounds")
-		model   = fs.String("model", "lenet", "workload preset: lenet | lstm | mlp")
-		seed    = fs.Int64("seed", 42, "shared seed (must match the clients)")
+		addr       = fs.String("addr", ":7070", "listen address")
+		clients    = fs.Int("clients", 3, "number of clients to wait for")
+		rounds     = fs.Int("rounds", 50, "aggregation rounds")
+		model      = fs.String("model", "lenet", "workload preset: lenet | lstm | mlp")
+		seed       = fs.Int64("seed", 42, "shared seed (must match the clients)")
+		deadline   = fs.Duration("deadline", 0, "round deadline enabling partial aggregation and session resume (0 = strict barrier)")
+		minClients = fs.Int("min-clients", 1, "minimum updates before a round deadline may aggregate")
+		chaosSpec  = fs.String("chaos", "", "fault-injection script, e.g. 'accept:1/sever-write@5;delay@3:500ms' (testing)")
+		chaosSeed  = fs.Int64("chaos-seed", 1, "seed for randomized chaos choices")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,11 +55,28 @@ func run(args []string) error {
 	}
 	init := p.InitVector(*seed)
 
+	var ln net.Listener
+	if *chaosSpec != "" {
+		faults, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		inner, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		ln = chaos.NewScript(*chaosSeed, faults...).Listener(inner)
+		fmt.Printf("apf-server: chaos script armed with %d fault(s)\n", len(faults))
+	}
+
 	srv, err := transport.NewServer(transport.ServerConfig{
-		Addr:       *addr,
-		NumClients: *clients,
-		Rounds:     *rounds,
-		Init:       init,
+		Addr:          *addr,
+		Listener:      ln,
+		NumClients:    *clients,
+		Rounds:        *rounds,
+		Init:          init,
+		RoundDeadline: *deadline,
+		MinClients:    *minClients,
 	})
 	if err != nil {
 		return err
@@ -70,5 +93,8 @@ func run(args []string) error {
 	read, sent := srv.WireBytes()
 	fmt.Printf("apf-server: done — wire bytes received %s, sent %s\n",
 		metrics.FormatBytes(read), metrics.FormatBytes(sent))
+	if n := srv.PartialRounds(); n > 0 {
+		fmt.Printf("apf-server: %d round(s) aggregated without full participation\n", n)
+	}
 	return nil
 }

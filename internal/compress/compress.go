@@ -338,6 +338,15 @@ func (m *Quantized) ExpandDownload(round int, compact []float64) []float64 {
 	return append([]float64(nil), compact...)
 }
 
+// CompactLen delegates the compact payload length when the wrapped manager
+// reports it; -1 means unknown.
+func (m *Quantized) CompactLen(round int) int {
+	if cl, ok := m.inner.(interface{ CompactLen(round int) int }); ok {
+		return cl.CompactLen(round)
+	}
+	return -1
+}
+
 // FrozenRatio delegates when the wrapped manager freezes parameters.
 func (m *Quantized) FrozenRatio() float64 {
 	if fr, ok := m.inner.(fl.FrozenRatioReporter); ok {

@@ -417,6 +417,14 @@ func (m *Manager) ExpandDownload(round int, compact []float64) []float64 {
 	return m.denseBuf
 }
 
+// CompactLen returns the compact payload length for the given round (the
+// unfrozen-scalar count) without building the payload — transports use it
+// to validate an incoming compact aggregate before expanding it.
+func (m *Manager) CompactLen(round int) int {
+	m.refreshMask(round)
+	return m.cfg.Dim - m.maskCount
+}
+
 // FrozenRatio returns the fraction of scalars frozen in the most recently
 // observed round.
 func (m *Manager) FrozenRatio() float64 {

@@ -6,7 +6,10 @@
 package netsim
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"time"
 )
 
@@ -68,6 +71,104 @@ func RoundTime(profiles []LinkProfile, iters []int, upBytes, downBytes []int64) 
 		if t > worst {
 			worst = t
 		}
+	}
+	return worst
+}
+
+// DropoutSchedule deterministically decides which clients sit out each
+// round, modelling the client churn the fault-tolerant transport absorbs
+// with partial aggregation. Every (round, client) decision is a pure
+// function of the seed, so simulator and testbed runs can share one
+// schedule. At least one client is always kept active per round — the
+// server's MinClients floor never lets a round aggregate nothing.
+type DropoutSchedule struct {
+	seed    int64
+	clients int
+	rate    float64
+}
+
+// NewDropoutSchedule builds a schedule where each client independently
+// misses a round with probability rate (clamped to [0, 1]).
+func NewDropoutSchedule(seed int64, clients int, rate float64) *DropoutSchedule {
+	if clients <= 0 {
+		panic(fmt.Sprintf("netsim: invalid client count %d", clients))
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &DropoutSchedule{seed: seed, clients: clients, rate: rate}
+}
+
+// Active reports whether the client participates in the round. The
+// fallback client (round mod clients) participates whenever the draw
+// would otherwise empty the round.
+func (d *DropoutSchedule) Active(round, client int) bool {
+	if d.draw(round, client) >= d.rate {
+		return true
+	}
+	if client != round%d.clients {
+		return false
+	}
+	// Fallback slot: stay active unless some other client already is.
+	for c := 0; c < d.clients; c++ {
+		if c != client && d.draw(round, c) >= d.rate {
+			return false
+		}
+	}
+	return true
+}
+
+// ActiveSet returns the round's participation mask, one entry per client.
+func (d *DropoutSchedule) ActiveSet(round int) []bool {
+	out := make([]bool, d.clients)
+	for c := range out {
+		out[c] = d.Active(round, c)
+	}
+	return out
+}
+
+// draw returns the uniform [0,1) variate for one (round, client) cell.
+func (d *DropoutSchedule) draw(round, client int) float64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(d.seed))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(round))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(client))
+	h.Write(buf[:])
+	return rand.New(rand.NewSource(int64(h.Sum64()))).Float64()
+}
+
+// PartialRoundTime is RoundTime for a fault-tolerant round: only active
+// clients are waited for, and whenever any client sits out the server
+// still waits out its round deadline before aggregating, so the round
+// never finishes earlier than that. Stragglers are assumed to land within
+// the deadline; slower ones would be dropped, making this an upper bound.
+func PartialRoundTime(profiles []LinkProfile, iters []int, upBytes, downBytes []int64, active []bool, deadline time.Duration) time.Duration {
+	if len(profiles) != len(iters) || len(profiles) != len(upBytes) ||
+		len(profiles) != len(downBytes) || len(profiles) != len(active) {
+		panic(fmt.Sprintf("netsim: mismatched lengths profiles=%d iters=%d up=%d down=%d active=%d",
+			len(profiles), len(iters), len(upBytes), len(downBytes), len(active)))
+	}
+	var worst time.Duration
+	absent := false
+	for i, p := range profiles {
+		if !active[i] {
+			absent = true
+			continue
+		}
+		t := time.Duration(iters[i])*p.ComputePerIter +
+			p.TransferUp(upBytes[i]) +
+			p.TransferDown(downBytes[i]) +
+			p.RTT
+		if t > worst {
+			worst = t
+		}
+	}
+	if absent && worst < deadline {
+		worst = deadline
 	}
 	return worst
 }

@@ -62,3 +62,106 @@ func TestInvalidBandwidthPanics(t *testing.T) {
 	}()
 	LinkProfile{}.TransferUp(10)
 }
+
+func TestDropoutScheduleDeterministicAndSeedSensitive(t *testing.T) {
+	a := NewDropoutSchedule(42, 5, 0.3)
+	b := NewDropoutSchedule(42, 5, 0.3)
+	c := NewDropoutSchedule(43, 5, 0.3)
+	same, diff := true, true
+	for r := 0; r < 40; r++ {
+		for cl := 0; cl < 5; cl++ {
+			if a.Active(r, cl) != b.Active(r, cl) {
+				same = false
+			}
+			if a.Active(r, cl) != c.Active(r, cl) {
+				diff = false
+			}
+		}
+	}
+	if !same {
+		t.Error("identical seeds produced different schedules")
+	}
+	if diff {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestDropoutScheduleRates(t *testing.T) {
+	// Rate 0: nobody ever drops.
+	full := NewDropoutSchedule(1, 4, 0)
+	for r := 0; r < 20; r++ {
+		for c := 0; c < 4; c++ {
+			if !full.Active(r, c) {
+				t.Fatalf("rate-0 schedule dropped client %d at round %d", c, r)
+			}
+		}
+	}
+	// Rate 1: everyone would drop, but the fallback keeps exactly one
+	// client per round so the server can always aggregate.
+	empty := NewDropoutSchedule(1, 4, 1)
+	for r := 0; r < 20; r++ {
+		active := empty.ActiveSet(r)
+		count := 0
+		for _, on := range active {
+			if on {
+				count++
+			}
+		}
+		if count != 1 || !active[r%4] {
+			t.Fatalf("rate-1 round %d active set %v, want only the fallback slot", r, active)
+		}
+	}
+	// A middling rate drops someone eventually.
+	mid := NewDropoutSchedule(7, 4, 0.4)
+	dropped := false
+	for r := 0; r < 40 && !dropped; r++ {
+		for c := 0; c < 4; c++ {
+			if !mid.Active(r, c) {
+				dropped = true
+			}
+		}
+	}
+	if !dropped {
+		t.Error("rate-0.4 schedule never dropped anyone in 40 rounds")
+	}
+}
+
+func TestPartialRoundTime(t *testing.T) {
+	profiles := UniformProfiles(3, LinkProfile{
+		UpBitsPerSec:   8e6,
+		DownBitsPerSec: 8e6,
+		ComputePerIter: time.Millisecond,
+	})
+	iters := UniformIters(3, 10)
+	up := []int64{1000, 1e6, 1000} // client 1 pushes 1MB
+	down := []int64{1000, 1000, 1000}
+
+	// Everyone active: identical to the strict barrier.
+	allOn := []bool{true, true, true}
+	if got, want := PartialRoundTime(profiles, iters, up, down, allOn, 30*time.Second),
+		RoundTime(profiles, iters, up, down); got != want {
+		t.Errorf("full participation: %v, want RoundTime %v", got, want)
+	}
+
+	// The slow client sits out: the deadline dominates the fast ones.
+	slowOff := []bool{true, false, true}
+	deadline := 5 * time.Second
+	if got := PartialRoundTime(profiles, iters, up, down, slowOff, deadline); got != deadline {
+		t.Errorf("partial round took %v, want the %v deadline", got, deadline)
+	}
+
+	// An active straggler slower than the deadline still bounds the round.
+	if got := PartialRoundTime(profiles, iters, up, down, slowOff, time.Millisecond); got < 12*time.Millisecond {
+		t.Errorf("partial round %v shorter than its slowest active client", got)
+	}
+}
+
+func TestPartialRoundTimeValidatesLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched active length")
+		}
+	}()
+	PartialRoundTime(UniformProfiles(2, GlobalInternet()), UniformIters(2, 1),
+		[]int64{1, 2}, []int64{1, 2}, []bool{true}, time.Second)
+}

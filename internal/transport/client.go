@@ -3,15 +3,32 @@ package transport
 import (
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"apf/internal/data"
 	"apf/internal/fl"
 	"apf/internal/nn"
+	"apf/internal/opt"
 	"apf/internal/stats"
 )
+
+// DialFunc abstracts the client's dialer so tests and the -chaos flag can
+// inject fault-wrapped connections.
+type DialFunc func(network, addr string) (net.Conn, error)
+
+// compactLener is implemented by codec managers that can report the
+// expected compact payload length for a round (core.Manager does), letting
+// the client validate a download before expansion instead of panicking on a
+// malformed stream. A negative return means unknown.
+type compactLener interface {
+	CompactLen(round int) int
+}
 
 // ClientConfig parameterizes one trainer client.
 type ClientConfig struct {
@@ -19,6 +36,10 @@ type ClientConfig struct {
 	Addr string
 	// Name labels this client in server-side errors.
 	Name string
+	// SessionKey identifies this client's resumable session on the server.
+	// Empty disables resume: a lost connection is fatal after retries.
+	// Keys must be unique per client within a run.
+	SessionKey string
 	// Model/Optimizer/Manager mirror the simulator factories; the model
 	// is re-initialized from the server's Welcome payload.
 	Model     fl.ModelFactory
@@ -36,6 +57,19 @@ type ClientConfig struct {
 	// exchange (defaults 10s / 30s).
 	DialTimeout time.Duration
 	IOTimeout   time.Duration
+	// MaxRetries bounds consecutive reconnection attempts after a
+	// connection failure (0 = fail immediately, the pre-resume behaviour).
+	// The budget refills whenever a round is successfully applied.
+	MaxRetries int
+	// RetryBaseDelay/RetryMaxDelay shape the exponential backoff between
+	// reconnection attempts (defaults 50ms / 2s); the actual delay is
+	// jittered in [d/2, d) by a stream seeded from Seed and SessionKey.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// Dial, when non-nil, replaces the default TCP dialer — the hook for
+	// fault-injecting wrappers (package chaos). It must enforce its own
+	// connect timeout.
+	Dial DialFunc
 }
 
 // ClientResult summarizes one client's run.
@@ -46,15 +80,50 @@ type ClientResult struct {
 	// scheme's accounting model).
 	UpBytes   int64
 	DownBytes int64
-	// WireRead/WireWritten are the measured TCP bytes.
+	// WireRead/WireWritten are the measured TCP bytes across every
+	// connection the client used.
 	WireRead    int64
 	WireWritten int64
+	// Reconnects counts successful session resumptions.
+	Reconnects int
 	// FinalModel is the client's final dense model vector.
 	FinalModel []float64
 }
 
+// clientRun is the connection-spanning state of one RunClient call.
+type clientRun struct {
+	cfg ClientConfig
+	res *ClientResult
+
+	// Training state, built on the first Welcome.
+	net0     *nn.Network
+	params   []*nn.Param
+	optim    opt.Optimizer
+	batcher  *data.Batcher
+	manager  fl.SyncManager
+	codec    fl.CompactCodec
+	hasCodec bool
+	dim      int
+	rounds   int
+	x        []float64
+
+	// applied is the last round whose aggregate has been merged (-1 none);
+	// inflight is the prepared-but-unacknowledged UpdateMsg, re-sent
+	// idempotently after a reconnect so local training runs exactly once
+	// per round.
+	applied  int
+	inflight *UpdateMsg
+
+	// Current connection, guarded for the cancellation watcher.
+	connMu sync.Mutex
+	conn   *countingConn
+}
+
 // RunClient connects to the server, trains for the announced number of
-// rounds, and returns its accounting. It honours ctx cancellation.
+// rounds, and returns its accounting. It honours ctx cancellation. With a
+// SessionKey and MaxRetries > 0 it survives connection failures: it
+// reconnects with exponential backoff plus jitter, replays any aggregates
+// it missed, and re-sends the in-flight update.
 func RunClient(ctx context.Context, cfg ClientConfig) (*ClientResult, error) {
 	if cfg.LocalIters <= 0 || cfg.BatchSize <= 0 {
 		return nil, fmt.Errorf("transport: invalid client config iters=%d batch=%d", cfg.LocalIters, cfg.BatchSize)
@@ -65,114 +134,257 @@ func RunClient(ctx context.Context, cfg ClientConfig) (*ClientResult, error) {
 	if cfg.IOTimeout <= 0 {
 		cfg.IOTimeout = defaultIOTimeout
 	}
-
-	dialer := net.Dialer{Timeout: cfg.DialTimeout}
-	rawConn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", cfg.Addr, err)
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 50 * time.Millisecond
 	}
-	conn := &countingConn{Conn: rawConn}
-	defer closeQuietly(conn)
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = 2 * time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(network, addr string) (net.Conn, error) {
+			return net.DialTimeout(network, addr, cfg.DialTimeout)
+		}
+	}
 
-	// Tear the connection down on cancellation to unblock I/O.
+	r := &clientRun{cfg: cfg, res: &ClientResult{ClientID: -1}, applied: -1}
+
+	// Tear the live connection down on cancellation to unblock I/O.
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
 		select {
 		case <-ctx.Done():
-			closeQuietly(conn)
+			r.connMu.Lock()
+			if r.conn != nil {
+				closeQuietly(r.conn)
+			}
+			r.connMu.Unlock()
 		case <-stop:
 		}
 	}()
 
+	// Jitter stream: deterministic per (Seed, SessionKey), independent of
+	// the training streams.
+	h := fnv.New64a()
+	h.Write([]byte(cfg.SessionKey + "/" + cfg.Name))
+	jitter := stats.SplitRNG(cfg.Seed, 4_000_000+int64(h.Sum64()%1_000_000))
+
+	attempts := 0
+	for {
+		before := r.applied
+		err := r.session(ctx)
+		if err == nil {
+			r.res.FinalModel = append([]float64(nil), r.x...)
+			return r.res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if errors.Is(err, errProtocol) || errors.Is(err, ErrMaskDivergence) {
+			return nil, err
+		}
+		if r.applied > before {
+			attempts = 0 // progress made: refill the retry budget
+		}
+		attempts++
+		if attempts > cfg.MaxRetries {
+			return nil, fmt.Errorf("transport: connection failed (after %d reconnect attempt(s)): %w", attempts-1, err)
+		}
+		if err := sleepBackoff(ctx, jitter, cfg.RetryBaseDelay, cfg.RetryMaxDelay, attempts); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// sleepBackoff waits the jittered exponential backoff for the given attempt
+// (1-based), honouring cancellation.
+func sleepBackoff(ctx context.Context, rng *rand.Rand, base, max time.Duration, attempt int) error {
+	d := base << (attempt - 1)
+	if d <= 0 || d > max {
+		d = max
+	}
+	jittered := d/2 + time.Duration(rng.Float64()*float64(d/2))
+	select {
+	case <-time.After(jittered):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// session runs one connection lifetime: dial, join (or resume), replay of
+// missed aggregates, and the round loop. A nil return means the full run
+// completed; any other error is retryable unless it is a protocol
+// violation.
+func (r *clientRun) session(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	raw, err := r.cfg.Dial("tcp", r.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", r.cfg.Addr, err)
+	}
+	conn := &countingConn{Conn: raw}
+	r.connMu.Lock()
+	r.conn = conn
+	r.connMu.Unlock()
+	defer func() {
+		r.connMu.Lock()
+		r.conn = nil
+		r.connMu.Unlock()
+		read, written := conn.Counts()
+		r.res.WireRead += read
+		r.res.WireWritten += written
+		closeQuietly(conn)
+	}()
+	if ctx.Err() != nil {
+		return ctx.Err() // the watcher may have missed this connection
+	}
+
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	send := func(msg any) error {
-		if err := conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout)); err != nil {
+		if err := conn.SetWriteDeadline(time.Now().Add(r.cfg.IOTimeout)); err != nil {
 			return err
 		}
 		return enc.Encode(msg)
 	}
 	recv := func(msg any) error {
-		if err := conn.SetReadDeadline(time.Now().Add(cfg.IOTimeout)); err != nil {
+		if err := conn.SetReadDeadline(time.Now().Add(r.cfg.IOTimeout)); err != nil {
 			return err
 		}
 		return dec.Decode(msg)
 	}
 
-	if err := send(&JoinMsg{Name: cfg.Name}); err != nil {
-		return nil, fmt.Errorf("transport: join: %w", err)
+	if err := send(&JoinMsg{Name: r.cfg.Name, SessionKey: r.cfg.SessionKey, HaveRound: r.applied}); err != nil {
+		return fmt.Errorf("transport: join: %w", err)
 	}
 	var welcome WelcomeMsg
 	if err := recv(&welcome); err != nil {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
+		return fmt.Errorf("transport: welcome: %w", err)
+	}
+	if err := r.acceptWelcome(&welcome); err != nil {
+		return err
+	}
+
+	// Replay the aggregates this client missed while disconnected; the
+	// manager state is a deterministic function of the synchronized
+	// trajectory, so replay rebuilds model and freezing mask exactly.
+	for i := range welcome.Missed {
+		if err := r.applyGlobal(&welcome.Missed[i]); err != nil {
+			return err
 		}
-		return nil, fmt.Errorf("transport: welcome: %w", err)
+	}
+
+	for round := r.applied + 1; round < r.rounds; round++ {
+		markRound(conn, round)
+		if r.inflight == nil || r.inflight.Round != round {
+			r.train(round)
+			contrib, weight, up := r.manager.PrepareUpload(round, r.x)
+			payload := contrib
+			if r.hasCodec {
+				payload = r.codec.CompactUpload(round, contrib)
+			}
+			var hash uint64
+			if mr, ok := r.manager.(fl.MaskReporter); ok {
+				hash = HashMaskWords(mr.MaskWords())
+			}
+			// Copy out of the manager-owned scratch: the update must
+			// survive re-sends across reconnects.
+			r.inflight = &UpdateMsg{
+				Round:    round,
+				Payload:  append([]float64(nil), payload...),
+				Weight:   weight,
+				MaskHash: hash,
+			}
+			r.res.UpBytes += up
+		}
+		if err := send(r.inflight); err != nil {
+			return fmt.Errorf("transport: round %d push: %w", round, err)
+		}
+		var g GlobalMsg
+		if err := recv(&g); err != nil {
+			return fmt.Errorf("transport: round %d pull: %w", round, err)
+		}
+		if err := r.applyGlobal(&g); err != nil {
+			return err
+		}
+		r.inflight = nil
+	}
+	return nil
+}
+
+// acceptWelcome validates a WelcomeMsg and, on the first connection, builds
+// the training state (model, optimizer, batcher, manager) from it.
+func (r *clientRun) acceptWelcome(w *WelcomeMsg) error {
+	if r.params != nil {
+		// Reconnection: the geometry must not have changed.
+		if w.ClientID != r.res.ClientID || w.Rounds != r.rounds || w.Dim != r.dim {
+			return protocolErrorf("resume welcome changed geometry: id %d→%d rounds %d→%d dim %d→%d",
+				r.res.ClientID, w.ClientID, r.rounds, w.Rounds, r.dim, w.Dim)
+		}
+		if !w.Resumed {
+			return protocolErrorf("server restarted the session instead of resuming it")
+		}
+		r.res.Reconnects++
+		return nil
 	}
 
 	// RNG stream ids match the in-process engine (fl.New) exactly, so a
 	// TCP deployment reproduces the simulator's training bit for bit —
 	// the equivalence test in this package depends on it.
-	net0 := cfg.Model(stats.SplitRNG(cfg.Seed, int64(2_000_000+welcome.ClientID)))
+	net0 := r.cfg.Model(stats.SplitRNG(r.cfg.Seed, int64(2_000_000+w.ClientID)))
 	params := net0.Params()
-	if nn.ParamCount(params) != welcome.Dim {
-		return nil, protocolErrorf("server model dimension %d, local model has %d", welcome.Dim, nn.ParamCount(params))
+	if err := checkWelcome(w, nn.ParamCount(params)); err != nil {
+		return err
 	}
-	nn.SetFlat(params, welcome.Init)
-	optim := cfg.Optimizer(params)
-	batcher := data.NewBatcher(cfg.Data, cfg.Indices, cfg.BatchSize, stats.SplitRNG(cfg.Seed, int64(3_000_000+welcome.ClientID)))
-	manager := cfg.Manager(welcome.ClientID, welcome.Dim)
-	codec, hasCodec := manager.(fl.CompactCodec)
-
-	res := &ClientResult{ClientID: welcome.ClientID, Rounds: welcome.Rounds}
-	x := make([]float64, welcome.Dim)
-
-	for round := 0; round < welcome.Rounds; round++ {
-		for i := 0; i < cfg.LocalIters; i++ {
-			xb, yb := batcher.Next()
-			nn.ZeroGrads(params)
-			net0.LossGrad(xb, yb)
-			optim.Step()
-			x = nn.FlattenParams(params, x)
-			manager.PostIterate(round, x)
-			nn.SetFlat(params, x)
-		}
-
-		contrib, weight, up := manager.PrepareUpload(round, x)
-		payload := contrib
-		if hasCodec {
-			payload = codec.CompactUpload(round, contrib)
-		}
-		if err := send(&UpdateMsg{Round: round, Payload: payload, Weight: weight}); err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			return nil, fmt.Errorf("transport: round %d push: %w", round, err)
-		}
-
-		var g GlobalMsg
-		if err := recv(&g); err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			return nil, fmt.Errorf("transport: round %d pull: %w", round, err)
-		}
-		if g.Round != round {
-			return nil, protocolErrorf("server sent round %d during round %d", g.Round, round)
-		}
-		dense := g.Payload
-		if hasCodec {
-			dense = codec.ExpandDownload(round, g.Payload)
-		}
-		down := manager.ApplyDownload(round, x, dense)
-		nn.SetFlat(params, x)
-
-		res.UpBytes += up
-		res.DownBytes += down
+	nn.SetFlat(params, w.Init)
+	r.net0, r.params, r.dim, r.rounds = net0, params, w.Dim, w.Rounds
+	r.optim = r.cfg.Optimizer(params)
+	r.batcher = data.NewBatcher(r.cfg.Data, r.cfg.Indices, r.cfg.BatchSize,
+		stats.SplitRNG(r.cfg.Seed, int64(3_000_000+w.ClientID)))
+	r.manager = r.cfg.Manager(w.ClientID, w.Dim)
+	r.codec, r.hasCodec = r.manager.(fl.CompactCodec)
+	r.x = make([]float64, w.Dim)
+	r.res.ClientID = w.ClientID
+	r.res.Rounds = w.Rounds
+	if w.Resumed {
+		r.res.Reconnects++
 	}
+	return nil
+}
 
-	res.WireRead, res.WireWritten = conn.Counts()
-	res.FinalModel = append([]float64(nil), x...)
-	return res, nil
+// train runs one round's local iterations.
+func (r *clientRun) train(round int) {
+	for i := 0; i < r.cfg.LocalIters; i++ {
+		xb, yb := r.batcher.Next()
+		nn.ZeroGrads(r.params)
+		r.net0.LossGrad(xb, yb)
+		r.optim.Step()
+		r.x = nn.FlattenParams(r.params, r.x)
+		r.manager.PostIterate(round, r.x)
+		nn.SetFlat(r.params, r.x)
+	}
+}
+
+// applyGlobal validates one aggregate in the sequential download stream and
+// merges it into the local model. Used identically for live downloads and
+// resume replay.
+func (r *clientRun) applyGlobal(g *GlobalMsg) error {
+	if err := checkGlobal(g, r.applied+1, r.dim, r.hasCodec); err != nil {
+		return err
+	}
+	dense := g.Payload
+	if r.hasCodec {
+		if cl, ok := r.manager.(compactLener); ok {
+			if want := cl.CompactLen(g.Round); want >= 0 && len(g.Payload) != want {
+				return protocolErrorf("round %d compact payload length %d, want %d", g.Round, len(g.Payload), want)
+			}
+		}
+		dense = r.codec.ExpandDownload(g.Round, g.Payload)
+	}
+	r.res.DownBytes += r.manager.ApplyDownload(g.Round, r.x, dense)
+	nn.SetFlat(r.params, r.x)
+	r.applied = g.Round
+	return nil
 }

@@ -2,11 +2,14 @@ package transport
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"apf/internal/chaos"
 	"apf/internal/core"
 	"apf/internal/data"
 	"apf/internal/fl"
@@ -116,16 +119,21 @@ func TestTCPMatchesSimulatorBitExact(t *testing.T) {
 		t.Fatalf("server: %v", err)
 	}
 
-	// The TCP client model must match the simulator's global. Positions
-	// frozen at some point differ by bookkeeping noise only: clients pin
-	// them to the exact reference value, while the simulator's *dense*
-	// global carries Σ(wᵢ·ref) floating-point noise there — noise that,
-	// by design, nothing ever reads (ApplyDownload restores the
-	// reference). So every position must agree within an ulp-scale
-	// tolerance, and the vast majority must agree bit for bit.
 	if len(tcpManagers) != clients {
 		t.Fatalf("captured %d managers", len(tcpManagers))
 	}
+	requireMatchesSimulator(t, results, simGlobal)
+}
+
+// requireMatchesSimulator checks every TCP client against the simulator's
+// dense global. Positions frozen at some point differ by bookkeeping noise
+// only: clients pin them to the exact reference value, while the
+// simulator's *dense* global carries Σ(wᵢ·ref) floating-point noise there —
+// noise that, by design, nothing ever reads (ApplyDownload restores the
+// reference). So every position must agree within an ulp-scale tolerance,
+// and the vast majority must agree bit for bit.
+func requireMatchesSimulator(t *testing.T, results []*ClientResult, simGlobal []float64) {
+	t.Helper()
 	exact := 0
 	for j := range simGlobal {
 		got := results[0].FinalModel[j]
@@ -142,11 +150,128 @@ func TestTCPMatchesSimulatorBitExact(t *testing.T) {
 		t.Fatalf("only %d/%d scalars bit-exact — more than bookkeeping noise differs", exact, len(simGlobal))
 	}
 	// And every TCP client ends with the identical model.
-	for c := 1; c < clients; c++ {
+	for c := 1; c < len(results); c++ {
 		for j := range results[0].FinalModel {
 			if results[c].FinalModel[j] != results[0].FinalModel[j] {
 				t.Fatalf("TCP clients diverged at scalar %d", j)
 			}
 		}
 	}
+}
+
+// TestTCPUnderChaosMatchesSimulatorBitExact raises the stakes of the
+// equivalence check: two clients are severed mid-run (one of them twice).
+// With a generous round deadline each reconnects in time to re-send its
+// in-flight update, so every client still participates in every round —
+// and the result must STILL be bit-identical to the in-process simulator.
+func TestTCPUnderChaosMatchesSimulatorBitExact(t *testing.T) {
+	const (
+		seed    = 61
+		clients = 3
+		rounds  = 12
+		iters   = 3
+		batch   = 10
+	)
+	ds := data.SynthImages(data.ImageConfig{
+		Classes: 3, Channels: 1, Size: 6, Samples: 90, NoiseStd: 0.5, Seed: seed,
+	})
+	rng := stats.SplitRNG(seed, 50)
+	parts := data.PartitionIID(rng, ds.Len(), clients)
+	apfFactory := func(clientID, dim int) fl.SyncManager {
+		return core.NewManager(core.Config{
+			Dim:              dim,
+			CheckEveryRounds: 2,
+			Threshold:        0.3,
+			EMAAlpha:         0.85,
+			Seed:             seed,
+		})
+	}
+
+	engine := fl.New(fl.Config{
+		Rounds:     rounds,
+		LocalIters: iters,
+		BatchSize:  batch,
+		Seed:       seed,
+	}, tinyModel, tinySGD, apfFactory, ds, parts, nil)
+	engine.Run()
+	simGlobal := engine.Global()
+
+	script := chaos.NewScript(29,
+		chaos.Fault{Peer: "eq-0", Round: 2, Kind: chaos.Sever},
+		chaos.Fault{Peer: "eq-1", Round: 5, Kind: chaos.PartialWrite},
+		chaos.Fault{Peer: "eq-1", Round: 9, Kind: chaos.Sever},
+	)
+
+	initNet := tinyModel(stats.SplitRNG(seed, 1_000_000))
+	init := nn.FlattenParams(initNet.Params(), nil)
+	srv, err := NewServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		NumClients:    clients,
+		Rounds:        rounds,
+		Init:          init,
+		RoundDeadline: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	serverErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(ctx)
+		serverErr <- err
+	}()
+
+	results := make([]*ClientResult, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		name := fmt.Sprintf("eq-%d", i)
+		cfg := ClientConfig{
+			Addr:           srv.Addr().String(),
+			Name:           name,
+			SessionKey:     name,
+			Model:          tinyModel,
+			Optimizer:      tinySGD,
+			Manager:        apfFactory,
+			Data:           ds,
+			Indices:        parts[i],
+			LocalIters:     iters,
+			BatchSize:      batch,
+			Seed:           seed,
+			MaxRetries:     8,
+			RetryBaseDelay: 10 * time.Millisecond,
+			RetryMaxDelay:  100 * time.Millisecond,
+			Dial: DialFunc(script.Dialer(name, func(network, addr string) (net.Conn, error) {
+				return net.DialTimeout(network, addr, 5*time.Second)
+			})),
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunClient(ctx, cfg)
+		}(i)
+		time.Sleep(100 * time.Millisecond)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+
+	reconnects := 0
+	for _, r := range results {
+		reconnects += r.Reconnects
+	}
+	if reconnects < 3 {
+		t.Errorf("expected 3 resumptions, got %d", reconnects)
+	}
+	if n := srv.PartialRounds(); n != 0 {
+		t.Errorf("%d partial rounds under a generous deadline", n)
+	}
+	requireMatchesSimulator(t, results, simGlobal)
 }

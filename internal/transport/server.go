@@ -7,12 +7,17 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"apf/internal/fl"
 )
 
 // ServerConfig parameterizes an aggregation server.
 type ServerConfig struct {
 	// Addr is the listen address (e.g. "127.0.0.1:0").
 	Addr string
+	// Listener, when non-nil, is used instead of binding Addr — the hook
+	// for fault-injecting wrappers (package chaos).
+	Listener net.Listener
 	// NumClients is the cluster size; the server waits for exactly this
 	// many registrations before round 0.
 	NumClients int
@@ -20,8 +25,21 @@ type ServerConfig struct {
 	Rounds int
 	// Init is the initial global model distributed to every client.
 	Init []float64
-	// IOTimeout bounds each message exchange (default 30s).
+	// IOTimeout bounds each message exchange (default 30s). It should
+	// exceed RoundDeadline plus the slowest client's training time, since
+	// a connection idle past it is treated as dead.
 	IOTimeout time.Duration
+	// RoundDeadline enables fault-tolerant operation: after this much time
+	// in a round, aggregation proceeds with the K ≤ N updates received
+	// (weighted partial FedAvg), disconnected clients may resume their
+	// session later, and client failures are survived rather than fatal.
+	// 0 keeps the strict barrier: every round waits for all clients and
+	// any failure aborts the run.
+	RoundDeadline time.Duration
+	// MinClients is the minimum number of updates required before a round
+	// deadline may fire the aggregation (default 1). The deadline never
+	// aggregates fewer; the round keeps waiting instead.
+	MinClients int
 }
 
 // Server is the central FL aggregation endpoint.
@@ -29,9 +47,45 @@ type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
 
-	mu        sync.Mutex
-	bytesRead int64
-	bytesSent int64
+	// done is closed when Run returns; it unblocks reader goroutines.
+	done chan struct{}
+	// events carries decoded updates and connection failures to Run.
+	events chan event
+	// regErr carries a fatal registration failure (strict mode).
+	regErr chan error
+	// regReady is closed once all NumClients sessions registered.
+	regReady chan struct{}
+
+	mu            sync.Mutex
+	round         int            // round currently being collected
+	history       []GlobalMsg    // aggregates of completed rounds, by round
+	sessions      []*session     // by client id, registration order
+	byKey         map[string]*session
+	conns         map[*countingConn]struct{} // live, un-absorbed connections
+	regDone       bool
+	bytesRead     int64
+	bytesSent     int64
+	partialRounds int
+}
+
+// session is the server-side state of one client, surviving reconnects.
+type session struct {
+	id   int
+	key  string
+	name string
+
+	mu   sync.Mutex
+	conn *countingConn // nil while disconnected
+	enc  *gob.Encoder
+	gen  int // bumps per attached connection; stale readers detach no-one
+	sent int // next round whose GlobalMsg this connection needs
+}
+
+// event is a reader/accept notification to the round loop.
+type event struct {
+	sess *session
+	upd  *UpdateMsg // nil for a connection failure
+	err  error
 }
 
 // NewServer binds the listen socket. Call Run to serve.
@@ -43,195 +97,481 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.IOTimeout <= 0 {
 		cfg.IOTimeout = defaultIOTimeout
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addr, err)
+	if cfg.MinClients <= 0 {
+		cfg.MinClients = 1
 	}
-	return &Server{cfg: cfg, ln: ln}, nil
+	if cfg.MinClients > cfg.NumClients {
+		cfg.MinClients = cfg.NumClients
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addr, err)
+		}
+	}
+	return &Server{
+		cfg:      cfg,
+		ln:       ln,
+		done:     make(chan struct{}),
+		events:   make(chan event, cfg.NumClients*4),
+		regErr:   make(chan error, 1),
+		regReady: make(chan struct{}),
+		byKey:    make(map[string]*session),
+		conns:    make(map[*countingConn]struct{}),
+	}, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
+// faultTolerant reports whether partial aggregation and resume are enabled.
+func (s *Server) faultTolerant() bool { return s.cfg.RoundDeadline > 0 }
+
 // WireBytes returns the total bytes received from and sent to clients.
 func (s *Server) WireBytes() (read, sent int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.bytesRead, s.bytesSent
+	read, sent = s.bytesRead, s.bytesSent
+	for cc := range s.conns {
+		r, w := cc.Counts()
+		read += r
+		sent += w
+	}
+	return read, sent
 }
 
-// peer is the server-side state of one client connection.
-type peer struct {
-	conn *countingConn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	name string
-}
-
-// Run accepts the configured number of clients, drives all rounds, and
-// returns the final global model. It honours ctx cancellation by tearing
-// down the listener and all connections.
-func (s *Server) Run(ctx context.Context) ([]float64, error) {
-	defer closeQuietly(s.ln)
-
-	// Tear everything down if the context is cancelled.
-	var peersMu sync.Mutex
-	var peers []*peer
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		select {
-		case <-ctx.Done():
-			closeQuietly(s.ln)
-			peersMu.Lock()
-			for _, p := range peers {
-				closeQuietly(p.conn)
-			}
-			peersMu.Unlock()
-		case <-stop:
-		}
-	}()
-
-	// Registration barrier.
-	for len(peers) < s.cfg.NumClients {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			return nil, fmt.Errorf("transport: accept: %w", err)
-		}
-		cc := &countingConn{Conn: conn}
-		p := &peer{conn: cc, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}
-		var join JoinMsg
-		if err := s.recv(p, &join); err != nil {
-			closeQuietly(cc)
-			return nil, fmt.Errorf("transport: registration: %w", err)
-		}
-		p.name = join.Name
-		peersMu.Lock()
-		peers = append(peers, p)
-		peersMu.Unlock()
-	}
-	defer func() {
-		for _, p := range peers {
-			closeQuietly(p.conn)
-		}
-	}()
-
-	for id, p := range peers {
-		w := WelcomeMsg{
-			ClientID:   id,
-			NumClients: s.cfg.NumClients,
-			Rounds:     s.cfg.Rounds,
-			Dim:        len(s.cfg.Init),
-			Init:       s.cfg.Init,
-		}
-		if err := s.send(p, &w); err != nil {
-			return nil, fmt.Errorf("transport: welcome client %d: %w", id, err)
-		}
-	}
-
-	global := append([]float64(nil), s.cfg.Init...)
-	for round := 0; round < s.cfg.Rounds; round++ {
-		updates := make([]UpdateMsg, len(peers))
-		var wg sync.WaitGroup
-		errs := make([]error, len(peers))
-		for i, p := range peers {
-			wg.Add(1)
-			go func(i int, p *peer) {
-				defer wg.Done()
-				errs[i] = s.recv(p, &updates[i])
-			}(i, p)
-		}
-		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				if ctx.Err() != nil {
-					return nil, ctx.Err()
-				}
-				return nil, fmt.Errorf("transport: round %d recv from client %d (%s): %w", round, i, peers[i].name, err)
-			}
-			if updates[i].Round != round {
-				return nil, protocolErrorf("client %d sent round %d during round %d", i, updates[i].Round, round)
-			}
-		}
-
-		agg, err := aggregate(updates)
-		if err != nil {
-			return nil, fmt.Errorf("transport: round %d: %w", round, err)
-		}
-		msg := GlobalMsg{Round: round, Payload: agg}
-		for i, p := range peers {
-			if err := s.send(p, &msg); err != nil {
-				if ctx.Err() != nil {
-					return nil, ctx.Err()
-				}
-				return nil, fmt.Errorf("transport: round %d send to client %d: %w", round, i, err)
-			}
-		}
-		// A full-length aggregate is the new dense global; compact
-		// (mask-elided) aggregates only update the transmitted positions
-		// on the clients, so the server's dense copy is informational.
-		if len(agg) == len(global) {
-			global = agg
-		}
-	}
-
+// PartialRounds returns how many rounds aggregated fewer than NumClients
+// updates (always 0 in strict mode).
+func (s *Server) PartialRounds() int {
 	s.mu.Lock()
-	for _, p := range peers {
-		r, w := p.conn.Counts()
+	defer s.mu.Unlock()
+	return s.partialRounds
+}
+
+// track registers a live connection for byte accounting.
+func (s *Server) track(cc *countingConn) {
+	s.mu.Lock()
+	s.conns[cc] = struct{}{}
+	s.mu.Unlock()
+}
+
+// absorb folds a connection's byte counts into the server totals exactly
+// once and closes it.
+func (s *Server) absorb(cc *countingConn) {
+	s.mu.Lock()
+	if _, live := s.conns[cc]; live {
+		delete(s.conns, cc)
+		r, w := cc.Counts()
 		s.bytesRead += r
 		s.bytesSent += w
 	}
 	s.mu.Unlock()
+	closeQuietly(cc)
+}
+
+// detach drops a session's connection if it still is the given generation.
+func (s *Server) detach(sess *session, gen int) {
+	sess.mu.Lock()
+	if sess.gen != gen || sess.conn == nil {
+		sess.mu.Unlock()
+		return
+	}
+	cc := sess.conn
+	sess.conn, sess.enc = nil, nil
+	sess.mu.Unlock()
+	s.absorb(cc)
+}
+
+// post delivers an event to the round loop unless Run already returned.
+func (s *Server) post(ev event) {
+	select {
+	case s.events <- ev:
+	case <-s.done:
+	}
+}
+
+// Run accepts clients, drives all rounds, and returns the final global
+// model. It honours ctx cancellation by tearing down the listener and all
+// connections.
+func (s *Server) Run(ctx context.Context) ([]float64, error) {
+	defer close(s.done)
+	defer func() {
+		closeQuietly(s.ln)
+		s.mu.Lock()
+		live := make([]*countingConn, 0, len(s.conns))
+		for cc := range s.conns {
+			live = append(live, cc)
+		}
+		s.mu.Unlock()
+		for _, cc := range live {
+			s.absorb(cc)
+		}
+	}()
+
+	// Tear everything down if the context is cancelled.
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeQuietly(s.ln)
+			s.mu.Lock()
+			for cc := range s.conns {
+				closeQuietly(cc)
+			}
+			s.mu.Unlock()
+		case <-s.done:
+		}
+	}()
+
+	go s.acceptLoop()
+
+	// Registration barrier: all NumClients sessions must exist before
+	// round 0 (reconnects of registered sessions are fine meanwhile).
+	select {
+	case <-s.regReady:
+	case err := <-s.regErr:
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	agg := fl.NewAggregator(0)
+	defer agg.Close()
+
+	n := s.cfg.NumClients
+	received := make([]*UpdateMsg, n)
+	contribs := make([][]float64, n)
+	weights := make([]float64, n)
+	global := append([]float64(nil), s.cfg.Init...)
+
+	for round := 0; round < s.cfg.Rounds; round++ {
+		s.mu.Lock()
+		s.round = round
+		s.mu.Unlock()
+		s.markRound(round)
+
+		for i := range received {
+			received[i] = nil
+		}
+		count, err := s.collect(ctx, round, received)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkUpdates(round, received); err != nil {
+			return nil, fmt.Errorf("transport: %w", err)
+		}
+
+		dim := 0
+		for i, u := range received {
+			if u == nil {
+				contribs[i], weights[i] = nil, 0
+				continue
+			}
+			contribs[i], weights[i] = u.Payload, u.Weight
+			dim = len(u.Payload)
+		}
+		out := make([]float64, dim)
+		if !agg.WeightedMean(out, contribs, weights) {
+			return nil, protocolErrorf("round %d: all contributions withheld (total weight 0)", round)
+		}
+
+		msg := GlobalMsg{Round: round, Payload: out, Participants: count}
+		s.mu.Lock()
+		s.history = append(s.history, msg)
+		if count < n {
+			s.partialRounds++
+		}
+		s.mu.Unlock()
+
+		if err := s.broadcast(ctx, round); err != nil {
+			return nil, err
+		}
+		// A full-length aggregate is the new dense global; compact
+		// (mask-elided) aggregates only update the transmitted positions
+		// on the clients, so the server's dense copy is informational.
+		if len(out) == len(global) {
+			global = out
+		}
+	}
 	return global, nil
 }
 
-// aggregate computes the weighted mean of equal-length payloads.
-func aggregate(updates []UpdateMsg) ([]float64, error) {
-	if len(updates) == 0 {
-		return nil, protocolErrorf("no updates")
+// collect gathers round updates into received (indexed by client id) until
+// every client reported or, in fault-tolerant mode, the round deadline
+// passed with at least MinClients updates. Returns the participant count.
+func (s *Server) collect(ctx context.Context, round int, received []*UpdateMsg) (int, error) {
+	var deadline <-chan time.Time
+	var timer *time.Timer
+	if s.faultTolerant() {
+		timer = time.NewTimer(s.cfg.RoundDeadline)
+		defer timer.Stop()
+		deadline = timer.C
 	}
-	n := len(updates[0].Payload)
-	totalW := 0.0
-	for i, u := range updates {
-		if len(u.Payload) != n {
-			return nil, protocolErrorf("payload length mismatch: client 0 sent %d, client %d sent %d", n, i, len(u.Payload))
+	count := 0
+	for count < len(received) {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-deadline:
+			deadline = nil
+			if count >= s.cfg.MinClients {
+				return count, nil
+			}
+			// Below the aggregation floor: keep waiting for stragglers
+			// or reconnecting clients; ctx bounds the overall run.
+		case ev := <-s.events:
+			if ev.err != nil {
+				if s.faultTolerant() {
+					continue // the reader already detached the session
+				}
+				if ctx.Err() != nil {
+					return 0, ctx.Err()
+				}
+				return 0, fmt.Errorf("transport: round %d recv from client %d (%s): %w",
+					round, ev.sess.id, ev.sess.name, ev.err)
+			}
+			u := ev.upd
+			if u.Round < round {
+				continue // stale re-send of an already-aggregated round
+			}
+			if u.Round > round {
+				return 0, protocolErrorf("client %d sent round %d during round %d",
+					ev.sess.id, u.Round, round)
+			}
+			if received[ev.sess.id] != nil {
+				continue // idempotent duplicate (reconnect re-send)
+			}
+			received[ev.sess.id] = u
+			count++
 		}
-		if u.Weight < 0 {
-			return nil, protocolErrorf("negative weight %v from client %d", u.Weight, i)
+	}
+	return count, nil
+}
+
+// broadcast delivers every not-yet-sent aggregate (up to round) to each
+// connected session, keeping per-connection GlobalMsg delivery strictly
+// sequential. In strict mode a send failure aborts; in fault-tolerant mode
+// the session is detached and catches up after resuming.
+func (s *Server) broadcast(ctx context.Context, round int) error {
+	s.mu.Lock()
+	hist := s.history
+	sessions := append([]*session(nil), s.sessions...)
+	s.mu.Unlock()
+
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		cc, enc, gen := sess.conn, sess.enc, sess.gen
+		var err error
+		if cc == nil {
+			err = fmt.Errorf("client disconnected")
+		} else {
+			for r := sess.sent; r <= round; r++ {
+				if err = cc.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
+					break
+				}
+				if err = enc.Encode(&hist[r]); err != nil {
+					break
+				}
+				sess.sent = r + 1
+			}
 		}
-		totalW += u.Weight
-	}
-	if totalW == 0 {
-		return nil, protocolErrorf("all contributions withheld (total weight 0)")
-	}
-	out := make([]float64, n)
-	for _, u := range updates {
-		if u.Weight == 0 {
+		sess.mu.Unlock()
+		if err == nil {
 			continue
 		}
-		w := u.Weight / totalW
-		for j, v := range u.Payload {
-			out[j] += w * v
+		if !s.faultTolerant() {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("transport: round %d send to client %d: %w", round, sess.id, err)
+		}
+		if cc != nil {
+			s.detach(sess, gen)
 		}
 	}
-	return out, nil
+	return nil
 }
 
-// send encodes one message with a write deadline.
-func (s *Server) send(p *peer, msg any) error {
-	if err := p.conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
-		return err
+// markRound announces the round on every live connection so fault-injecting
+// wrappers (package chaos) can fire scripted faults.
+func (s *Server) markRound(round int) {
+	s.mu.Lock()
+	sessions := append([]*session(nil), s.sessions...)
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		if sess.conn != nil {
+			markRound(sess.conn, round)
+		}
+		sess.mu.Unlock()
 	}
-	return p.enc.Encode(msg)
 }
 
-// recv decodes one message with a read deadline.
-func (s *Server) recv(p *peer, msg any) error {
-	if err := p.conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
+// acceptLoop serves joins — registrations and session resumes — for the
+// whole run.
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: shutdown or cancellation
+		}
+		cc := &countingConn{Conn: conn}
+		s.track(cc)
+		enc := gob.NewEncoder(cc)
+		dec := gob.NewDecoder(cc)
+		_ = cc.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+		var join JoinMsg
+		if err := dec.Decode(&join); err != nil {
+			s.mu.Lock()
+			reg := s.regDone
+			s.mu.Unlock()
+			s.absorb(cc)
+			if !reg && !s.faultTolerant() {
+				// Strict registration keeps the hard barrier semantics: a
+				// client that fails to join aborts the run.
+				select {
+				case s.regErr <- fmt.Errorf("transport: registration: %w", err):
+				default:
+				}
+			}
+			continue
+		}
+		s.handleJoin(cc, enc, dec, &join)
+	}
+}
+
+// handleJoin registers a fresh session or resumes an existing one.
+func (s *Server) handleJoin(cc *countingConn, enc *gob.Encoder, dec *gob.Decoder, join *JoinMsg) {
+	s.mu.Lock()
+	if sess, ok := s.byKey[join.SessionKey]; ok && join.SessionKey != "" {
+		s.resume(sess, cc, enc, dec, join)
+		return // resume unlocks
+	}
+	if s.regDone || len(s.sessions) >= s.cfg.NumClients {
+		// Unknown sessions cannot join a running cluster.
+		s.mu.Unlock()
+		s.absorb(cc)
+		return
+	}
+	sess := &session{
+		id:   len(s.sessions),
+		key:  join.SessionKey,
+		name: join.Name,
+		conn: cc,
+		enc:  enc,
+		gen:  1,
+	}
+	s.sessions = append(s.sessions, sess)
+	if sess.key != "" {
+		s.byKey[sess.key] = sess
+	}
+	if len(s.sessions) == s.cfg.NumClients {
+		s.regDone = true
+		close(s.regReady)
+	}
+	s.mu.Unlock()
+
+	w := WelcomeMsg{
+		ClientID:   sess.id,
+		NumClients: s.cfg.NumClients,
+		Rounds:     s.cfg.Rounds,
+		Dim:        len(s.cfg.Init),
+		Init:       s.cfg.Init,
+	}
+	if err := s.send(sess, 1, &w); err != nil {
+		s.detach(sess, 1)
+		if !s.faultTolerant() {
+			// Run may be at the registration barrier or already in the
+			// round loop; feed whichever stage is listening.
+			werr := fmt.Errorf("transport: welcome client %d: %w", sess.id, err)
+			select {
+			case s.regErr <- werr:
+			default:
+			}
+			s.post(event{sess: sess, err: err})
+		}
+		return
+	}
+	go s.reader(sess, 1, cc, dec)
+}
+
+// resume re-attaches a reconnecting client to its session: it receives the
+// aggregates it missed (HaveRound+1 … latest) for replay, and this
+// connection's sequential GlobalMsg stream continues from there. Called
+// with s.mu held; unlocks it.
+func (s *Server) resume(sess *session, cc *countingConn, enc *gob.Encoder, dec *gob.Decoder, join *JoinMsg) {
+	done := len(s.history) // rounds aggregated so far
+	round := s.round
+	if join.HaveRound < -1 || join.HaveRound >= done {
+		s.mu.Unlock()
+		s.absorb(cc) // claims rounds the server never produced
+		return
+	}
+	missed := s.history[join.HaveRound+1 : done]
+	w := WelcomeMsg{
+		ClientID:   sess.id,
+		NumClients: s.cfg.NumClients,
+		Rounds:     s.cfg.Rounds,
+		Dim:        len(s.cfg.Init),
+		Init:       s.cfg.Init,
+		Round:      round,
+		Resumed:    true,
+		Missed:     missed,
+	}
+	s.mu.Unlock()
+
+	sess.mu.Lock()
+	old := sess.conn
+	sess.gen++
+	gen := sess.gen
+	sess.conn, sess.enc = cc, enc
+	sess.sent = done
+	sess.mu.Unlock()
+	if old != nil {
+		s.absorb(old)
+	}
+
+	if err := s.send(sess, gen, &w); err != nil {
+		s.detach(sess, gen)
+		return
+	}
+	go s.reader(sess, gen, cc, dec)
+}
+
+// send encodes one message on a session's current connection if it still is
+// the given generation.
+func (s *Server) send(sess *session, gen int, msg any) error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.gen != gen || sess.conn == nil {
+		return fmt.Errorf("connection replaced")
+	}
+	if err := sess.conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
 		return err
 	}
-	return p.dec.Decode(msg)
+	return sess.enc.Encode(msg)
+}
+
+// reader decodes one connection's updates into the event stream until the
+// connection fails; then it detaches the session (a resumed connection has
+// a newer generation and is left alone).
+func (s *Server) reader(sess *session, gen int, cc *countingConn, dec *gob.Decoder) {
+	for {
+		if err := cc.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
+			s.detach(sess, gen)
+			s.post(event{sess: sess, err: err})
+			return
+		}
+		var u UpdateMsg
+		if err := dec.Decode(&u); err != nil {
+			s.detach(sess, gen)
+			s.post(event{sess: sess, err: err})
+			return
+		}
+		s.post(event{sess: sess, upd: &u})
+	}
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
@@ -215,29 +216,50 @@ func TestClientContextCancellation(t *testing.T) {
 	}
 }
 
-func TestAggregateWeightedMean(t *testing.T) {
-	out, err := aggregate([]UpdateMsg{
+func TestCheckUpdatesAndWeightedMean(t *testing.T) {
+	ups := []*UpdateMsg{
 		{Payload: []float64{1, 2}, Weight: 1},
 		{Payload: []float64{3, 6}, Weight: 3},
-	})
-	if err != nil {
+	}
+	if err := checkUpdates(0, ups); err != nil {
 		t.Fatal(err)
+	}
+	agg := fl.NewAggregator(1)
+	defer agg.Close()
+	out := make([]float64, 2)
+	if !agg.WeightedMean(out, [][]float64{ups[0].Payload, ups[1].Payload}, []float64{1, 3}) {
+		t.Fatal("WeightedMean reported nothing to aggregate")
 	}
 	if out[0] != 2.5 || out[1] != 5 {
 		t.Errorf("aggregate = %v, want [2.5 5]", out)
 	}
 
-	if _, err := aggregate(nil); err == nil {
+	if err := checkUpdates(0, nil); err == nil {
 		t.Error("accepted empty updates")
 	}
-	if _, err := aggregate([]UpdateMsg{{Payload: []float64{1}}, {Payload: []float64{1, 2}}}); err == nil {
+	if err := checkUpdates(0, []*UpdateMsg{nil, nil}); err == nil {
+		t.Error("accepted all-absent updates")
+	}
+	if err := checkUpdates(0, []*UpdateMsg{{Payload: []float64{1}}, {Payload: []float64{1, 2}}}); err == nil {
 		t.Error("accepted mismatched payload lengths")
 	}
-	if _, err := aggregate([]UpdateMsg{{Payload: []float64{1}, Weight: 0}}); err == nil {
-		t.Error("accepted total weight 0")
-	}
-	if _, err := aggregate([]UpdateMsg{{Payload: []float64{1}, Weight: -1}}); err == nil {
+	if err := checkUpdates(0, []*UpdateMsg{{Payload: []float64{1}, Weight: -1}}); err == nil {
 		t.Error("accepted negative weight")
+	}
+	if err := checkUpdates(0, []*UpdateMsg{{Payload: []float64{1}, Weight: math.NaN()}}); err == nil {
+		t.Error("accepted NaN weight")
+	}
+	// Partial rounds skip absent clients.
+	if err := checkUpdates(0, []*UpdateMsg{nil, {Payload: []float64{1}, Weight: 1}}); err != nil {
+		t.Errorf("rejected a valid partial round: %v", err)
+	}
+	// Mask divergence is a typed error.
+	err := checkUpdates(0, []*UpdateMsg{
+		{Payload: []float64{1}, Weight: 1, MaskHash: 7},
+		{Payload: []float64{2}, Weight: 1, MaskHash: 8},
+	})
+	if !errors.Is(err, ErrMaskDivergence) {
+		t.Errorf("expected ErrMaskDivergence, got %v", err)
 	}
 }
 
