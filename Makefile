@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet race fuzz bench hotpath ci
+.PHONY: tier1 vet race fuzz crashtest bench hotpath ci
 
 # Tier-1 verify (see ROADMAP.md): must stay green on every commit.
 tier1:
@@ -23,6 +23,14 @@ race:
 fuzz:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzServerDecode$$' -fuzztime 10s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzClientDecode$$' -fuzztime 10s
+	$(GO) test ./internal/checkpoint/ -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime 10s
+
+# Crash drill: build the real apf-server binary, SIGKILL it mid-round via
+# a scripted chaos fault, restart it against the same checkpoint
+# directory, and require the final weights to be bit-identical to an
+# uninterrupted run.
+crashtest:
+	APF_CRASHTEST=1 $(GO) test ./internal/transport/ -run '^TestCrashRealSIGKILL$$' -v -timeout 8m
 
 # Quick look at the round-critical benchmarks.
 bench:
@@ -32,4 +40,4 @@ bench:
 hotpath:
 	$(GO) run ./cmd/apfbench -hotpath BENCH_hotpath.json
 
-ci: tier1 vet race fuzz hotpath
+ci: tier1 vet race fuzz crashtest hotpath

@@ -14,10 +14,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"apf/internal/chaos"
+	"apf/internal/checkpoint"
 	"apf/internal/core"
 	"apf/internal/data"
 	"apf/internal/fl"
@@ -38,15 +40,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("apf-client", flag.ContinueOnError)
 	var (
-		addr   = fs.String("addr", "127.0.0.1:7070", "server address")
-		model  = fs.String("model", "lenet", "workload preset: lenet | lstm | mlp")
-		seed   = fs.Int64("seed", 42, "shared seed (must match the server)")
-		shard  = fs.Int("shard", 0, "this client's shard index")
-		shards = fs.Int("shards", 3, "total number of shards (= clients)")
+		addr      = fs.String("addr", "127.0.0.1:7070", "server address")
+		model     = fs.String("model", "lenet", "workload preset: lenet | lstm | mlp")
+		seed      = fs.Int64("seed", 42, "shared seed (must match the server)")
+		shard     = fs.Int("shard", 0, "this client's shard index")
+		shards    = fs.Int("shards", 3, "total number of shards (= clients)")
 		iters     = fs.Int("iters", 4, "local iterations per round (Fs)")
 		scheme    = fs.String("scheme", "apf", "sync scheme: apf | none")
 		alpha     = fs.Float64("dirichlet", 1.0, "Dirichlet concentration for the non-IID split")
 		retries   = fs.Int("retries", 0, "reconnect attempts after a connection failure (0 = fail fast)")
+		ckptDir   = fs.String("checkpoint-dir", "", "directory for periodic APF manager state exports (empty = none)")
+		snapEvery = fs.Int("snapshot-every", 5, "export the manager state every K applied rounds")
 		chaosSpec = fs.String("chaos", "", "fault-injection script, e.g. 'sever@3;delay@7:500ms' (testing)")
 		chaosSeed = fs.Int64("chaos-seed", 1, "seed for randomized chaos choices")
 	)
@@ -66,17 +70,50 @@ func run(args []string) error {
 	parts := data.PartitionDirichlet(stats.SplitRNG(*seed, 1), p.Data.Labels, p.Data.Classes, *shards, *alpha)
 
 	var manager fl.ManagerFactory
+	var apfManager *core.Manager // captured for -checkpoint-dir exports
 	switch *scheme {
 	case "apf":
 		manager = func(clientID, dim int) fl.SyncManager {
-			return core.NewManager(core.Config{
+			m := core.NewManager(core.Config{
 				Dim: dim, CheckEveryRounds: 2, Threshold: 0.1, EMAAlpha: 0.85, Seed: *seed,
 			})
+			apfManager = m
+			return m
 		}
 	case "none":
 		manager = func(clientID, dim int) fl.SyncManager { return fl.NewPassthroughManager(4) }
 	default:
 		return fmt.Errorf("unknown scheme %q (want apf or none)", *scheme)
+	}
+
+	// Periodic manager export: every K applied rounds the freezing state
+	// (EMAs, periods, mask) is framed to disk, so an operator can inspect
+	// or archive a client's APF trajectory. Best-effort: an export failure
+	// warns but never aborts training.
+	var onRound func(round int, model []float64)
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+		every := *snapEvery
+		if every <= 0 {
+			every = 5
+		}
+		onRound = func(round int, model []float64) {
+			if apfManager == nil || (round+1)%every != 0 {
+				return
+			}
+			buf := checkpoint.EncodeManager(apfManager.Snapshot())
+			path := filepath.Join(*ckptDir, fmt.Sprintf("manager-%08d.ckpt", round+1))
+			tmp := path + ".tmp"
+			if err := os.WriteFile(tmp, buf, 0o644); err == nil {
+				err = os.Rename(tmp, path)
+				if err == nil {
+					return
+				}
+			}
+			fmt.Fprintf(os.Stderr, "apf-client: checkpoint export for round %d failed\n", round)
+		}
 	}
 
 	name := fmt.Sprintf("shard-%d", *shard)
@@ -112,6 +149,7 @@ func run(args []string) error {
 		Seed:       *seed + int64(*shard),
 		MaxRetries: *retries,
 		Dial:       dial,
+		OnRound:    onRound,
 	})
 	if err != nil {
 		return err

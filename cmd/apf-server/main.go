@@ -42,7 +42,10 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 42, "shared seed (must match the clients)")
 		deadline   = fs.Duration("deadline", 0, "round deadline enabling partial aggregation and session resume (0 = strict barrier)")
 		minClients = fs.Int("min-clients", 1, "minimum updates before a round deadline may aggregate")
-		chaosSpec  = fs.String("chaos", "", "fault-injection script, e.g. 'accept:1/sever-write@5;delay@3:500ms' (testing)")
+		ckptDir    = fs.String("checkpoint-dir", "", "directory for the durable snapshot + WAL; a restarted server resumes from it bit-exactly (empty = not durable)")
+		snapEvery  = fs.Int("snapshot-every", 5, "rotate the checkpoint snapshot every K committed rounds")
+		maxNorm    = fs.Float64("max-norm-mult", 0, "enable update sanitization, rejecting updates whose L2 norm exceeds this multiple of the recent median (0 = off)")
+		chaosSpec  = fs.String("chaos", "", "fault-injection script, e.g. 'accept:1/sever-write@5;kill-server@7' (testing)")
 		chaosSeed  = fs.Int64("chaos-seed", 1, "seed for randomized chaos choices")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,10 +68,22 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		ln = chaos.NewScript(*chaosSeed, faults...).Listener(inner)
+		script := chaos.NewScript(*chaosSeed, faults...)
+		// A scripted kill-server fault is a real crash: SIGKILL skips all
+		// deferred cleanup, exactly what the durable checkpoint recovery
+		// must tolerate (make crashtest exercises this path).
+		script.SetOnKill(func() {
+			fmt.Println("apf-server: chaos kill-server fault fired, crashing")
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		})
+		ln = script.Listener(inner)
 		fmt.Printf("apf-server: chaos script armed with %d fault(s)\n", len(faults))
 	}
 
+	var validator *transport.ValidatorConfig
+	if *maxNorm > 0 {
+		validator = &transport.ValidatorConfig{MaxNormMult: *maxNorm}
+	}
 	srv, err := transport.NewServer(transport.ServerConfig{
 		Addr:          *addr,
 		Listener:      ln,
@@ -77,9 +92,15 @@ func run(args []string) error {
 		Init:          init,
 		RoundDeadline: *deadline,
 		MinClients:    *minClients,
+		CheckpointDir: *ckptDir,
+		SnapshotEvery: *snapEvery,
+		Validator:     validator,
 	})
 	if err != nil {
 		return err
+	}
+	if *ckptDir != "" && srv.StartRound() > 0 {
+		fmt.Printf("apf-server: resumed from checkpoint at round %d\n", srv.StartRound())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,6 +116,12 @@ func run(args []string) error {
 		metrics.FormatBytes(read), metrics.FormatBytes(sent))
 	if n := srv.PartialRounds(); n > 0 {
 		fmt.Printf("apf-server: %d round(s) aggregated without full participation\n", n)
+	}
+	if n := srv.RejectedUpdates(); n > 0 {
+		fmt.Printf("apf-server: %d update(s) rejected by sanitization\n", n)
+	}
+	if v := srv.Validator(); v != nil && v.QuarantinedCount() > 0 {
+		fmt.Printf("apf-server: %d client(s) quarantined\n", v.QuarantinedCount())
 	}
 	return nil
 }

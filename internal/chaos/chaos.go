@@ -42,7 +42,29 @@ const (
 	// PartialWrite writes only a prefix of the triggering write, then
 	// severs the connection, leaving a torn message on the wire.
 	PartialWrite
+	// KillServer invokes the script's OnKill hook at the trigger point,
+	// modelling a coordinator crash (kill -9) rather than a connection
+	// fault. The process under test wires OnKill to its crash path:
+	// cmd/apf-server SIGKILLs itself; in-process tests cancel the server
+	// context. Peer naming still applies — the fault fires when the
+	// scripted round is marked on a matching connection.
+	KillServer
 )
+
+// String names the kind in -chaos flag syntax.
+func (k Kind) String() string {
+	switch k {
+	case Sever:
+		return "sever"
+	case Delay:
+		return "delay"
+	case PartialWrite:
+		return "partial"
+	case KillServer:
+		return "kill-server"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
 
 // Op anchors a fault to an operation at or after its round mark.
 type Op int
@@ -83,7 +105,7 @@ func (f Fault) anchor() Op {
 	if f.Op != 0 {
 		return f.Op
 	}
-	if f.Kind == Sever {
+	if f.Kind == Sever || f.Kind == KillServer {
 		return AtMark
 	}
 	return OnWrite
@@ -101,6 +123,7 @@ type Script struct {
 	faults   []Fault
 	fired    []bool
 	accepted int
+	onKill   func()
 }
 
 // NewScript builds a script from the given faults.
@@ -110,6 +133,27 @@ func NewScript(seed int64, faults ...Fault) *Script {
 		faults: append([]Fault(nil), faults...),
 		fired:  make([]bool, len(faults)),
 	}
+}
+
+// SetOnKill installs the hook invoked by KillServer faults. Set it before
+// any connection reaches a scripted kill round; a KillServer fault firing
+// with no hook installed panics (a mis-wired crash script must not
+// silently keep the process alive).
+func (s *Script) SetOnKill(fn func()) {
+	s.mu.Lock()
+	s.onKill = fn
+	s.mu.Unlock()
+}
+
+// kill invokes the OnKill hook for a fired KillServer fault.
+func (s *Script) kill() {
+	s.mu.Lock()
+	fn := s.onKill
+	s.mu.Unlock()
+	if fn == nil {
+		panic("chaos: KillServer fault fired with no OnKill hook installed")
+	}
+	fn()
 }
 
 // take consumes all unfired faults for (peer, round); each is returned at
@@ -200,6 +244,10 @@ type Conn struct {
 // sever fires immediately.
 func (c *Conn) MarkRound(round int) {
 	for _, f := range c.script.take(c.peer, round) {
+		if f.Kind == KillServer && f.anchor() == AtMark {
+			c.script.kill()
+			continue
+		}
 		switch f.anchor() {
 		case AtMark:
 			c.sever()
@@ -249,6 +297,10 @@ func (c *Conn) Write(p []byte) (int, error) {
 		case Sever:
 			c.sever()
 			return 0, ErrInjected
+		case KillServer:
+			c.script.kill()
+			c.sever() // the dead process's sockets reset
+			return 0, ErrInjected
 		case Delay:
 			time.Sleep(f.Delay)
 		case PartialWrite:
@@ -280,6 +332,10 @@ func (c *Conn) Read(p []byte) (int, error) {
 		case Sever, PartialWrite:
 			c.sever()
 			return 0, ErrInjected
+		case KillServer:
+			c.script.kill()
+			c.sever()
+			return 0, ErrInjected
 		case Delay:
 			time.Sleep(f.Delay)
 		}
@@ -291,63 +347,30 @@ func (c *Conn) Read(p []byte) (int, error) {
 //
 //	[peer/]kind@round[:arg]
 //
-// where kind is sever, sever-write, sever-read, delay, or partial; arg is
-// the delay duration (delay) or prefix byte count (partial). Examples:
+// where kind is sever, sever-write, sever-read, delay, partial, or
+// kill-server; arg is the delay duration (delay) or prefix byte count
+// (partial). Examples:
 //
 //	sever@3                        kill the connection at round 3
 //	delay@4:500ms                  sleep 500ms before round 4's send
 //	partial@2:16                   tear round 2's send after 16 bytes
 //	accept:1/sever-write@5         server side: sever accepted conn 1
 //	                               during round 5's broadcast write
+//	kill-server@7                  crash the coordinator when round 7
+//	                               is announced (needs an OnKill hook)
+//
+// Errors name the offending token and its 1-based position in the spec,
+// so a long flag value pinpoints its own bad entry.
 func ParseSpec(spec string) ([]Fault, error) {
 	var out []Fault
-	for _, part := range strings.Split(spec, ";") {
-		part = strings.TrimSpace(part)
+	for pos, raw := range strings.Split(spec, ";") {
+		part := strings.TrimSpace(raw)
 		if part == "" {
 			continue
 		}
-		var f Fault
-		if i := strings.LastIndex(part, "/"); i >= 0 {
-			f.Peer, part = part[:i], part[i+1:]
-		}
-		kindArg, roundArg, ok := strings.Cut(part, "@")
-		if !ok {
-			return nil, fmt.Errorf("chaos: fault %q missing @round", part)
-		}
-		roundStr, arg, hasArg := strings.Cut(roundArg, ":")
-		round, err := strconv.Atoi(roundStr)
-		if err != nil || round < 0 {
-			return nil, fmt.Errorf("chaos: invalid round %q", roundStr)
-		}
-		f.Round = round
-		switch kindArg {
-		case "sever":
-			f.Kind = Sever
-		case "sever-write":
-			f.Kind, f.Op = Sever, OnWrite
-		case "sever-read":
-			f.Kind, f.Op = Sever, OnRead
-		case "delay":
-			f.Kind = Delay
-			if !hasArg {
-				return nil, fmt.Errorf("chaos: delay fault %q missing duration", part)
-			}
-			d, err := time.ParseDuration(arg)
-			if err != nil {
-				return nil, fmt.Errorf("chaos: invalid delay %q: %w", arg, err)
-			}
-			f.Delay = d
-		case "partial":
-			f.Kind = PartialWrite
-			if hasArg {
-				n, err := strconv.Atoi(arg)
-				if err != nil || n < 0 {
-					return nil, fmt.Errorf("chaos: invalid partial-write size %q", arg)
-				}
-				f.Bytes = n
-			}
-		default:
-			return nil, fmt.Errorf("chaos: unknown fault kind %q", kindArg)
+		f, err := parseFault(part)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: fault %d (%q): %w", pos+1, part, err)
 		}
 		out = append(out, f)
 	}
@@ -355,4 +378,91 @@ func ParseSpec(spec string) ([]Fault, error) {
 		return nil, fmt.Errorf("chaos: empty fault spec %q", spec)
 	}
 	return out, nil
+}
+
+// parseFault parses one [peer/]kind@round[:arg] token.
+func parseFault(part string) (Fault, error) {
+	var f Fault
+	if i := strings.LastIndex(part, "/"); i >= 0 {
+		f.Peer, part = part[:i], part[i+1:]
+	}
+	kindArg, roundArg, ok := strings.Cut(part, "@")
+	if !ok {
+		return Fault{}, fmt.Errorf("missing @round")
+	}
+	roundStr, arg, hasArg := strings.Cut(roundArg, ":")
+	round, err := strconv.Atoi(roundStr)
+	if err != nil || round < 0 {
+		return Fault{}, fmt.Errorf("invalid round %q", roundStr)
+	}
+	f.Round = round
+	switch kindArg {
+	case "sever":
+		f.Kind = Sever
+	case "sever-write":
+		f.Kind, f.Op = Sever, OnWrite
+	case "sever-read":
+		f.Kind, f.Op = Sever, OnRead
+	case "kill-server":
+		f.Kind = KillServer
+	case "delay":
+		f.Kind = Delay
+		if !hasArg {
+			return Fault{}, fmt.Errorf("delay missing duration")
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return Fault{}, fmt.Errorf("invalid delay %q: %w", arg, err)
+		}
+		f.Delay = d
+	case "partial":
+		f.Kind = PartialWrite
+		if hasArg {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return Fault{}, fmt.Errorf("invalid partial-write size %q", arg)
+			}
+			f.Bytes = n
+		}
+	default:
+		return Fault{}, fmt.Errorf("unknown fault kind %q", kindArg)
+	}
+	if hasArg && f.Kind != Delay && f.Kind != PartialWrite {
+		return Fault{}, fmt.Errorf("%s takes no :%s argument", kindArg, arg)
+	}
+	return f, nil
+}
+
+// FormatSpec renders faults back into ParseSpec syntax; parsing the
+// result reproduces the faults (the round-trip is tested). Faults with
+// anchors or kinds the flag syntax cannot express come out closest-match
+// (e.g. an OnRead delay formats as a plain delay).
+func FormatSpec(faults []Fault) string {
+	parts := make([]string, 0, len(faults))
+	for _, f := range faults {
+		var b strings.Builder
+		if f.Peer != "" {
+			b.WriteString(f.Peer)
+			b.WriteByte('/')
+		}
+		switch {
+		case f.Kind == Sever && f.Op == OnWrite:
+			b.WriteString("sever-write")
+		case f.Kind == Sever && f.Op == OnRead:
+			b.WriteString("sever-read")
+		default:
+			b.WriteString(f.Kind.String())
+		}
+		fmt.Fprintf(&b, "@%d", f.Round)
+		switch f.Kind {
+		case Delay:
+			fmt.Fprintf(&b, ":%s", f.Delay)
+		case PartialWrite:
+			if f.Bytes > 0 {
+				fmt.Fprintf(&b, ":%d", f.Bytes)
+			}
+		}
+		parts = append(parts, b.String())
+	}
+	return strings.Join(parts, ";")
 }

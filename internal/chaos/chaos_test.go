@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 )
@@ -29,11 +30,123 @@ func TestParseSpec(t *testing.T) {
 		}
 	}
 
-	for _, bad := range []string{"", "sever", "sever@x", "sever@-1", "delay@3", "delay@3:xyz", "partial@3:-2", "flip@1", ";;"} {
+	for _, bad := range []string{"", "sever", "sever@x", "sever@-1", "delay@3", "delay@3:xyz", "partial@3:-2", "flip@1", ";;", "sever@3:junk", "kill-server@2:5"} {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", bad)
 		}
 	}
+}
+
+// TestParseSpecErrorsNamePosition checks a bad token in a long spec is
+// reported with its 1-based position and its own text, so the operator
+// can find it without bisecting the flag value.
+func TestParseSpecErrorsNamePosition(t *testing.T) {
+	cases := []struct {
+		spec       string
+		wantSubstr []string
+	}{
+		{"sever@3;delay@4:oops;partial@2", []string{"fault 2", `"delay@4:oops"`, "invalid delay"}},
+		{"sever@3;sever@4;flip@1", []string{"fault 3", `"flip@1"`, "unknown fault kind"}},
+		{"sever@nope", []string{"fault 1", `"sever@nope"`, "invalid round"}},
+		{"sever@1; ;sever", []string{"fault 3", `"sever"`, "missing @round"}},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", tc.spec)
+		}
+		for _, sub := range tc.wantSubstr {
+			if !strings.Contains(err.Error(), sub) {
+				t.Errorf("ParseSpec(%q) error %q missing %q", tc.spec, err, sub)
+			}
+		}
+	}
+}
+
+// TestSpecRoundTrip formats faults back to spec syntax and re-parses
+// them: the table covers every kind, both explicit anchors, peers, and
+// arguments.
+func TestSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		faults []Fault
+		spec   string // expected FormatSpec output
+	}{
+		{"sever at mark", []Fault{{Round: 3, Kind: Sever}}, "sever@3"},
+		{"sever on write", []Fault{{Round: 5, Kind: Sever, Op: OnWrite}}, "sever-write@5"},
+		{"sever on read", []Fault{{Round: 1, Kind: Sever, Op: OnRead}}, "sever-read@1"},
+		{"delay", []Fault{{Round: 4, Kind: Delay, Delay: 500 * time.Millisecond}}, "delay@4:500ms"},
+		{"partial sized", []Fault{{Round: 2, Kind: PartialWrite, Bytes: 16}}, "partial@2:16"},
+		{"partial random", []Fault{{Round: 2, Kind: PartialWrite}}, "partial@2"},
+		{"kill server", []Fault{{Round: 7, Kind: KillServer}}, "kill-server@7"},
+		{"peered", []Fault{{Peer: "accept:1", Round: 5, Kind: Sever, Op: OnWrite}}, "accept:1/sever-write@5"},
+		{
+			"mixed script",
+			[]Fault{
+				{Peer: "eq-0", Round: 1, Kind: Sever},
+				{Round: 3, Kind: Delay, Delay: 20 * time.Millisecond},
+				{Round: 6, Kind: KillServer},
+			},
+			"eq-0/sever@1;delay@3:20ms;kill-server@6",
+		},
+	}
+	for _, tc := range cases {
+		spec := FormatSpec(tc.faults)
+		if spec != tc.spec {
+			t.Errorf("%s: FormatSpec = %q, want %q", tc.name, spec, tc.spec)
+		}
+		parsed, err := ParseSpec(spec)
+		if err != nil {
+			t.Errorf("%s: re-parse %q: %v", tc.name, spec, err)
+			continue
+		}
+		if len(parsed) != len(tc.faults) {
+			t.Errorf("%s: round trip produced %d faults, want %d", tc.name, len(parsed), len(tc.faults))
+			continue
+		}
+		for i := range parsed {
+			if parsed[i] != tc.faults[i] {
+				t.Errorf("%s: fault %d round-tripped to %+v, want %+v", tc.name, i, parsed[i], tc.faults[i])
+			}
+		}
+	}
+}
+
+// TestKillServerFiresHook checks a kill-server fault invokes the OnKill
+// hook exactly once, at the scripted round, and that firing without a
+// hook panics (a mis-wired crash script must be loud).
+func TestKillServerFiresHook(t *testing.T) {
+	s := NewScript(1, Fault{Round: 4, Kind: KillServer})
+	kills := 0
+	s.SetOnKill(func() { kills++ })
+	c, srv := pipePeer(s, "accept:0")
+	defer srv.Close()
+
+	c.MarkRound(3)
+	if kills != 0 {
+		t.Fatalf("hook fired before the scripted round")
+	}
+	c.MarkRound(4)
+	if kills != 1 {
+		t.Fatalf("kills = %d after the scripted round, want 1", kills)
+	}
+	c.MarkRound(4) // fault already consumed
+	c2, srv2 := pipePeer(s, "accept:1")
+	defer srv2.Close()
+	c2.MarkRound(4)
+	if kills != 1 {
+		t.Fatalf("kills = %d, kill fault fired more than once", kills)
+	}
+
+	s2 := NewScript(1, Fault{Round: 0, Kind: KillServer})
+	c3, srv3 := pipePeer(s2, "accept:0")
+	defer srv3.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KillServer with no OnKill hook did not panic")
+		}
+	}()
+	c3.MarkRound(0)
 }
 
 // pipePeer returns a wrapped client end and the raw server end of a pipe.

@@ -1,0 +1,128 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"apf/internal/core"
+	"apf/internal/fl"
+	"apf/internal/perturb"
+)
+
+// EncodeManager frames a core.State manager snapshot (KindManager). The
+// encoding is bit-exact: every float64 round-trips through its IEEE-754
+// bits, so a restored manager continues the freezing protocol from the
+// identical EMAs, periods, and threshold.
+func EncodeManager(s *core.State) []byte {
+	var w Writer
+	w.Int(s.Dim)
+	w.F64s(s.Ref)
+	w.F64s(s.LastCheck)
+	w.F64(s.Tracker.Alpha)
+	w.F64s(s.Tracker.E)
+	w.F64s(s.Tracker.A)
+	w.Int(s.Tracker.Seen)
+	w.U64s(s.Tracker.Seeded)
+	w.F64s(s.Period)
+	w.Ints(s.UnfreezeAt)
+	w.Ints(s.RandomUntil)
+	w.F64(s.Threshold)
+	w.Int(s.CheckCount)
+	w.Bool(s.Initialized)
+	w.Int(s.InitRound)
+	w.Int(s.LastRound)
+	return AppendFrame(nil, KindManager, w.Bytes())
+}
+
+// DecodeManager reads an EncodeManager frame back into a core.State,
+// verifying checksum, version, kind, and structure.
+func DecodeManager(buf []byte) (*core.State, error) {
+	kind, payload, rest, err := ReadFrame(buf)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindManager {
+		return nil, fmt.Errorf("%w: frame kind %d, want manager (%d)", ErrCorrupt, kind, KindManager)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes after manager frame", ErrCorrupt, len(rest))
+	}
+	r := NewReader(payload)
+	s := &core.State{}
+	s.Dim = r.Int()
+	s.Ref = r.F64s()
+	s.LastCheck = r.F64s()
+	s.Tracker = perturb.EMAState{
+		Alpha:  r.F64(),
+		E:      r.F64s(),
+		A:      r.F64s(),
+		Seen:   r.Int(),
+		Seeded: r.U64s(),
+	}
+	s.Period = r.F64s()
+	s.UnfreezeAt = r.Ints()
+	s.RandomUntil = r.Ints()
+	s.Threshold = r.F64()
+	s.CheckCount = r.Int()
+	s.Initialized = r.Bool()
+	s.InitRound = r.Int()
+	s.LastRound = r.Int()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EncodeAggregator frames an fl.AggregatorState — the in-flight partial
+// contributions and received-set of one round (KindAggregator).
+func EncodeAggregator(s *fl.AggregatorState) []byte {
+	var w Writer
+	w.Bool(s.Open)
+	w.Int(s.Round)
+	w.Int(s.Clients)
+	w.Ints(s.IDs)
+	w.Int(len(s.Contribs))
+	for _, c := range s.Contribs {
+		w.F64s(c)
+	}
+	w.F64s(s.Weights)
+	return AppendFrame(nil, KindAggregator, w.Bytes())
+}
+
+// DecodeAggregator reads an EncodeAggregator frame back into an
+// fl.AggregatorState.
+func DecodeAggregator(buf []byte) (*fl.AggregatorState, error) {
+	kind, payload, rest, err := ReadFrame(buf)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindAggregator {
+		return nil, fmt.Errorf("%w: frame kind %d, want aggregator (%d)", ErrCorrupt, kind, KindAggregator)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes after aggregator frame", ErrCorrupt, len(rest))
+	}
+	r := NewReader(payload)
+	s := &fl.AggregatorState{}
+	s.Open = r.Bool()
+	s.Round = r.Int()
+	s.Clients = r.Int()
+	s.IDs = r.Ints()
+	n := r.Int()
+	if r.Err() == nil {
+		if n < 0 || n > len(payload)/8 {
+			return nil, fmt.Errorf("%w: contribution count %d overruns payload", ErrCorrupt, n)
+		}
+		for i := 0; i < n; i++ {
+			s.Contribs = append(s.Contribs, r.F64s())
+		}
+	}
+	s.Weights = r.F64s()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if len(s.IDs) != len(s.Contribs) || len(s.IDs) != len(s.Weights) {
+		return nil, fmt.Errorf("%w: aggregator snapshot with %d ids, %d contribs, %d weights",
+			ErrCorrupt, len(s.IDs), len(s.Contribs), len(s.Weights))
+	}
+	return s, nil
+}

@@ -1,6 +1,10 @@
 package fl
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"math"
+)
 
 // Aggregator computes the server-side weighted mean of client contributions
 // by sharding the parameter range across a persistent worker pool. Shards
@@ -8,6 +12,15 @@ import "fmt"
 // every output scalar sees exactly the addition sequence of the serial
 // loop this replaces — the result is bit-identical regardless of worker
 // count or scheduling.
+//
+// Beyond the one-shot WeightedMean, an Aggregator also collects a round
+// incrementally (Open/Add/Reduce): Add stores each client's in-flight
+// contribution after a finiteness guard — a NaN or Inf scalar yields a
+// typed ErrNonFinite instead of silently corrupting every shard — and
+// Reduce folds the stored set through the identical ordered reduction, so
+// incremental collection is bit-exact with the one-shot path. The
+// in-flight round (partial contributions plus the received-set) is
+// exportable as an AggregatorState for checkpointing.
 //
 // An Aggregator is NOT safe for concurrent WeightedMean calls; it reuses
 // internal job state across calls to keep the steady state allocation-free.
@@ -23,6 +36,13 @@ type Aggregator struct {
 	chunk    int
 
 	runFn func(int) // bound once so Do allocates nothing per call
+
+	// In-flight round state (Open/Add/Reduce).
+	open     bool
+	round    int
+	slots    [][]float64 // stored contributions by client id, nil = absent
+	slotW    []float64
+	received int
 }
 
 // NewAggregator builds an aggregator over its own pool of the given worker
@@ -119,4 +139,182 @@ func (a *Aggregator) Close() {
 	if a.ownPool {
 		a.pool.Close()
 	}
+}
+
+// ErrNonFinite is returned (wrapped) by Add when a contribution carries a
+// NaN or Inf scalar or weight. One poisoned client must never fold into
+// the shards: a single non-finite scalar contaminates the global model
+// and every downstream stability statistic.
+var ErrNonFinite = errors.New("fl: non-finite contribution")
+
+// ErrLengthMismatch is returned (wrapped) by Add when a contribution's
+// length disagrees with one already stored for the round — positionally
+// aligned averaging is meaningless across different geometries.
+var ErrLengthMismatch = errors.New("fl: payload length mismatch")
+
+// Open begins incremental collection of one round with n client slots,
+// discarding any round still in flight. Slot buffers are reused across
+// rounds.
+func (a *Aggregator) Open(round, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("fl: invalid client count %d", n))
+	}
+	if cap(a.slots) < n {
+		a.slots = make([][]float64, n)
+		a.slotW = make([]float64, n)
+	}
+	a.slots = a.slots[:n]
+	a.slotW = a.slotW[:n]
+	for i := range a.slots {
+		a.slots[i], a.slotW[i] = nil, 0
+	}
+	a.open, a.round, a.received = true, round, 0
+}
+
+// Add stores client id's contribution for the open round. It returns a
+// typed error — never panics — on an out-of-range id, a duplicate, a
+// payload whose length disagrees with an already-stored one, or any
+// non-finite scalar or weight (ErrNonFinite, naming the first offending
+// index). The slice is stored, not copied; callers must not mutate it
+// until the round is reduced or discarded.
+func (a *Aggregator) Add(id int, contrib []float64, weight float64) error {
+	if !a.open {
+		return fmt.Errorf("fl: Add outside an open round")
+	}
+	if id < 0 || id >= len(a.slots) {
+		return fmt.Errorf("fl: client id %d out of range [0,%d)", id, len(a.slots))
+	}
+	if a.slots[id] != nil {
+		return fmt.Errorf("fl: duplicate contribution from client %d in round %d", id, a.round)
+	}
+	if math.IsNaN(weight) || math.IsInf(weight, 0) || weight < 0 {
+		return fmt.Errorf("%w: round %d client %d weight %v", ErrNonFinite, a.round, id, weight)
+	}
+	for i := range a.slots {
+		if a.slots[i] != nil && len(a.slots[i]) != len(contrib) {
+			return fmt.Errorf("%w: round %d client %d payload length %d disagrees with client %d's %d",
+				ErrLengthMismatch, a.round, id, len(contrib), i, len(a.slots[i]))
+		}
+	}
+	for j, v := range contrib {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: round %d client %d scalar %d is %v", ErrNonFinite, a.round, id, j, v)
+		}
+	}
+	a.slots[id] = contrib
+	a.slotW[id] = weight
+	a.received++
+	return nil
+}
+
+// Received reports whether client id already contributed to the open
+// round.
+func (a *Aggregator) Received(id int) bool {
+	return a.open && id >= 0 && id < len(a.slots) && a.slots[id] != nil
+}
+
+// Count returns how many contributions the open round holds.
+func (a *Aggregator) Count() int { return a.received }
+
+// Dim returns the payload length of the open round's contributions (-1
+// while none are stored).
+func (a *Aggregator) Dim() int {
+	for _, c := range a.slots {
+		if c != nil {
+			return len(c)
+		}
+	}
+	return -1
+}
+
+// Reduce closes the open round and folds the stored contributions through
+// the ordered weighted mean into dst — bit-identical to a one-shot
+// WeightedMean over the same (contribs, weights) in client-id order. It
+// returns the participant count and false when nothing aggregates (no
+// contributions or zero total weight); the round is closed either way.
+func (a *Aggregator) Reduce(dst []float64) (int, bool) {
+	if !a.open {
+		return 0, false
+	}
+	a.open = false
+	count := a.received
+	if count == 0 {
+		return 0, false
+	}
+	ok := a.WeightedMean(dst, a.slots, a.slotW)
+	return count, ok
+}
+
+// Discard drops the in-flight round without aggregating — the crash-
+// recovery semantics: partials of an uncommitted round are thrown away
+// and the round re-opened, which idempotent client re-sends tolerate.
+func (a *Aggregator) Discard() {
+	if !a.open {
+		return
+	}
+	for i := range a.slots {
+		a.slots[i], a.slotW[i] = nil, 0
+	}
+	a.open, a.received = false, 0
+}
+
+// AggregatorState is a serializable snapshot of an in-flight round: the
+// partial (per-client) contributions and the received-set. All fields are
+// exported for codecs (package checkpoint frames it in binary).
+type AggregatorState struct {
+	Open  bool
+	Round int
+	// Clients is the slot count (cluster size) of the open round.
+	Clients int
+	// IDs lists the clients whose contributions are stored, ascending.
+	IDs []int
+	// Contribs and Weights hold the stored payloads, parallel to IDs.
+	Contribs [][]float64
+	Weights  []float64
+}
+
+// SnapshotRound exports the in-flight round (empty state when no round is
+// open). Payloads are copied.
+func (a *Aggregator) SnapshotRound() *AggregatorState {
+	s := &AggregatorState{Open: a.open, Round: a.round, Clients: len(a.slots)}
+	if !a.open {
+		return s
+	}
+	for id, c := range a.slots {
+		if c == nil {
+			continue
+		}
+		s.IDs = append(s.IDs, id)
+		s.Contribs = append(s.Contribs, append([]float64(nil), c...))
+		s.Weights = append(s.Weights, a.slotW[id])
+	}
+	return s
+}
+
+// RestoreRound reloads an in-flight round from a snapshot, replacing any
+// open round. Every stored contribution passes the same validation Add
+// applies.
+func (a *Aggregator) RestoreRound(s *AggregatorState) error {
+	if s == nil {
+		return fmt.Errorf("fl: nil aggregator snapshot")
+	}
+	if len(s.IDs) != len(s.Contribs) || len(s.IDs) != len(s.Weights) {
+		return fmt.Errorf("fl: inconsistent aggregator snapshot (%d ids, %d contribs, %d weights)",
+			len(s.IDs), len(s.Contribs), len(s.Weights))
+	}
+	if !s.Open {
+		a.Discard()
+		return nil
+	}
+	if s.Clients <= 0 {
+		return fmt.Errorf("fl: aggregator snapshot with %d clients", s.Clients)
+	}
+	a.Open(s.Round, s.Clients)
+	for k, id := range s.IDs {
+		if err := a.Add(id, s.Contribs[k], s.Weights[k]); err != nil {
+			a.Discard()
+			return err
+		}
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package fl
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -86,6 +88,190 @@ func TestWeightedMeanZeroTotalWeightLeavesDst(t *testing.T) {
 		if v != float64(j+1) {
 			t.Fatalf("dst[%d] mutated to %v", j, v)
 		}
+	}
+}
+
+// TestStreamingReduceMatchesOneShot collects rounds incrementally in
+// arbitrary arrival order and checks Reduce is bit-exact with the
+// one-shot WeightedMean over the same clients in id order.
+func TestStreamingReduceMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := NewAggregator(3)
+	defer a.Close()
+	ref := NewAggregator(1)
+	defer ref.Close()
+
+	const clients, dim = 5, 2*minChunk + 11
+	for round := 0; round < 4; round++ {
+		contribs := make([][]float64, clients)
+		weights := make([]float64, clients)
+		for k := range contribs {
+			contribs[k] = make([]float64, dim)
+			for j := range contribs[k] {
+				contribs[k][j] = rng.NormFloat64()
+			}
+			weights[k] = rng.Float64() + 0.1
+		}
+
+		a.Open(round, clients)
+		for _, id := range rng.Perm(clients) { // arrival order must not matter
+			if err := a.Add(id, contribs[id], weights[id]); err != nil {
+				t.Fatalf("round %d Add(%d): %v", round, id, err)
+			}
+		}
+		if a.Count() != clients || a.Dim() != dim {
+			t.Fatalf("round %d: count=%d dim=%d", round, a.Count(), a.Dim())
+		}
+		got := make([]float64, dim)
+		count, ok := a.Reduce(got)
+		if !ok || count != clients {
+			t.Fatalf("round %d Reduce: count=%d ok=%v", round, count, ok)
+		}
+		want := make([]float64, dim)
+		ref.WeightedMean(want, contribs, weights)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("round %d element %d = %v, want %v (not bit-exact)", round, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestAddRejectsPoisonedContribution is the poisoned-client regression:
+// NaN and Inf scalars, non-finite weights, duplicates, and length
+// disagreements all get typed errors, and a rejected contribution leaves
+// the round's aggregate unchanged.
+func TestAddRejectsPoisonedContribution(t *testing.T) {
+	a := NewAggregator(1)
+	defer a.Close()
+	a.Open(0, 3)
+
+	good0 := []float64{1, 2, 3}
+	good2 := []float64{4, 5, 6}
+	if err := a.Add(0, good0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		id      int
+		contrib []float64
+		weight  float64
+		finite  bool // expect ErrNonFinite specifically
+	}{
+		{"nan scalar", 1, []float64{1, math.NaN(), 3}, 1, true},
+		{"inf scalar", 1, []float64{math.Inf(1), 2, 3}, 1, true},
+		{"nan weight", 1, good2, math.NaN(), true},
+		{"inf weight", 1, good2, math.Inf(-1), true},
+		{"negative weight", 1, good2, -2, true},
+		{"id out of range", 7, good2, 1, false},
+		{"duplicate", 0, good0, 1, false},
+		{"length disagreement", 1, []float64{1, 2}, 1, false},
+	}
+	for _, tc := range cases {
+		err := a.Add(tc.id, tc.contrib, tc.weight)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if tc.finite != errors.Is(err, ErrNonFinite) {
+			t.Fatalf("%s: err = %v, ErrNonFinite match = %v", tc.name, err, !tc.finite)
+		}
+	}
+	if a.Count() != 1 || a.Received(1) {
+		t.Fatalf("rejected contributions counted: count=%d received(1)=%v", a.Count(), a.Received(1))
+	}
+
+	// The surviving clients aggregate as if the poisoned one never sent.
+	if err := a.Add(2, good2, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 3)
+	if _, ok := a.Reduce(got); !ok {
+		t.Fatal("Reduce failed")
+	}
+	want := make([]float64, 3)
+	ref := NewAggregator(1)
+	defer ref.Close()
+	ref.WeightedMean(want, [][]float64{good0, good2}, []float64{1, 3})
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("element %d = %v, want %v", j, got[j], want[j])
+		}
+	}
+}
+
+// TestAggregatorSnapshotRoundTrip exports an in-flight round, restores it
+// into a fresh aggregator, and checks the restored round reduces to the
+// identical result; a snapshot poisoned after export must be refused.
+func TestAggregatorSnapshotRoundTrip(t *testing.T) {
+	a := NewAggregator(2)
+	defer a.Close()
+	a.Open(3, 4)
+	c0 := []float64{0.5, -1, 2}
+	c2 := []float64{3, 4, -0.25}
+	if err := a.Add(0, c0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(2, c2, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	s := a.SnapshotRound()
+	if !s.Open || s.Round != 3 || s.Clients != 4 || len(s.IDs) != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+
+	b := NewAggregator(2)
+	defer b.Close()
+	if err := b.RestoreRound(s); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Received(0) || !b.Received(2) || b.Count() != 2 {
+		t.Fatalf("restored received-set wrong: count=%d", b.Count())
+	}
+	got := make([]float64, 3)
+	want := make([]float64, 3)
+	b.Reduce(got)
+	a.Reduce(want)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("restored element %d = %v, want %v", j, got[j], want[j])
+		}
+	}
+
+	s2 := a.SnapshotRound() // closed round exports empty
+	if s2.Open || len(s2.IDs) != 0 {
+		t.Fatalf("closed-round snapshot = %+v", s2)
+	}
+
+	s.Contribs[0][1] = math.NaN() // tampered snapshot must not restore
+	if err := b.RestoreRound(s); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("tampered restore err = %v, want ErrNonFinite", err)
+	}
+	if b.Count() != 0 || b.Received(0) {
+		t.Fatalf("failed restore left partial state: count=%d", b.Count())
+	}
+}
+
+// TestDiscardDropsRound checks crash-recovery semantics: a discarded
+// round leaves no trace and the aggregator reopens cleanly.
+func TestDiscardDropsRound(t *testing.T) {
+	a := NewAggregator(1)
+	defer a.Close()
+	a.Open(0, 2)
+	if err := a.Add(0, []float64{1, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.Discard()
+	if a.Count() != 0 || a.Received(0) {
+		t.Fatalf("discard left state: count=%d", a.Count())
+	}
+	if _, ok := a.Reduce(make([]float64, 2)); ok {
+		t.Fatal("Reduce succeeded on a discarded round")
+	}
+	a.Open(1, 2)
+	if err := a.Add(0, []float64{3, 4}, 1); err != nil {
+		t.Fatalf("reopen after discard: %v", err)
 	}
 }
 

@@ -70,6 +70,12 @@ type ClientConfig struct {
 	// fault-injecting wrappers (package chaos). It must enforce its own
 	// connect timeout.
 	Dial DialFunc
+	// OnRound, when non-nil, is called after each round's aggregate is
+	// applied (including resume replay), with the round number and the
+	// client's current dense model. cmd/apf-client uses it to export
+	// periodic manager checkpoints. The model slice is live client state;
+	// callbacks must not retain or mutate it.
+	OnRound func(round int, model []float64)
 }
 
 // ClientResult summarizes one client's run.
@@ -386,5 +392,8 @@ func (r *clientRun) applyGlobal(g *GlobalMsg) error {
 	r.res.DownBytes += r.manager.ApplyDownload(g.Round, r.x, dense)
 	nn.SetFlat(r.params, r.x)
 	r.applied = g.Round
+	if r.cfg.OnRound != nil {
+		r.cfg.OnRound(g.Round, r.x)
+	}
 	return nil
 }

@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"apf/internal/core"
+	"apf/internal/data"
+	"apf/internal/fl"
+	"apf/internal/preset"
+	"apf/internal/stats"
+)
+
+// TestCrashRealSIGKILL is the out-of-process crash drill behind `make
+// crashtest`: it builds the real apf-server binary, runs a cluster where
+// a scripted kill-server fault makes the server SIGKILL ITSELF mid-round
+// (no deferred cleanup, no flushing — the genuine article), restarts the
+// binary against the same checkpoint directory, and asserts the final
+// weights are bit-identical to an uninterrupted run of the same cluster.
+//
+// Gated behind APF_CRASHTEST=1 because it compiles a binary and runs two
+// full multi-second clusters — too heavy for the tier-1 loop.
+func TestCrashRealSIGKILL(t *testing.T) {
+	if os.Getenv("APF_CRASHTEST") == "" {
+		t.Skip("set APF_CRASHTEST=1 (make crashtest) to run the SIGKILL drill")
+	}
+
+	const (
+		seed    = 42
+		clients = 3
+		rounds  = 10
+		model   = "mlp"
+	)
+
+	bin := filepath.Join(t.TempDir(), "apf-server")
+	build := exec.Command("go", "build", "-o", bin, "apf/cmd/apf-server")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build apf-server: %v\n%s", err, out)
+	}
+
+	// The client side mirrors cmd/apf-client's configuration exactly, so
+	// the drill exercises the same wire behaviour an operator gets.
+	p, err := preset.Load(model, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := data.PartitionDirichlet(stats.SplitRNG(seed, 1), p.Data.Labels, p.Data.Classes, clients, 1.0)
+
+	runArm := func(name string, kill bool) []float64 {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+		defer cancel()
+
+		addr := freeAddr(t)
+		dir := t.TempDir()
+		args := []string{
+			"-addr", addr, "-clients", fmt.Sprint(clients), "-rounds", fmt.Sprint(rounds),
+			"-model", model, "-seed", fmt.Sprint(seed),
+			"-deadline", "5s", "-checkpoint-dir", dir, "-snapshot-every", "3",
+		}
+		srvArgs := args
+		if kill {
+			srvArgs = append(append([]string(nil), args...), "-chaos", "kill-server@6")
+		}
+		srv := exec.CommandContext(ctx, bin, srvArgs...)
+		srv.Stdout, srv.Stderr = os.Stderr, os.Stderr
+		if err := srv.Start(); err != nil {
+			t.Fatalf("%s: start server: %v", name, err)
+		}
+		srvDone := make(chan error, 1)
+		go func() { srvDone <- srv.Wait() }()
+
+		results := make([]*ClientResult, clients)
+		errs := make([]error, clients)
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			cname := fmt.Sprintf("shard-%d", i)
+			cfg := ClientConfig{
+				Addr:       addr,
+				Name:       cname,
+				SessionKey: cname,
+				Model:      p.Model,
+				Optimizer:  p.Optimizer,
+				Manager: func(clientID, dim int) fl.SyncManager {
+					return core.NewManager(core.Config{
+						Dim: dim, CheckEveryRounds: 2, Threshold: 0.1, EMAAlpha: 0.85, Seed: seed,
+					})
+				},
+				Data:           p.Data,
+				Indices:        parts[i],
+				LocalIters:     4,
+				BatchSize:      p.Batch,
+				Seed:           seed + int64(i),
+				MaxRetries:     100,
+				RetryBaseDelay: 20 * time.Millisecond,
+				RetryMaxDelay:  300 * time.Millisecond,
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = RunClient(ctx, cfg)
+			}(i)
+			time.Sleep(150 * time.Millisecond)
+		}
+
+		if kill {
+			// The chaos fault SIGKILLs the server at round 6. Wait for the
+			// corpse, then restart against the same checkpoint directory —
+			// without the chaos flag this time.
+			if err := <-srvDone; err == nil {
+				t.Fatalf("%s: server exited cleanly; the kill fault never fired", name)
+			}
+			srv2 := exec.CommandContext(ctx, bin, args...)
+			srv2.Stdout, srv2.Stderr = os.Stderr, os.Stderr
+			if err := srv2.Start(); err != nil {
+				t.Fatalf("%s: restart server: %v", name, err)
+			}
+			srvDone = make(chan error, 1)
+			go func() { srvDone <- srv2.Wait() }()
+		}
+
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("%s: client %d: %v", name, i, err)
+			}
+		}
+		if err := <-srvDone; err != nil {
+			t.Fatalf("%s: server: %v", name, err)
+		}
+		return results[0].FinalModel
+	}
+
+	clean := runArm("clean", false)
+	crashed := runArm("crashed", true)
+	if len(clean) != len(crashed) {
+		t.Fatalf("model dims differ: %d vs %d", len(clean), len(crashed))
+	}
+	diffs := 0
+	for j := range clean {
+		if clean[j] != crashed[j] {
+			diffs++
+		}
+	}
+	if diffs != 0 {
+		t.Fatalf("crash-and-recover diverged from the uninterrupted run at %d/%d scalars", diffs, len(clean))
+	}
+}
+
+// freeAddr reserves a loopback port and releases it for the server
+// process to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"fmt"
+
+	"apf/internal/checkpoint"
+)
+
+// Checkpoint frame kinds used by the server, in the KindUser space of
+// package checkpoint.
+const (
+	// kindServerSnap frames a full server snapshot: geometry, session
+	// table, aggregate history, accounting.
+	kindServerSnap = checkpoint.KindUser + iota
+	// kindWALUpdate records one accepted UpdateMsg (client id + message).
+	kindWALUpdate
+	// kindWALGlobal records one emitted GlobalMsg — the commit record of
+	// its round. A round is durable exactly when its global record is.
+	kindWALGlobal
+)
+
+// serverState is the decoded form of a server snapshot: everything a
+// restarted coordinator needs to resume the run bit-exactly (the session
+// table keeps client ids stable across the restart; the history feeds
+// both resume replay and the round counter).
+type serverState struct {
+	NumClients int
+	Rounds     int
+	Init       []float64
+	Keys       []string // session keys by client id
+	Names      []string // session names by client id
+	History    []GlobalMsg
+	// PartialRounds preserves the partial-aggregation count across
+	// restarts so accounting reflects the whole run.
+	PartialRounds int
+}
+
+// encodeServerState frames the snapshot payload (without the outer frame;
+// checkpoint.Store adds it).
+func encodeServerState(s *serverState) []byte {
+	var w checkpoint.Writer
+	w.Int(s.NumClients)
+	w.Int(s.Rounds)
+	w.F64s(s.Init)
+	w.Int(len(s.Keys))
+	for i := range s.Keys {
+		w.String(s.Keys[i])
+		w.String(s.Names[i])
+	}
+	w.Int(len(s.History))
+	for i := range s.History {
+		appendGlobalMsg(&w, &s.History[i])
+	}
+	w.Int(s.PartialRounds)
+	return w.Bytes()
+}
+
+// decodeServerState reads a snapshot payload back.
+func decodeServerState(payload []byte) (*serverState, error) {
+	r := checkpoint.NewReader(payload)
+	s := &serverState{}
+	s.NumClients = r.Int()
+	s.Rounds = r.Int()
+	s.Init = r.F64s()
+	nSess := r.Int()
+	if r.Err() == nil && (nSess < 0 || nSess > len(payload)) {
+		return nil, fmt.Errorf("%w: session count %d", checkpoint.ErrCorrupt, nSess)
+	}
+	for i := 0; i < nSess && r.Err() == nil; i++ {
+		s.Keys = append(s.Keys, r.String())
+		s.Names = append(s.Names, r.String())
+	}
+	nHist := r.Int()
+	if r.Err() == nil && (nHist < 0 || nHist > len(payload)) {
+		return nil, fmt.Errorf("%w: history count %d", checkpoint.ErrCorrupt, nHist)
+	}
+	for i := 0; i < nHist && r.Err() == nil; i++ {
+		s.History = append(s.History, readGlobalMsg(r))
+	}
+	s.PartialRounds = r.Int()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if len(s.Keys) != len(s.Names) {
+		return nil, fmt.Errorf("%w: inconsistent session table", checkpoint.ErrCorrupt)
+	}
+	return s, nil
+}
+
+func appendGlobalMsg(w *checkpoint.Writer, g *GlobalMsg) {
+	w.Int(g.Round)
+	w.Int(g.Participants)
+	w.F64s(g.Payload)
+}
+
+func readGlobalMsg(r *checkpoint.Reader) GlobalMsg {
+	return GlobalMsg{Round: r.Int(), Participants: r.Int(), Payload: r.F64s()}
+}
+
+// encodeWALUpdate frames one accepted update for the WAL.
+func encodeWALUpdate(clientID int, u *UpdateMsg) []byte {
+	var w checkpoint.Writer
+	w.Int(clientID)
+	w.Int(u.Round)
+	w.F64(u.Weight)
+	w.U64(u.MaskHash)
+	w.F64s(u.Payload)
+	return w.Bytes()
+}
+
+// decodeWALUpdate reads an update record back.
+func decodeWALUpdate(payload []byte) (clientID int, u *UpdateMsg, err error) {
+	r := checkpoint.NewReader(payload)
+	clientID = r.Int()
+	u = &UpdateMsg{Round: r.Int(), Weight: r.F64(), MaskHash: r.U64()}
+	u.Payload = r.F64s()
+	if err := r.Done(); err != nil {
+		return 0, nil, err
+	}
+	return clientID, u, nil
+}
+
+// encodeWALGlobal frames one emitted aggregate for the WAL.
+func encodeWALGlobal(g *GlobalMsg) []byte {
+	var w checkpoint.Writer
+	appendGlobalMsg(&w, g)
+	return w.Bytes()
+}
+
+// decodeWALGlobal reads a global record back.
+func decodeWALGlobal(payload []byte) (*GlobalMsg, error) {
+	r := checkpoint.NewReader(payload)
+	g := readGlobalMsg(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// recoverState loads the newest consistent snapshot from the store and
+// rolls its WAL forward: global records extend the aggregate history in
+// round order; update records belong to the round left open by the crash
+// and are discarded — the round re-opens and the idempotent client
+// re-send repopulates it. Returns nil state when the store is empty.
+func recoverState(store *checkpoint.Store) (*serverState, error) {
+	_, kind, payload, wal, found, err := store.Load()
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	if kind != kindServerSnap {
+		return nil, fmt.Errorf("%w: snapshot frame kind %d, want %d", checkpoint.ErrCorrupt, kind, kindServerSnap)
+	}
+	st, err := decodeServerState(payload)
+	if err != nil {
+		return nil, fmt.Errorf("transport: decode snapshot: %w", err)
+	}
+	for _, rec := range wal {
+		switch rec.Kind {
+		case kindWALGlobal:
+			g, err := decodeWALGlobal(rec.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("transport: decode wal global: %w", err)
+			}
+			if g.Round != len(st.History) {
+				// Replays of rounds the snapshot already holds (or gaps,
+				// which cannot happen with ordered appends) are skipped
+				// rather than corrupting the history.
+				continue
+			}
+			st.History = append(st.History, *g)
+			if g.Participants < st.NumClients {
+				st.PartialRounds++
+			}
+		case kindWALUpdate:
+			// In-flight partial of the re-opened round: discarded.
+		default:
+			// Unknown record kinds from a newer writer are skipped; the
+			// commit records above are self-contained.
+		}
+	}
+	return st, nil
+}
+
+// verifyRecovered checks a recovered state against the configured run:
+// a checkpoint from a different geometry (cluster size, round count,
+// model) must never silently resume.
+func verifyRecovered(st *serverState, cfg ServerConfig) error {
+	if st.NumClients != cfg.NumClients || st.Rounds != cfg.Rounds || len(st.Init) != len(cfg.Init) {
+		return fmt.Errorf("transport: checkpoint geometry clients=%d rounds=%d dim=%d does not match config clients=%d rounds=%d dim=%d",
+			st.NumClients, st.Rounds, len(st.Init), cfg.NumClients, cfg.Rounds, len(cfg.Init))
+	}
+	for j := range st.Init {
+		if st.Init[j] != cfg.Init[j] {
+			return fmt.Errorf("transport: checkpoint init vector differs from config at scalar %d", j)
+		}
+	}
+	if len(st.Keys) != st.NumClients {
+		// The base snapshot is only written once registration completes,
+		// so a valid checkpoint always carries the full session table.
+		return fmt.Errorf("transport: checkpoint session table has %d entries for %d clients", len(st.Keys), st.NumClients)
+	}
+	if len(st.History) > st.Rounds {
+		return fmt.Errorf("transport: checkpoint history has %d rounds of a %d-round run", len(st.History), st.Rounds)
+	}
+	return nil
+}

@@ -1,0 +1,410 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"apf/internal/checkpoint"
+	"apf/internal/core"
+	"apf/internal/data"
+	"apf/internal/fl"
+	"apf/internal/nn"
+	"apf/internal/stats"
+)
+
+// TestServerStateCodecRoundTrip round-trips the server snapshot and both
+// WAL record codecs bit-exactly.
+func TestServerStateCodecRoundTrip(t *testing.T) {
+	st := &serverState{
+		NumClients:    3,
+		Rounds:        12,
+		Init:          []float64{0.5, -1.25, 3},
+		Keys:          []string{"k0", "", "k2"},
+		Names:         []string{"a", "b", "c"},
+		PartialRounds: 2,
+		History: []GlobalMsg{
+			{Round: 0, Participants: 3, Payload: []float64{1, 2, 3}},
+			{Round: 1, Participants: 2, Payload: []float64{4, 5}},
+		},
+	}
+	got, err := decodeServerState(encodeServerState(st))
+	if err != nil {
+		t.Fatalf("decode server state: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("server state round trip:\n got %+v\nwant %+v", got, st)
+	}
+
+	u := &UpdateMsg{Round: 7, Weight: 30, MaskHash: 0xdeadbeef, Payload: []float64{1, -2}}
+	id, gotU, err := decodeWALUpdate(encodeWALUpdate(2, u))
+	if err != nil || id != 2 || !reflect.DeepEqual(gotU, u) {
+		t.Fatalf("wal update round trip: id=%d u=%+v err=%v", id, gotU, err)
+	}
+
+	g := &GlobalMsg{Round: 4, Participants: 3, Payload: []float64{9, 8, 7}}
+	gotG, err := decodeWALGlobal(encodeWALGlobal(g))
+	if err != nil || !reflect.DeepEqual(gotG, g) {
+		t.Fatalf("wal global round trip: g=%+v err=%v", gotG, err)
+	}
+}
+
+// TestRecoverStateReplaysWAL builds a store by hand and checks recovery
+// semantics: committed globals extend the history in order, the open
+// round's update records are discarded, replays and unknown kinds are
+// skipped.
+func TestRecoverStateReplaysWAL(t *testing.T) {
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	base := &serverState{
+		NumClients: 2,
+		Rounds:     10,
+		Init:       []float64{1, 2},
+		Keys:       []string{"k0", "k1"},
+		Names:      []string{"c0", "c1"},
+		History:    []GlobalMsg{{Round: 0, Participants: 2, Payload: []float64{3, 4}}},
+	}
+	if err := store.WriteSnapshot(1, kindServerSnap, encodeServerState(base)); err != nil {
+		t.Fatal(err)
+	}
+	append_ := func(kind uint16, payload []byte) {
+		t.Helper()
+		if err := store.Append(kind, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round 1 fully committed: updates then the global.
+	append_(kindWALUpdate, encodeWALUpdate(0, &UpdateMsg{Round: 1, Weight: 1, Payload: []float64{5, 6}}))
+	append_(kindWALUpdate, encodeWALUpdate(1, &UpdateMsg{Round: 1, Weight: 1, Payload: []float64{7, 8}}))
+	append_(kindWALGlobal, encodeWALGlobal(&GlobalMsg{Round: 1, Participants: 1, Payload: []float64{6, 7}}))
+	// A replayed commit of round 1 (already in history) must be skipped.
+	append_(kindWALGlobal, encodeWALGlobal(&GlobalMsg{Round: 1, Participants: 2, Payload: []float64{0, 0}}))
+	// An unknown record kind from a future writer must be skipped.
+	append_(kindWALGlobal+10, []byte("mystery"))
+	// Round 2 was in flight at the crash: one update, no commit.
+	append_(kindWALUpdate, encodeWALUpdate(0, &UpdateMsg{Round: 2, Weight: 1, Payload: []float64{9, 9}}))
+
+	st, err := recoverState(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("no state recovered")
+	}
+	if len(st.History) != 2 {
+		t.Fatalf("recovered %d history rounds, want 2 (round 2 was uncommitted)", len(st.History))
+	}
+	if st.History[1].Round != 1 || st.History[1].Payload[0] != 6 {
+		t.Fatalf("history[1] = %+v, want the committed round 1", st.History[1])
+	}
+	if st.PartialRounds != 1 { // round 1 committed with 1 of 2 participants
+		t.Fatalf("partialRounds = %d, want 1", st.PartialRounds)
+	}
+	if err := verifyRecovered(st, ServerConfig{NumClients: 2, Rounds: 10, Init: []float64{1, 2}}); err != nil {
+		t.Fatalf("verifyRecovered: %v", err)
+	}
+
+	// Geometry drift must be refused.
+	for _, cfg := range []ServerConfig{
+		{NumClients: 3, Rounds: 10, Init: []float64{1, 2}},
+		{NumClients: 2, Rounds: 11, Init: []float64{1, 2}},
+		{NumClients: 2, Rounds: 10, Init: []float64{1, 2.5}},
+		{NumClients: 2, Rounds: 10, Init: []float64{1}},
+	} {
+		if err := verifyRecovered(st, cfg); err == nil {
+			t.Fatalf("verifyRecovered accepted mismatched config %+v", cfg)
+		}
+	}
+}
+
+// TestRestartAfterCompletionReturnsFinalModel restarts a durable server
+// whose run already finished: it must come back with the full history and
+// return the final global bit-exactly, without waiting for any client.
+func TestRestartAfterCompletionReturnsFinalModel(t *testing.T) {
+	const clients, rounds = 2, 6
+	dir := t.TempDir()
+	ds := data.SynthImages(data.ImageConfig{Classes: 3, Channels: 1, Size: 6, Samples: 60, NoiseStd: 0.5, Seed: 5})
+	parts := data.PartitionIID(stats.SplitRNG(5, 50), ds.Len(), clients)
+	initNet := tinyModel(stats.SplitRNG(5, 99))
+	init := nn.FlattenParams(initNet.Params(), nil)
+
+	srv, err := NewServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		NumClients:    clients,
+		Rounds:        rounds,
+		Init:          init,
+		CheckpointDir: dir,
+		SnapshotEvery: 4, // the tail rounds live only in the WAL
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var firstGlobal []float64
+	serverErr := make(chan error, 1)
+	go func() {
+		g, err := srv.Run(ctx)
+		firstGlobal = g
+		serverErr <- err
+	}()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = RunClient(ctx, ClientConfig{
+				Addr: srv.Addr().String(), Name: "c", SessionKey: fmt.Sprintf("c%d", i),
+				Model: tinyModel, Optimizer: tinySGD,
+				Manager: func(clientID, dim int) fl.SyncManager { return fl.NewPassthroughManager(4) },
+				Data:    ds, Indices: parts[i], LocalIters: 2, BatchSize: 10, Seed: 5,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+
+	srv2, err := NewServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		NumClients:    clients,
+		Rounds:        rounds,
+		Init:          init,
+		CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.StartRound() != rounds {
+		t.Fatalf("restarted StartRound = %d, want %d", srv2.StartRound(), rounds)
+	}
+	second, err := srv2.Run(ctx)
+	if err != nil {
+		t.Fatalf("restarted server: %v", err)
+	}
+	if len(second) != len(firstGlobal) {
+		t.Fatalf("restarted global dim %d, want %d", len(second), len(firstGlobal))
+	}
+	for j := range firstGlobal {
+		if second[j] != firstGlobal[j] {
+			t.Fatalf("restarted global differs at scalar %d: %v vs %v", j, second[j], firstGlobal[j])
+		}
+	}
+	// A restart under a different geometry must be refused outright.
+	if _, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: clients + 1, Rounds: rounds, Init: init,
+		CheckpointDir: dir,
+	}); err == nil {
+		t.Fatal("restart with a different cluster size accepted")
+	}
+}
+
+// poisonManager wraps a real APF manager but corrupts every upload:
+// non-finite scalars for the first rounds, then 100x-scaled payloads.
+// Mask bookkeeping stays delegated, so the poisoned client's mask hash
+// agrees with the cluster and only sanitization can catch it.
+type poisonManager struct {
+	*core.Manager
+}
+
+func (p *poisonManager) PrepareUpload(round int, x []float64) ([]float64, float64, int64) {
+	contrib, weight, up := p.Manager.PrepareUpload(round, x)
+	out := append([]float64(nil), contrib...)
+	if round%2 == 0 {
+		out[len(out)/2] = math.NaN()
+	} else {
+		for j := range out {
+			out[j] *= 100
+		}
+	}
+	return out, weight, up
+}
+
+// TestPoisonedClientQuarantinedTrajectoryUnchanged is the poisoned-update
+// acceptance scenario: a cluster of 3 good clients plus one poisoned
+// client (NaN and 100x-norm uploads) with sanitization enabled must
+// quarantine the attacker and produce the bit-identical trajectory to an
+// in-process simulator run over only the good clients.
+func TestPoisonedClientQuarantinedTrajectoryUnchanged(t *testing.T) {
+	const (
+		seed    = 61
+		good    = 3
+		clients = good + 1
+		rounds  = 8
+		iters   = 3
+		batch   = 10
+	)
+	ds := data.SynthImages(data.ImageConfig{
+		Classes: 3, Channels: 1, Size: 6, Samples: 120, NoiseStd: 0.5, Seed: seed,
+	})
+	parts := data.PartitionIID(stats.SplitRNG(seed, 50), ds.Len(), clients)
+	newAPF := func(dim int) *core.Manager {
+		return core.NewManager(core.Config{
+			Dim: dim, CheckEveryRounds: 2, Threshold: 0.3, EMAAlpha: 0.85, Seed: seed,
+		})
+	}
+
+	// Reference arm: the simulator over only the good clients' shards.
+	// Client ids and RNG streams line up with TCP clients 0..good-1.
+	engine := fl.New(fl.Config{
+		Rounds: rounds, LocalIters: iters, BatchSize: batch, Seed: seed,
+	}, tinyModel, tinySGD,
+		func(clientID, dim int) fl.SyncManager { return newAPF(dim) },
+		ds, parts[:good], nil)
+	engine.Run()
+	simGlobal := engine.Global()
+
+	initNet := tinyModel(stats.SplitRNG(seed, 1_000_000))
+	init := nn.FlattenParams(initNet.Params(), nil)
+	srv, err := NewServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		NumClients:    clients,
+		Rounds:        rounds,
+		Init:          init,
+		RoundDeadline: 700 * time.Millisecond,
+		MinClients:    good,
+		Validator:     &ValidatorConfig{MaxNormMult: 10, StrikeLimit: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	serverErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(ctx)
+		serverErr <- err
+	}()
+
+	results := make([]*ClientResult, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		mf := func(clientID, dim int) fl.SyncManager { return newAPF(dim) }
+		if i == clients-1 {
+			mf = func(clientID, dim int) fl.SyncManager {
+				return &poisonManager{Manager: newAPF(dim)}
+			}
+		}
+		cfg := ClientConfig{
+			Addr: srv.Addr().String(), Name: fmt.Sprintf("p-%d", i), SessionKey: fmt.Sprintf("p-%d", i),
+			Model: tinyModel, Optimizer: tinySGD, Manager: mf,
+			Data: ds, Indices: parts[i], LocalIters: iters, BatchSize: batch, Seed: seed,
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunClient(ctx, cfg)
+		}(i)
+		time.Sleep(100 * time.Millisecond) // accept order = shard order
+	}
+	wg.Wait()
+	for i := 0; i < good; i++ {
+		if errs[i] != nil {
+			t.Fatalf("good client %d: %v", i, errs[i])
+		}
+	}
+	if errs[clients-1] != nil {
+		t.Fatalf("poisoned client should still complete (it receives aggregates): %v", errs[clients-1])
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+
+	v := srv.Validator()
+	if !v.Quarantined(clients - 1) {
+		t.Fatalf("poisoned client not quarantined (strikes=%d)", v.Strikes(clients-1))
+	}
+	for i := 0; i < good; i++ {
+		if v.Strikes(i) != 0 {
+			t.Fatalf("good client %d charged %d strikes", i, v.Strikes(i))
+		}
+	}
+	// At least the three strike-charging rejections happened; later
+	// uploads may instead arrive after their round already closed without
+	// the quarantined client (stale, not charged).
+	if srv.RejectedUpdates() < 3 {
+		t.Fatalf("rejected %d updates, want the 3 striking ones at minimum", srv.RejectedUpdates())
+	}
+	if srv.PartialRounds() != rounds {
+		t.Fatalf("partial rounds = %d, want every round (%d) without the attacker", srv.PartialRounds(), rounds)
+	}
+	// The good clients' trajectory is bit-identical to the attacker never
+	// existing.
+	requireMatchesSimulator(t, results[:good], simGlobal)
+}
+
+// TestStrictModePoisonAborts checks the strict barrier path: with no
+// round deadline a poisoned update is fatal, surfacing the typed
+// sanitization error instead of hanging the barrier.
+func TestStrictModePoisonAborts(t *testing.T) {
+	const clients, rounds = 2, 4
+	ds := data.SynthImages(data.ImageConfig{Classes: 3, Channels: 1, Size: 6, Samples: 60, NoiseStd: 0.5, Seed: 5})
+	parts := data.PartitionIID(stats.SplitRNG(5, 50), ds.Len(), clients)
+	initNet := tinyModel(stats.SplitRNG(5, 99))
+	init := nn.FlattenParams(initNet.Params(), nil)
+
+	srv, err := NewServer(ServerConfig{
+		Addr:       "127.0.0.1:0",
+		NumClients: clients,
+		Rounds:     rounds,
+		Init:       init,
+		Validator:  &ValidatorConfig{MaxNormMult: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	serverErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(ctx)
+		serverErr <- err
+	}()
+
+	newAPF := func(dim int) *core.Manager {
+		return core.NewManager(core.Config{
+			Dim: dim, CheckEveryRounds: 2, Threshold: 0.3, EMAAlpha: 0.85, Seed: 5,
+		})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		mf := func(clientID, dim int) fl.SyncManager { return newAPF(dim) }
+		if i == 1 {
+			mf = func(clientID, dim int) fl.SyncManager { return &poisonManager{Manager: newAPF(dim)} }
+		}
+		cfg := ClientConfig{
+			Addr: srv.Addr().String(), Name: fmt.Sprintf("s-%d", i),
+			Model: tinyModel, Optimizer: tinySGD, Manager: mf,
+			Data: ds, Indices: parts[i], LocalIters: 2, BatchSize: 10, Seed: 5,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = RunClient(ctx, cfg) // fails when the server aborts
+		}()
+		time.Sleep(50 * time.Millisecond)
+	}
+	err = <-serverErr
+	if !errors.Is(err, ErrNonFiniteUpdate) {
+		t.Fatalf("strict server err = %v, want ErrNonFiniteUpdate", err)
+	}
+	cancel() // release the clients
+	wg.Wait()
+}

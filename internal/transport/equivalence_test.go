@@ -275,3 +275,156 @@ func TestTCPUnderChaosMatchesSimulatorBitExact(t *testing.T) {
 	}
 	requireMatchesSimulator(t, results, simGlobal)
 }
+
+// TestTCPKillRestartMatchesSimulatorBitExact is the durability acceptance
+// scenario: the coordinator is crashed mid-run by a scripted kill-server
+// fault (on top of a client sever, so session resume and checkpoint
+// recovery compose), a fresh server process recovers from the checkpoint
+// directory on the same address, the clients ride through on their
+// reconnect budget — and the final weights must STILL be bit-identical to
+// an uninterrupted in-process simulator run. The replayed GlobalMsgs
+// rebuild every client's freezing mask exactly; the per-round mask-hash
+// cross-check would abort the run on any divergence.
+func TestTCPKillRestartMatchesSimulatorBitExact(t *testing.T) {
+	const (
+		seed    = 61
+		clients = 3
+		rounds  = 12
+		iters   = 3
+		batch   = 10
+	)
+	ds := data.SynthImages(data.ImageConfig{
+		Classes: 3, Channels: 1, Size: 6, Samples: 90, NoiseStd: 0.5, Seed: seed,
+	})
+	rng := stats.SplitRNG(seed, 50)
+	parts := data.PartitionIID(rng, ds.Len(), clients)
+	apfFactory := func(clientID, dim int) fl.SyncManager {
+		return core.NewManager(core.Config{
+			Dim:              dim,
+			CheckEveryRounds: 2,
+			Threshold:        0.3,
+			EMAAlpha:         0.85,
+			Seed:             seed,
+		})
+	}
+
+	engine := fl.New(fl.Config{
+		Rounds:     rounds,
+		LocalIters: iters,
+		BatchSize:  batch,
+		Seed:       seed,
+	}, tinyModel, tinySGD, apfFactory, ds, parts, nil)
+	engine.Run()
+	simGlobal := engine.Global()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Server 1: durable, crashed by the chaos script when round 7 is
+	// announced (rounds 0..6 committed; round 7's partials die with it).
+	// A client sever at round 3 composes session resume with recovery.
+	dir := t.TempDir()
+	script := chaos.NewScript(29,
+		chaos.Fault{Peer: "kr-1", Round: 3, Kind: chaos.Sever},
+		chaos.Fault{Round: 7, Kind: chaos.KillServer},
+	)
+	srvCtx, kill := context.WithCancel(ctx)
+	defer kill()
+	script.SetOnKill(kill) // in-process kill -9: tear down listener + conns
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	initNet := tinyModel(stats.SplitRNG(seed, 1_000_000))
+	init := nn.FlattenParams(initNet.Params(), nil)
+	mkServer := func(ln net.Listener, addr string) *Server {
+		t.Helper()
+		srv, err := NewServer(ServerConfig{
+			Addr:          addr,
+			Listener:      ln,
+			NumClients:    clients,
+			Rounds:        rounds,
+			Init:          init,
+			RoundDeadline: 5 * time.Second,
+			CheckpointDir: dir,
+			SnapshotEvery: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	srv1 := mkServer(script.Listener(inner), "")
+	addr := srv1.Addr().String()
+	srv1Err := make(chan error, 1)
+	go func() {
+		_, err := srv1.Run(srvCtx)
+		srv1Err <- err
+	}()
+
+	results := make([]*ClientResult, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		name := fmt.Sprintf("kr-%d", i)
+		cfg := ClientConfig{
+			Addr:           addr,
+			Name:           name,
+			SessionKey:     name,
+			Model:          tinyModel,
+			Optimizer:      tinySGD,
+			Manager:        apfFactory,
+			Data:           ds,
+			Indices:        parts[i],
+			LocalIters:     iters,
+			BatchSize:      batch,
+			Seed:           seed,
+			MaxRetries:     60,
+			RetryBaseDelay: 10 * time.Millisecond,
+			RetryMaxDelay:  250 * time.Millisecond,
+			Dial: DialFunc(script.Dialer(name, func(network, addr string) (net.Conn, error) {
+				return net.DialTimeout(network, addr, 5*time.Second)
+			})),
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunClient(ctx, cfg)
+		}(i)
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Wait for the crash, then bring up the replacement on the same
+	// address with the same checkpoint directory.
+	if err := <-srv1Err; err == nil {
+		t.Fatal("server 1 finished the run; the kill fault never fired")
+	}
+	srv2 := mkServer(nil, addr)
+	if got := srv2.StartRound(); got != 7 {
+		t.Fatalf("recovered server resumes at round %d, want 7 (rounds 0..6 committed)", got)
+	}
+	srv2Err := make(chan error, 1)
+	go func() {
+		_, err := srv2.Run(ctx)
+		srv2Err <- err
+	}()
+
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if err := <-srv2Err; err != nil {
+		t.Fatalf("server 2: %v", err)
+	}
+
+	reconnects := 0
+	for _, r := range results {
+		reconnects += r.Reconnects
+	}
+	if reconnects < clients {
+		t.Errorf("every client should have resumed onto the restarted server; %d resumptions", reconnects)
+	}
+	requireMatchesSimulator(t, results, simGlobal)
+}

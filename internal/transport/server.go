@@ -3,11 +3,13 @@ package transport
 import (
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"apf/internal/checkpoint"
 	"apf/internal/fl"
 )
 
@@ -40,6 +42,23 @@ type ServerConfig struct {
 	// deadline may fire the aggregation (default 1). The deadline never
 	// aggregates fewer; the round keeps waiting instead.
 	MinClients int
+	// CheckpointDir makes the coordinator durable: the server persists a
+	// snapshot plus write-ahead log under this directory and, when it
+	// finds a consistent checkpoint there at startup, resumes the run
+	// from it bit-exactly (committed rounds are replayed from the WAL;
+	// the round left open by a crash is discarded and re-collected from
+	// the clients' idempotent re-sends). Empty disables durability.
+	// Recovery is only useful with RoundDeadline > 0, since a restarted
+	// strict-barrier server aborts on its first disconnected client.
+	CheckpointDir string
+	// SnapshotEvery rotates the snapshot every K committed rounds
+	// (default 5); between snapshots only the WAL grows.
+	SnapshotEvery int
+	// Validator, when non-nil, enables inbound update sanitization:
+	// non-finite values, impossible dimensions, and median-gated norm
+	// outliers are rejected with typed errors, repeat offenders are
+	// quarantined. Clients and Dim are filled from the server config.
+	Validator *ValidatorConfig
 }
 
 // Server is the central FL aggregation endpoint.
@@ -56,16 +75,24 @@ type Server struct {
 	// regReady is closed once all NumClients sessions registered.
 	regReady chan struct{}
 
+	// store persists snapshots and the WAL when durability is enabled;
+	// startRound is the first round still to run after recovery (0 on a
+	// fresh start). validator is nil unless sanitization is configured.
+	store      *checkpoint.Store
+	startRound int
+	validator  *Validator
+
 	mu            sync.Mutex
-	round         int            // round currently being collected
-	history       []GlobalMsg    // aggregates of completed rounds, by round
-	sessions      []*session     // by client id, registration order
+	round         int         // round currently being collected
+	history       []GlobalMsg // aggregates of completed rounds, by round
+	sessions      []*session  // by client id, registration order
 	byKey         map[string]*session
 	conns         map[*countingConn]struct{} // live, un-absorbed connections
 	regDone       bool
 	bytesRead     int64
 	bytesSent     int64
 	partialRounds int
+	rejected      int // updates refused by validation/aggregation guards
 }
 
 // session is the server-side state of one client, surviving reconnects.
@@ -103,6 +130,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MinClients > cfg.NumClients {
 		cfg.MinClients = cfg.NumClients
 	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 5
+	}
 	ln := cfg.Listener
 	if ln == nil {
 		var err error
@@ -111,7 +141,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addr, err)
 		}
 	}
-	return &Server{
+	if cfg.Validator != nil && cfg.Validator.Clients != 0 && cfg.Validator.Clients != cfg.NumClients {
+		closeQuietly(ln)
+		return nil, fmt.Errorf("transport: validator clients %d conflicts with cluster size %d",
+			cfg.Validator.Clients, cfg.NumClients)
+	}
+	s := &Server{
 		cfg:      cfg,
 		ln:       ln,
 		done:     make(chan struct{}),
@@ -120,7 +155,78 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		regReady: make(chan struct{}),
 		byKey:    make(map[string]*session),
 		conns:    make(map[*countingConn]struct{}),
-	}, nil
+	}
+	if cfg.Validator != nil {
+		vcfg := *cfg.Validator
+		vcfg.Clients = cfg.NumClients
+		vcfg.Dim = len(cfg.Init)
+		s.validator = NewValidator(vcfg)
+	}
+	if cfg.CheckpointDir != "" {
+		if err := s.openStore(); err != nil {
+			closeQuietly(ln)
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// openStore attaches the checkpoint store and, when it holds a
+// consistent checkpoint, restores the run: session table, aggregate
+// history, and accounting come back exactly as committed, the round
+// counter resumes after the last committed round, and the registration
+// barrier is considered already passed (clients re-attach through the
+// session-resume path).
+func (s *Server) openStore() error {
+	store, err := checkpoint.Open(s.cfg.CheckpointDir)
+	if err != nil {
+		return err
+	}
+	st, err := recoverState(store)
+	if err != nil {
+		store.Close()
+		return fmt.Errorf("transport: recover checkpoint: %w", err)
+	}
+	s.store = store
+	if st == nil {
+		return nil // fresh start: the base snapshot is written at regDone
+	}
+	if err := verifyRecovered(st, s.cfg); err != nil {
+		store.Close()
+		return err
+	}
+	for id := range st.Keys {
+		sess := &session{id: id, key: st.Keys[id], name: st.Names[id]}
+		s.sessions = append(s.sessions, sess)
+		if sess.key != "" {
+			s.byKey[sess.key] = sess
+		}
+	}
+	s.history = st.History
+	s.partialRounds = st.PartialRounds
+	s.startRound = len(st.History)
+	s.round = s.startRound
+	s.regDone = true
+	close(s.regReady)
+	return nil
+}
+
+// snapshotState captures the server's durable state under s.mu.
+func (s *Server) snapshotState() *serverState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &serverState{
+		NumClients:    s.cfg.NumClients,
+		Rounds:        s.cfg.Rounds,
+		Init:          s.cfg.Init,
+		History:       append([]GlobalMsg(nil), s.history...),
+		PartialRounds: s.partialRounds,
+	}
+	for _, sess := range s.sessions {
+		st.Keys = append(st.Keys, sess.key)
+		st.Names = append(st.Names, sess.name)
+	}
+	return st
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -149,6 +255,23 @@ func (s *Server) PartialRounds() int {
 	defer s.mu.Unlock()
 	return s.partialRounds
 }
+
+// RejectedUpdates returns how many updates the sanitization and
+// aggregation guards refused.
+func (s *Server) RejectedUpdates() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejected
+}
+
+// Validator exposes the sanitization state (nil when disabled). Read it
+// only after Run returns; the round loop owns it while running.
+func (s *Server) Validator() *Validator { return s.validator }
+
+// StartRound returns the first round the server will (or did) collect —
+// 0 on a fresh start, the round after the last committed one when the
+// server resumed from a checkpoint.
+func (s *Server) StartRound() int { return s.startRound }
 
 // track registers a live connection for byte accounting.
 func (s *Server) track(cc *countingConn) {
@@ -198,6 +321,9 @@ func (s *Server) post(ev event) {
 func (s *Server) Run(ctx context.Context) ([]float64, error) {
 	defer close(s.done)
 	defer func() {
+		if s.store != nil {
+			_ = s.store.Close()
+		}
 		closeQuietly(s.ln)
 		s.mu.Lock()
 		live := make([]*countingConn, 0, len(s.conns))
@@ -239,16 +365,33 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		return nil, ctx.Err()
 	}
 
+	// The base snapshot makes the completed registration durable: every
+	// later recovery restores the session table from it, keeping client
+	// ids stable across restarts. A recovered server skips this (its
+	// store already holds a newer generation).
+	if s.store != nil && s.startRound == 0 {
+		if err := s.store.WriteSnapshot(0, kindServerSnap, encodeServerState(s.snapshotState())); err != nil {
+			return nil, err
+		}
+	}
+
 	agg := fl.NewAggregator(0)
 	defer agg.Close()
 
 	n := s.cfg.NumClients
 	received := make([]*UpdateMsg, n)
-	contribs := make([][]float64, n)
-	weights := make([]float64, n)
 	global := append([]float64(nil), s.cfg.Init...)
+	// After recovery the dense global resumes from the last full-length
+	// aggregate (compact aggregates leave the server's dense copy
+	// informational, exactly as in an uninterrupted run).
+	for i := len(s.history) - 1; i >= 0; i-- {
+		if len(s.history[i].Payload) == len(global) {
+			global = append(global[:0], s.history[i].Payload...)
+			break
+		}
+	}
 
-	for round := 0; round < s.cfg.Rounds; round++ {
+	for round := s.startRound; round < s.cfg.Rounds; round++ {
 		s.mu.Lock()
 		s.round = round
 		s.mu.Unlock()
@@ -257,35 +400,41 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		for i := range received {
 			received[i] = nil
 		}
-		count, err := s.collect(ctx, round, received)
+		agg.Open(round, n)
+		count, err := s.collect(ctx, round, received, agg)
 		if err != nil {
+			agg.Discard()
 			return nil, err
 		}
 		if err := checkUpdates(round, received); err != nil {
 			return nil, fmt.Errorf("transport: %w", err)
 		}
 
-		dim := 0
-		for i, u := range received {
-			if u == nil {
-				contribs[i], weights[i] = nil, 0
-				continue
-			}
-			contribs[i], weights[i] = u.Payload, u.Weight
-			dim = len(u.Payload)
-		}
-		out := make([]float64, dim)
-		if !agg.WeightedMean(out, contribs, weights) {
+		out := make([]float64, agg.Dim())
+		if _, ok := agg.Reduce(out); !ok {
 			return nil, protocolErrorf("round %d: all contributions withheld (total weight 0)", round)
 		}
 
 		msg := GlobalMsg{Round: round, Payload: out, Participants: count}
+		// Commit before broadcast: once any client observes round R, a
+		// restarted server must still know it, or resume would refuse the
+		// client for claiming rounds the server never produced.
+		if s.store != nil {
+			if err := s.store.Append(kindWALGlobal, encodeWALGlobal(&msg)); err != nil {
+				return nil, err
+			}
+		}
 		s.mu.Lock()
 		s.history = append(s.history, msg)
 		if count < n {
 			s.partialRounds++
 		}
 		s.mu.Unlock()
+		if s.store != nil && (round+1)%s.cfg.SnapshotEvery == 0 {
+			if err := s.store.WriteSnapshot(round+1, kindServerSnap, encodeServerState(s.snapshotState())); err != nil {
+				return nil, err
+			}
+		}
 
 		if err := s.broadcast(ctx, round); err != nil {
 			return nil, err
@@ -300,10 +449,14 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 	return global, nil
 }
 
-// collect gathers round updates into received (indexed by client id) until
-// every client reported or, in fault-tolerant mode, the round deadline
-// passed with at least MinClients updates. Returns the participant count.
-func (s *Server) collect(ctx context.Context, round int, received []*UpdateMsg) (int, error) {
+// collect gathers round updates into received (indexed by client id) and
+// the aggregator until every eligible client reported or, in fault-
+// tolerant mode, the round deadline passed with at least MinClients
+// updates. Quarantined clients are not waited for. Every accepted update
+// passes the sanitization hook (when configured) and the aggregator's
+// own finiteness guard, and is logged to the WAL before it counts.
+// Returns the participant count.
+func (s *Server) collect(ctx context.Context, round int, received []*UpdateMsg, agg *fl.Aggregator) (int, error) {
 	var deadline <-chan time.Time
 	var timer *time.Timer
 	if s.faultTolerant() {
@@ -312,13 +465,29 @@ func (s *Server) collect(ctx context.Context, round int, received []*UpdateMsg) 
 		deadline = timer.C
 	}
 	count := 0
-	for count < len(received) {
+	for {
+		// Quarantine can trip mid-round, so the target is re-derived each
+		// iteration: a poisoned client must not hold the barrier hostage.
+		needed := len(received)
+		if s.validator != nil {
+			needed -= s.validator.QuarantinedCount()
+		}
+		if needed <= 0 {
+			return 0, fmt.Errorf("transport: round %d: every client is quarantined: %w", round, ErrQuarantined)
+		}
+		if count >= needed {
+			return count, nil
+		}
+		floor := s.cfg.MinClients
+		if floor > needed {
+			floor = needed
+		}
 		select {
 		case <-ctx.Done():
 			return 0, ctx.Err()
 		case <-deadline:
 			deadline = nil
-			if count >= s.cfg.MinClients {
+			if count >= floor {
 				return count, nil
 			}
 			// Below the aggregation floor: keep waiting for stragglers
@@ -345,11 +514,55 @@ func (s *Server) collect(ctx context.Context, round int, received []*UpdateMsg) 
 			if received[ev.sess.id] != nil {
 				continue // idempotent duplicate (reconnect re-send)
 			}
+			if err := s.admit(ev.sess.id, round, u, agg); err != nil {
+				if !s.faultTolerant() {
+					// The strict barrier cannot complete without this
+					// client, so a poisoned update aborts the run.
+					return 0, fmt.Errorf("transport: round %d: %w", round, err)
+				}
+				s.mu.Lock()
+				s.rejected++
+				s.mu.Unlock()
+				continue
+			}
 			received[ev.sess.id] = u
 			count++
+			if s.store != nil {
+				if err := s.store.Append(kindWALUpdate, encodeWALUpdate(ev.sess.id, u)); err != nil {
+					return 0, err
+				}
+			}
 		}
 	}
-	return count, nil
+}
+
+// admit runs one update through the sanitization hook and the
+// aggregator's independent finiteness guard. The validator (when
+// configured) is the first line — typed rejections, strikes, quarantine;
+// fl.Aggregator.Add re-checks finiteness regardless, so even with
+// sanitization disabled a NaN/Inf contribution cannot fold into the
+// shards.
+func (s *Server) admit(id, round int, u *UpdateMsg, agg *fl.Aggregator) error {
+	if s.validator != nil {
+		if err := s.validator.Check(id, round, u.Payload, u.Weight); err != nil {
+			return err
+		}
+	}
+	if err := agg.Add(id, u.Payload, u.Weight); err != nil {
+		if errors.Is(err, fl.ErrLengthMismatch) {
+			// Cross-client geometry disagreement is a protocol violation
+			// (misaligned compact payloads), not a sanitization matter.
+			return protocolErrorf("client %d: %v", id, err)
+		}
+		if s.validator != nil && errors.Is(err, fl.ErrNonFinite) {
+			// Validator enabled but bypassed (e.g. gate raced a decode
+			// quirk): still charge the strike so repeat offenders
+			// quarantine.
+			s.validator.strike(id, err)
+		}
+		return err
+	}
+	return nil
 }
 
 // broadcast delivers every not-yet-sent aggregate (up to round) to each

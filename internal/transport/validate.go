@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Update sanitization errors, distinguishable with errors.Is. Each names
+// the offending client and round when wrapped by Validator.Check.
+var (
+	// ErrNonFiniteUpdate marks a payload or weight carrying NaN or Inf.
+	ErrNonFiniteUpdate = errors.New("transport: non-finite update")
+	// ErrDimMismatch marks a payload whose length cannot belong to the
+	// model (empty, or beyond the dense dimension).
+	ErrDimMismatch = errors.New("transport: update dimension mismatch")
+	// ErrNormOutlier marks an update whose L2 norm exceeds the median-based
+	// gate (an exploding or maliciously scaled contribution).
+	ErrNormOutlier = errors.New("transport: update norm outlier")
+	// ErrQuarantined marks an update from a client already quarantined for
+	// repeated violations.
+	ErrQuarantined = errors.New("transport: client quarantined")
+)
+
+// ValidatorConfig parameterizes update sanitization.
+type ValidatorConfig struct {
+	// Clients is the cluster size (strike counters are per client id).
+	Clients int
+	// Dim is the dense model dimension; payloads longer than it (or empty)
+	// are rejected. Compact (mask-elided) payloads are shorter by design,
+	// so only the upper bound is enforced here — cross-client length
+	// agreement stays with checkUpdates.
+	Dim int
+	// MaxNormMult rejects an update whose L2 norm exceeds this multiple of
+	// the median norm of recently accepted updates (0 disables the gate;
+	// the gate also stays silent until MinHistory norms are on record).
+	MaxNormMult float64
+	// StrikeLimit quarantines a client after this many violations
+	// (default 3). Quarantined clients' updates are rejected outright.
+	StrikeLimit int
+	// NormWindow is the rolling accepted-norm history length feeding the
+	// median (default 64).
+	NormWindow int
+	// MinHistory is the minimum number of accepted norms before the norm
+	// gate arms (default 3).
+	MinHistory int
+}
+
+// Validator sanitizes inbound UpdateMsgs before they reach the
+// aggregator: non-finite values, impossible dimensions, and norm
+// outliers are rejected with typed errors, violations accumulate
+// per-client strikes, and a client at the strike limit is quarantined.
+// It is the transport-level defense line; fl.Aggregator.Add re-checks
+// finiteness independently so a bypassed or disabled validator still
+// cannot poison the shards.
+//
+// Validator methods are not safe for concurrent use; the server calls
+// them from its single round loop.
+type Validator struct {
+	cfg     ValidatorConfig
+	strikes []int
+	quar    []bool
+
+	norms  []float64 // rolling accepted L2 norms
+	next   int
+	filled int
+	sorted []float64 // scratch for the median
+}
+
+// NewValidator builds a validator; zero-value knobs take defaults.
+func NewValidator(cfg ValidatorConfig) *Validator {
+	if cfg.Clients <= 0 {
+		panic(fmt.Sprintf("transport: validator over %d clients", cfg.Clients))
+	}
+	if cfg.StrikeLimit <= 0 {
+		cfg.StrikeLimit = 3
+	}
+	if cfg.NormWindow <= 0 {
+		cfg.NormWindow = 64
+	}
+	if cfg.MinHistory <= 0 {
+		cfg.MinHistory = 3
+	}
+	return &Validator{
+		cfg:     cfg,
+		strikes: make([]int, cfg.Clients),
+		quar:    make([]bool, cfg.Clients),
+		norms:   make([]float64, cfg.NormWindow),
+		sorted:  make([]float64, 0, cfg.NormWindow),
+	}
+}
+
+// Check validates one update from client id. A nil return means the
+// update was accepted (and its norm recorded); a non-nil return is one of
+// the typed errors above, wrapped with client and round context. Each
+// rejection other than ErrQuarantined costs the client a strike;
+// reaching the strike limit quarantines it permanently for the run.
+func (v *Validator) Check(id, round int, payload []float64, weight float64) error {
+	if id < 0 || id >= v.cfg.Clients {
+		return fmt.Errorf("%w: round %d: client id %d out of range", ErrDimMismatch, round, id)
+	}
+	if v.quar[id] {
+		return fmt.Errorf("%w: round %d: client %d (%d strikes)", ErrQuarantined, round, id, v.strikes[id])
+	}
+	if len(payload) == 0 || (v.cfg.Dim > 0 && len(payload) > v.cfg.Dim) {
+		return v.strike(id, fmt.Errorf("%w: round %d: client %d payload length %d outside (0,%d]",
+			ErrDimMismatch, round, id, len(payload), v.cfg.Dim))
+	}
+	if math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return v.strike(id, fmt.Errorf("%w: round %d: client %d weight %v", ErrNonFiniteUpdate, round, id, weight))
+	}
+	// One pass computes the norm and catches non-finite scalars (a NaN
+	// or Inf anywhere makes the running sum non-finite).
+	sum := 0.0
+	for _, x := range payload {
+		sum += x * x
+	}
+	if math.IsNaN(sum) || math.IsInf(sum, 0) {
+		for j, x := range payload {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return v.strike(id, fmt.Errorf("%w: round %d: client %d scalar %d is %v",
+					ErrNonFiniteUpdate, round, id, j, x))
+			}
+		}
+		return v.strike(id, fmt.Errorf("%w: round %d: client %d norm overflow", ErrNonFiniteUpdate, round, id))
+	}
+	norm := math.Sqrt(sum)
+	if v.cfg.MaxNormMult > 0 && v.filled >= v.cfg.MinHistory {
+		if med := v.median(); med > 0 && norm > v.cfg.MaxNormMult*med {
+			return v.strike(id, fmt.Errorf("%w: round %d: client %d norm %.6g exceeds %gx median %.6g",
+				ErrNormOutlier, round, id, norm, v.cfg.MaxNormMult, med))
+		}
+	}
+	v.norms[v.next] = norm
+	v.next = (v.next + 1) % len(v.norms)
+	if v.filled < len(v.norms) {
+		v.filled++
+	}
+	return nil
+}
+
+// strike charges one violation to the client and quarantines it at the
+// limit.
+func (v *Validator) strike(id int, err error) error {
+	v.strikes[id]++
+	if v.strikes[id] >= v.cfg.StrikeLimit {
+		v.quar[id] = true
+	}
+	return err
+}
+
+// median returns the median of the recorded norms.
+func (v *Validator) median() float64 {
+	v.sorted = append(v.sorted[:0], v.norms[:v.filled]...)
+	sort.Float64s(v.sorted)
+	n := len(v.sorted)
+	if n%2 == 1 {
+		return v.sorted[n/2]
+	}
+	return (v.sorted[n/2-1] + v.sorted[n/2]) / 2
+}
+
+// Strikes returns client id's violation count.
+func (v *Validator) Strikes(id int) int { return v.strikes[id] }
+
+// Quarantined reports whether client id is quarantined.
+func (v *Validator) Quarantined(id int) bool { return v.quar[id] }
+
+// QuarantinedCount returns how many clients are quarantined.
+func (v *Validator) QuarantinedCount() int {
+	n := 0
+	for _, q := range v.quar {
+		if q {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestValidatorTypedRejections drives each rejection class through Check
+// and asserts the typed error surfaces.
+func TestValidatorTypedRejections(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Clients: 4, Dim: 3, StrikeLimit: 100})
+	good := []float64{1, 2, 3}
+
+	cases := []struct {
+		name    string
+		id      int
+		payload []float64
+		weight  float64
+		want    error
+	}{
+		{"empty payload", 0, nil, 1, ErrDimMismatch},
+		{"oversized payload", 0, []float64{1, 2, 3, 4}, 1, ErrDimMismatch},
+		{"id out of range", 9, good, 1, ErrDimMismatch},
+		{"nan weight", 1, good, math.NaN(), ErrNonFiniteUpdate},
+		{"inf weight", 1, good, math.Inf(1), ErrNonFiniteUpdate},
+		{"nan scalar", 2, []float64{1, math.NaN(), 3}, 1, ErrNonFiniteUpdate},
+		{"inf scalar", 2, []float64{math.Inf(-1), 2, 3}, 1, ErrNonFiniteUpdate},
+	}
+	for _, tc := range cases {
+		err := v.Check(tc.id, 0, tc.payload, tc.weight)
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if err := v.Check(0, 0, good, 1); err != nil {
+		t.Fatalf("good update rejected: %v", err)
+	}
+	// A compact (mask-elided) payload is shorter than Dim and legal.
+	if err := v.Check(1, 0, []float64{7}, 1); err != nil {
+		t.Fatalf("compact payload rejected: %v", err)
+	}
+}
+
+// TestValidatorNormGate arms the median gate and checks a 100x-norm
+// update is rejected while same-scale updates keep flowing; the gate
+// stays silent until MinHistory norms are recorded.
+func TestValidatorNormGate(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Clients: 3, Dim: 4, MaxNormMult: 10, MinHistory: 3, StrikeLimit: 100})
+	base := []float64{1, 1, 1, 1}
+	huge := []float64{100, 100, 100, 100}
+
+	// Before MinHistory accepted norms, even a wild update passes (there
+	// is no reference scale yet).
+	if err := v.Check(0, 0, base, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Check(1, 0, huge, 1); err != nil {
+		t.Fatalf("gate fired before MinHistory: %v", err)
+	}
+	if err := v.Check(2, 0, base, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Armed now (3 norms recorded; median 2 — two base norms and one
+	// huge). 100x the base norm exceeds 10x the median.
+	if err := v.Check(0, 1, huge, 1); !errors.Is(err, ErrNormOutlier) {
+		t.Fatalf("outlier err = %v, want ErrNormOutlier", err)
+	}
+	if err := v.Check(1, 1, base, 1); err != nil {
+		t.Fatalf("in-scale update rejected after outlier: %v", err)
+	}
+	if v.Strikes(0) != 1 {
+		t.Fatalf("strikes(0) = %d, want 1", v.Strikes(0))
+	}
+}
+
+// TestValidatorQuarantine checks the strike limit trips into quarantine
+// and stays there.
+func TestValidatorQuarantine(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Clients: 2, Dim: 2, StrikeLimit: 3})
+	poison := []float64{math.NaN(), 0}
+	for i := 0; i < 3; i++ {
+		if v.Quarantined(0) {
+			t.Fatalf("quarantined after %d strikes", i)
+		}
+		if err := v.Check(0, i, poison, 1); !errors.Is(err, ErrNonFiniteUpdate) {
+			t.Fatalf("strike %d: %v", i, err)
+		}
+	}
+	if !v.Quarantined(0) || v.QuarantinedCount() != 1 {
+		t.Fatalf("not quarantined at the strike limit (strikes=%d)", v.Strikes(0))
+	}
+	// Even a clean update from a quarantined client is refused, without
+	// charging further strikes.
+	if err := v.Check(0, 9, []float64{1, 2}, 1); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("post-quarantine err = %v, want ErrQuarantined", err)
+	}
+	if v.Strikes(0) != 3 {
+		t.Fatalf("quarantined rejections still strike: %d", v.Strikes(0))
+	}
+	// The other client is unaffected.
+	if err := v.Check(1, 9, []float64{1, 2}, 1); err != nil {
+		t.Fatalf("clean client rejected: %v", err)
+	}
+}
+
+// TestValidatorRollingWindow fills the norm window past capacity and
+// checks the median tracks the recent scale, not the whole run.
+func TestValidatorRollingWindow(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Clients: 1, Dim: 1, MaxNormMult: 4, NormWindow: 4, MinHistory: 2, StrikeLimit: 100})
+	// Old scale ~1, then the model converges and updates shrink to ~0.1.
+	for i := 0; i < 4; i++ {
+		if err := v.Check(0, i, []float64{1}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if err := v.Check(0, i, []float64{0.1}, 1); err != nil {
+			t.Fatalf("shrinking update %d rejected: %v", i, err)
+		}
+	}
+	// Window now holds only the small norms; an old-scale update is 10x
+	// the median and must trip the 4x gate.
+	if err := v.Check(0, 8, []float64{1}, 1); !errors.Is(err, ErrNormOutlier) {
+		t.Fatalf("stale-scale update err = %v, want ErrNormOutlier", err)
+	}
+}
