@@ -99,7 +99,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *ckptDir != "" && srv.StartRound() > 0 {
+	if *ckptDir != "" && srv.Recovered() {
 		fmt.Printf("apf-server: resumed from checkpoint at round %d\n", srv.StartRound())
 	}
 

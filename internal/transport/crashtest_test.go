@@ -53,7 +53,10 @@ func TestCrashRealSIGKILL(t *testing.T) {
 	}
 	parts := data.PartitionDirichlet(stats.SplitRNG(seed, 1), p.Data.Labels, p.Data.Classes, clients, 1.0)
 
-	runArm := func(name string, kill bool) []float64 {
+	// killRound < 0 runs the arm uninterrupted; otherwise a scripted
+	// kill-server fault SIGKILLs the server when that round is announced,
+	// and the arm restarts the binary against the same checkpoint dir.
+	runArm := func(name string, killRound int) []float64 {
 		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 		defer cancel()
 
@@ -65,8 +68,8 @@ func TestCrashRealSIGKILL(t *testing.T) {
 			"-deadline", "5s", "-checkpoint-dir", dir, "-snapshot-every", "3",
 		}
 		srvArgs := args
-		if kill {
-			srvArgs = append(append([]string(nil), args...), "-chaos", "kill-server@6")
+		if killRound >= 0 {
+			srvArgs = append(append([]string(nil), args...), "-chaos", fmt.Sprintf("kill-server@%d", killRound))
 		}
 		srv := exec.CommandContext(ctx, bin, srvArgs...)
 		srv.Stdout, srv.Stderr = os.Stderr, os.Stderr
@@ -109,10 +112,10 @@ func TestCrashRealSIGKILL(t *testing.T) {
 			time.Sleep(150 * time.Millisecond)
 		}
 
-		if kill {
-			// The chaos fault SIGKILLs the server at round 6. Wait for the
-			// corpse, then restart against the same checkpoint directory —
-			// without the chaos flag this time.
+		if killRound >= 0 {
+			// The chaos fault SIGKILLs the server at the scripted round.
+			// Wait for the corpse, then restart against the same checkpoint
+			// directory — without the chaos flag this time.
 			if err := <-srvDone; err == nil {
 				t.Fatalf("%s: server exited cleanly; the kill fault never fired", name)
 			}
@@ -137,19 +140,25 @@ func TestCrashRealSIGKILL(t *testing.T) {
 		return results[0].FinalModel
 	}
 
-	clean := runArm("clean", false)
-	crashed := runArm("crashed", true)
-	if len(clean) != len(crashed) {
-		t.Fatalf("model dims differ: %d vs %d", len(clean), len(crashed))
-	}
-	diffs := 0
-	for j := range clean {
-		if clean[j] != crashed[j] {
-			diffs++
+	clean := runArm("clean", -1)
+	// Round 6: the classic mid-run crash. Round 0: the nastiest window —
+	// the base snapshot is on disk but nothing has committed, so recovery
+	// restarts from a generation-0 checkpoint with an empty history.
+	for _, killRound := range []int{6, 0} {
+		crashed := runArm(fmt.Sprintf("crashed@%d", killRound), killRound)
+		if len(clean) != len(crashed) {
+			t.Fatalf("kill@%d: model dims differ: %d vs %d", killRound, len(clean), len(crashed))
 		}
-	}
-	if diffs != 0 {
-		t.Fatalf("crash-and-recover diverged from the uninterrupted run at %d/%d scalars", diffs, len(clean))
+		diffs := 0
+		for j := range clean {
+			if clean[j] != crashed[j] {
+				diffs++
+			}
+		}
+		if diffs != 0 {
+			t.Fatalf("kill@%d: crash-and-recover diverged from the uninterrupted run at %d/%d scalars",
+				killRound, diffs, len(clean))
+		}
 	}
 }
 

@@ -33,6 +33,20 @@ type serverState struct {
 	// PartialRounds preserves the partial-aggregation count across
 	// restarts so accounting reflects the whole run.
 	PartialRounds int
+	// Validator carries the sanitization state (nil when sanitization is
+	// disabled). Persisting it keeps quarantined clients out and the norm
+	// gate armed across a restart; granularity is the snapshot cadence —
+	// strikes charged since the last rotation are lost with the crash.
+	Validator *validatorState
+}
+
+// validatorState is the durable slice of a Validator: strike counters,
+// quarantine flags, and the rolling accepted-norm history (chronological,
+// oldest first).
+type validatorState struct {
+	Strikes []int
+	Quar    []bool
+	Norms   []float64
 }
 
 // encodeServerState frames the snapshot payload (without the outer frame;
@@ -52,6 +66,15 @@ func encodeServerState(s *serverState) []byte {
 		appendGlobalMsg(&w, &s.History[i])
 	}
 	w.Int(s.PartialRounds)
+	w.Bool(s.Validator != nil)
+	if v := s.Validator; v != nil {
+		w.Ints(v.Strikes)
+		w.Int(len(v.Quar))
+		for _, q := range v.Quar {
+			w.Bool(q)
+		}
+		w.F64s(v.Norms)
+	}
 	return w.Bytes()
 }
 
@@ -78,6 +101,18 @@ func decodeServerState(payload []byte) (*serverState, error) {
 		s.History = append(s.History, readGlobalMsg(r))
 	}
 	s.PartialRounds = r.Int()
+	if r.Bool() && r.Err() == nil {
+		v := &validatorState{Strikes: r.Ints()}
+		nQuar := r.Int()
+		if r.Err() == nil && (nQuar < 0 || nQuar > len(payload)) {
+			return nil, fmt.Errorf("%w: quarantine count %d", checkpoint.ErrCorrupt, nQuar)
+		}
+		for i := 0; i < nQuar && r.Err() == nil; i++ {
+			v.Quar = append(v.Quar, r.Bool())
+		}
+		v.Norms = r.F64s()
+		s.Validator = v
+	}
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
@@ -204,6 +239,10 @@ func verifyRecovered(st *serverState, cfg ServerConfig) error {
 	}
 	if len(st.History) > st.Rounds {
 		return fmt.Errorf("transport: checkpoint history has %d rounds of a %d-round run", len(st.History), st.Rounds)
+	}
+	if v := st.Validator; v != nil && (len(v.Strikes) != st.NumClients || len(v.Quar) != st.NumClients) {
+		return fmt.Errorf("transport: checkpoint validator state covers %d strike / %d quarantine entries for %d clients",
+			len(v.Strikes), len(v.Quar), st.NumClients)
 	}
 	return nil
 }

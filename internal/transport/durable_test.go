@@ -32,6 +32,11 @@ func TestServerStateCodecRoundTrip(t *testing.T) {
 			{Round: 0, Participants: 3, Payload: []float64{1, 2, 3}},
 			{Round: 1, Participants: 2, Payload: []float64{4, 5}},
 		},
+		Validator: &validatorState{
+			Strikes: []int{0, 2, 5},
+			Quar:    []bool{false, false, true},
+			Norms:   []float64{1.5, 0.25, 3},
+		},
 	}
 	got, err := decodeServerState(encodeServerState(st))
 	if err != nil {
@@ -39,6 +44,14 @@ func TestServerStateCodecRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, st) {
 		t.Fatalf("server state round trip:\n got %+v\nwant %+v", got, st)
+	}
+
+	// Sanitization disabled: the snapshot carries no validator state and
+	// decodes back to nil.
+	st.Validator = nil
+	got, err = decodeServerState(encodeServerState(st))
+	if err != nil || got.Validator != nil {
+		t.Fatalf("nil-validator round trip: %+v err=%v", got.Validator, err)
 	}
 
 	u := &UpdateMsg{Round: 7, Weight: 30, MaskHash: 0xdeadbeef, Payload: []float64{1, -2}}
@@ -212,6 +225,113 @@ func TestRestartAfterCompletionReturnsFinalModel(t *testing.T) {
 		CheckpointDir: dir,
 	}); err == nil {
 		t.Fatal("restart with a different cluster size accepted")
+	}
+}
+
+// TestRecoverFromGenerationZeroCheckpoint covers the crash window between
+// the base snapshot (written when registration completes) and round 0's
+// commit record: the restarted server holds a generation-0 checkpoint
+// with an empty history, must NOT try to re-write the base snapshot (the
+// store would refuse a same-generation write and brick recovery), and
+// must run the whole training to the same final weights as an
+// uninterrupted cluster.
+func TestRecoverFromGenerationZeroCheckpoint(t *testing.T) {
+	const clients, rounds = 2, 5
+	ds := data.SynthImages(data.ImageConfig{Classes: 3, Channels: 1, Size: 6, Samples: 60, NoiseStd: 0.5, Seed: 5})
+	parts := data.PartitionIID(stats.SplitRNG(5, 50), ds.Len(), clients)
+	initNet := tinyModel(stats.SplitRNG(5, 99))
+	init := nn.FlattenParams(initNet.Params(), nil)
+
+	runArm := func(name, dir string) []float64 {
+		srv, err := NewServer(ServerConfig{
+			Addr:          "127.0.0.1:0",
+			NumClients:    clients,
+			Rounds:        rounds,
+			Init:          init,
+			RoundDeadline: 5 * time.Second,
+			MinClients:    clients, // never aggregate partially: keep both arms deterministic
+			CheckpointDir: dir,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if srv.StartRound() != 0 {
+			t.Fatalf("%s: StartRound = %d, want 0", name, srv.StartRound())
+		}
+		// Only the arm handed the pre-populated store may report recovery.
+		if srv.Recovered() != (dir != "") {
+			t.Fatalf("%s: Recovered = %v with dir %q", name, srv.Recovered(), dir)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		serverErr := make(chan error, 1)
+		go func() {
+			_, err := srv.Run(ctx)
+			serverErr <- err
+		}()
+		results := make([]*ClientResult, clients)
+		errs := make([]error, clients)
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = RunClient(ctx, ClientConfig{
+					Addr: srv.Addr().String(), Name: fmt.Sprintf("c%d", i), SessionKey: fmt.Sprintf("c%d", i),
+					Model: tinyModel, Optimizer: tinySGD,
+					Manager: func(clientID, dim int) fl.SyncManager { return fl.NewPassthroughManager(4) },
+					Data:    ds, Indices: parts[i], LocalIters: 2, BatchSize: 10, Seed: 5,
+				})
+			}(i)
+			time.Sleep(100 * time.Millisecond) // registration order = shard order
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("%s: client %d: %v", name, i, err)
+			}
+		}
+		if err := <-serverErr; err != nil {
+			t.Fatalf("%s: server: %v", name, err)
+		}
+		return results[0].FinalModel
+	}
+
+	clean := runArm("clean", "")
+
+	// Hand-build exactly what a kill -9 inside round 0 leaves behind: the
+	// base snapshot at generation 0, a WAL with an in-flight round-0
+	// update, and no commit record.
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &serverState{
+		NumClients: clients,
+		Rounds:     rounds,
+		Init:       init,
+		Keys:       []string{"c0", "c1"},
+		Names:      []string{"c0", "c1"},
+	}
+	if err := store.WriteSnapshot(0, kindServerSnap, encodeServerState(base)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(kindWALUpdate, encodeWALUpdate(0, &UpdateMsg{Round: 0, Weight: 1, Payload: init})); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := runArm("recovered", dir)
+	if len(recovered) != len(clean) {
+		t.Fatalf("model dims differ: %d vs %d", len(recovered), len(clean))
+	}
+	for j := range clean {
+		if recovered[j] != clean[j] {
+			t.Fatalf("round-0 recovery diverged at scalar %d: %v vs %v", j, recovered[j], clean[j])
+		}
 	}
 }
 

@@ -77,9 +77,13 @@ type Server struct {
 
 	// store persists snapshots and the WAL when durability is enabled;
 	// startRound is the first round still to run after recovery (0 on a
-	// fresh start). validator is nil unless sanitization is configured.
+	// fresh start). recovered marks that openStore restored an existing
+	// checkpoint — even one with startRound still 0 (a crash inside round
+	// 0), in which case the base snapshot on disk must not be re-written.
+	// validator is nil unless sanitization is configured.
 	store      *checkpoint.Store
 	startRound int
+	recovered  bool
 	validator  *Validator
 
 	mu            sync.Mutex
@@ -195,6 +199,12 @@ func (s *Server) openStore() error {
 		store.Close()
 		return err
 	}
+	if st.Validator != nil && s.validator != nil {
+		if err := s.validator.restoreState(st.Validator); err != nil {
+			store.Close()
+			return err
+		}
+	}
 	for id := range st.Keys {
 		sess := &session{id: id, key: st.Keys[id], name: st.Names[id]}
 		s.sessions = append(s.sessions, sess)
@@ -205,6 +215,7 @@ func (s *Server) openStore() error {
 	s.history = st.History
 	s.partialRounds = st.PartialRounds
 	s.startRound = len(st.History)
+	s.recovered = true
 	s.round = s.startRound
 	s.regDone = true
 	close(s.regReady)
@@ -225,6 +236,9 @@ func (s *Server) snapshotState() *serverState {
 	for _, sess := range s.sessions {
 		st.Keys = append(st.Keys, sess.key)
 		st.Names = append(st.Names, sess.name)
+	}
+	if s.validator != nil {
+		st.Validator = s.validator.snapshotState()
 	}
 	return st
 }
@@ -272,6 +286,11 @@ func (s *Server) Validator() *Validator { return s.validator }
 // 0 on a fresh start, the round after the last committed one when the
 // server resumed from a checkpoint.
 func (s *Server) StartRound() int { return s.startRound }
+
+// Recovered reports whether the server restored an existing checkpoint.
+// Unlike StartRound() > 0 it also covers a crash inside round 0, where
+// the recovered history is still empty.
+func (s *Server) Recovered() bool { return s.recovered }
 
 // track registers a live connection for byte accounting.
 func (s *Server) track(cc *countingConn) {
@@ -367,9 +386,10 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 
 	// The base snapshot makes the completed registration durable: every
 	// later recovery restores the session table from it, keeping client
-	// ids stable across restarts. A recovered server skips this (its
-	// store already holds a newer generation).
-	if s.store != nil && s.startRound == 0 {
+	// ids stable across restarts. A recovered server skips this — even
+	// when startRound is still 0 (crash inside round 0), the base
+	// generation is already on disk and re-writing it would be refused.
+	if s.store != nil && !s.recovered {
 		if err := s.store.WriteSnapshot(0, kindServerSnap, encodeServerState(s.snapshotState())); err != nil {
 			return nil, err
 		}
@@ -543,8 +563,11 @@ func (s *Server) collect(ctx context.Context, round int, received []*UpdateMsg, 
 // sanitization disabled a NaN/Inf contribution cannot fold into the
 // shards.
 func (s *Server) admit(id, round int, u *UpdateMsg, agg *fl.Aggregator) error {
+	var norm float64
 	if s.validator != nil {
-		if err := s.validator.Check(id, round, u.Payload, u.Weight); err != nil {
+		var err error
+		norm, err = s.validator.Check(id, round, u.Payload, u.Weight)
+		if err != nil {
 			return err
 		}
 	}
@@ -561,6 +584,12 @@ func (s *Server) admit(id, round int, u *UpdateMsg, agg *fl.Aggregator) error {
 			s.validator.strike(id, err)
 		}
 		return err
+	}
+	// The norm enters the median history only now, when every guard has
+	// accepted the update; an aggregator rejection above must not let a
+	// refused update skew the gate.
+	if s.validator != nil {
+		s.validator.Commit(norm)
 	}
 	return nil
 }

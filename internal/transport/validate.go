@@ -91,24 +91,27 @@ func NewValidator(cfg ValidatorConfig) *Validator {
 	}
 }
 
-// Check validates one update from client id. A nil return means the
-// update was accepted (and its norm recorded); a non-nil return is one of
-// the typed errors above, wrapped with client and round context. Each
-// rejection other than ErrQuarantined costs the client a strike;
-// reaching the strike limit quarantines it permanently for the run.
-func (v *Validator) Check(id, round int, payload []float64, weight float64) error {
+// Check validates one update from client id without touching the norm
+// history. A nil error means the update passed every gate; the returned
+// norm must be handed to Commit once the update clears all later guards
+// (the aggregator may still reject it), so an update refused downstream
+// never skews the median gate. A non-nil return is one of the typed
+// errors above, wrapped with client and round context. Each rejection
+// other than ErrQuarantined costs the client a strike; reaching the
+// strike limit quarantines it permanently for the run.
+func (v *Validator) Check(id, round int, payload []float64, weight float64) (float64, error) {
 	if id < 0 || id >= v.cfg.Clients {
-		return fmt.Errorf("%w: round %d: client id %d out of range", ErrDimMismatch, round, id)
+		return 0, fmt.Errorf("%w: round %d: client id %d out of range", ErrDimMismatch, round, id)
 	}
 	if v.quar[id] {
-		return fmt.Errorf("%w: round %d: client %d (%d strikes)", ErrQuarantined, round, id, v.strikes[id])
+		return 0, fmt.Errorf("%w: round %d: client %d (%d strikes)", ErrQuarantined, round, id, v.strikes[id])
 	}
 	if len(payload) == 0 || (v.cfg.Dim > 0 && len(payload) > v.cfg.Dim) {
-		return v.strike(id, fmt.Errorf("%w: round %d: client %d payload length %d outside (0,%d]",
+		return 0, v.strike(id, fmt.Errorf("%w: round %d: client %d payload length %d outside (0,%d]",
 			ErrDimMismatch, round, id, len(payload), v.cfg.Dim))
 	}
 	if math.IsNaN(weight) || math.IsInf(weight, 0) {
-		return v.strike(id, fmt.Errorf("%w: round %d: client %d weight %v", ErrNonFiniteUpdate, round, id, weight))
+		return 0, v.strike(id, fmt.Errorf("%w: round %d: client %d weight %v", ErrNonFiniteUpdate, round, id, weight))
 	}
 	// One pass computes the norm and catches non-finite scalars (a NaN
 	// or Inf anywhere makes the running sum non-finite).
@@ -119,25 +122,32 @@ func (v *Validator) Check(id, round int, payload []float64, weight float64) erro
 	if math.IsNaN(sum) || math.IsInf(sum, 0) {
 		for j, x := range payload {
 			if math.IsNaN(x) || math.IsInf(x, 0) {
-				return v.strike(id, fmt.Errorf("%w: round %d: client %d scalar %d is %v",
+				return 0, v.strike(id, fmt.Errorf("%w: round %d: client %d scalar %d is %v",
 					ErrNonFiniteUpdate, round, id, j, x))
 			}
 		}
-		return v.strike(id, fmt.Errorf("%w: round %d: client %d norm overflow", ErrNonFiniteUpdate, round, id))
+		return 0, v.strike(id, fmt.Errorf("%w: round %d: client %d norm overflow", ErrNonFiniteUpdate, round, id))
 	}
 	norm := math.Sqrt(sum)
 	if v.cfg.MaxNormMult > 0 && v.filled >= v.cfg.MinHistory {
 		if med := v.median(); med > 0 && norm > v.cfg.MaxNormMult*med {
-			return v.strike(id, fmt.Errorf("%w: round %d: client %d norm %.6g exceeds %gx median %.6g",
+			return 0, v.strike(id, fmt.Errorf("%w: round %d: client %d norm %.6g exceeds %gx median %.6g",
 				ErrNormOutlier, round, id, norm, v.cfg.MaxNormMult, med))
 		}
 	}
+	return norm, nil
+}
+
+// Commit records the norm of a fully accepted update into the rolling
+// history feeding the median gate. Call it with the norm Check returned,
+// only after every later guard (the aggregator's) also accepted the
+// update.
+func (v *Validator) Commit(norm float64) {
 	v.norms[v.next] = norm
 	v.next = (v.next + 1) % len(v.norms)
 	if v.filled < len(v.norms) {
 		v.filled++
 	}
-	return nil
 }
 
 // strike charges one violation to the client and quarantines it at the
@@ -159,6 +169,44 @@ func (v *Validator) median() float64 {
 		return v.sorted[n/2]
 	}
 	return (v.sorted[n/2-1] + v.sorted[n/2]) / 2
+}
+
+// snapshotState captures the validator's durable state — per-client
+// strikes and quarantine flags plus the accepted-norm history in
+// chronological order — for inclusion in the server snapshot, so a
+// restarted coordinator neither readmits a quarantined poisoner nor
+// disarms the norm gate until fresh history accumulates.
+func (v *Validator) snapshotState() *validatorState {
+	st := &validatorState{
+		Strikes: append([]int(nil), v.strikes...),
+		Quar:    append([]bool(nil), v.quar...),
+	}
+	if v.filled < len(v.norms) {
+		st.Norms = append(st.Norms, v.norms[:v.filled]...)
+	} else {
+		st.Norms = append(st.Norms, v.norms[v.next:]...)
+		st.Norms = append(st.Norms, v.norms[:v.next]...)
+	}
+	return st
+}
+
+// restoreState loads a snapshotState capture. The norm history replays
+// oldest-first; if the configured window shrank across the restart, only
+// the newest norms are kept.
+func (v *Validator) restoreState(st *validatorState) error {
+	if len(st.Strikes) != v.cfg.Clients || len(st.Quar) != v.cfg.Clients {
+		return fmt.Errorf("transport: checkpoint validator state covers %d/%d clients, cluster has %d",
+			len(st.Strikes), len(st.Quar), v.cfg.Clients)
+	}
+	copy(v.strikes, st.Strikes)
+	copy(v.quar, st.Quar)
+	norms := st.Norms
+	if len(norms) > len(v.norms) {
+		norms = norms[len(norms)-len(v.norms):]
+	}
+	v.filled = copy(v.norms, norms)
+	v.next = v.filled % len(v.norms)
+	return nil
 }
 
 // Strikes returns client id's violation count.

@@ -6,6 +6,18 @@ import (
 	"testing"
 )
 
+// accept drives one update through Check and, when it passes, Commit —
+// the same two-step protocol the server's admit path uses.
+func accept(t *testing.T, v *Validator, id, round int, payload []float64, weight float64) error {
+	t.Helper()
+	norm, err := v.Check(id, round, payload, weight)
+	if err != nil {
+		return err
+	}
+	v.Commit(norm)
+	return nil
+}
+
 // TestValidatorTypedRejections drives each rejection class through Check
 // and asserts the typed error surfaces.
 func TestValidatorTypedRejections(t *testing.T) {
@@ -28,16 +40,16 @@ func TestValidatorTypedRejections(t *testing.T) {
 		{"inf scalar", 2, []float64{math.Inf(-1), 2, 3}, 1, ErrNonFiniteUpdate},
 	}
 	for _, tc := range cases {
-		err := v.Check(tc.id, 0, tc.payload, tc.weight)
+		_, err := v.Check(tc.id, 0, tc.payload, tc.weight)
 		if !errors.Is(err, tc.want) {
 			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
 		}
 	}
-	if err := v.Check(0, 0, good, 1); err != nil {
+	if err := accept(t, v, 0, 0, good, 1); err != nil {
 		t.Fatalf("good update rejected: %v", err)
 	}
 	// A compact (mask-elided) payload is shorter than Dim and legal.
-	if err := v.Check(1, 0, []float64{7}, 1); err != nil {
+	if err := accept(t, v, 1, 0, []float64{7}, 1); err != nil {
 		t.Fatalf("compact payload rejected: %v", err)
 	}
 }
@@ -52,26 +64,56 @@ func TestValidatorNormGate(t *testing.T) {
 
 	// Before MinHistory accepted norms, even a wild update passes (there
 	// is no reference scale yet).
-	if err := v.Check(0, 0, base, 1); err != nil {
+	if err := accept(t, v, 0, 0, base, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.Check(1, 0, huge, 1); err != nil {
+	if err := accept(t, v, 1, 0, huge, 1); err != nil {
 		t.Fatalf("gate fired before MinHistory: %v", err)
 	}
-	if err := v.Check(2, 0, base, 1); err != nil {
+	if err := accept(t, v, 2, 0, base, 1); err != nil {
 		t.Fatal(err)
 	}
 
 	// Armed now (3 norms recorded; median 2 — two base norms and one
 	// huge). 100x the base norm exceeds 10x the median.
-	if err := v.Check(0, 1, huge, 1); !errors.Is(err, ErrNormOutlier) {
+	if err := accept(t, v, 0, 1, huge, 1); !errors.Is(err, ErrNormOutlier) {
 		t.Fatalf("outlier err = %v, want ErrNormOutlier", err)
 	}
-	if err := v.Check(1, 1, base, 1); err != nil {
+	if err := accept(t, v, 1, 1, base, 1); err != nil {
 		t.Fatalf("in-scale update rejected after outlier: %v", err)
 	}
 	if v.Strikes(0) != 1 {
 		t.Fatalf("strikes(0) = %d, want 1", v.Strikes(0))
+	}
+}
+
+// TestCheckAloneDoesNotRecordNorms separates validation from recording:
+// an update that passes Check but is never Commit-ted (the aggregator
+// refused it, say for a cross-client length mismatch) must not feed the
+// median gate — otherwise rejected updates could skew the reference
+// scale.
+func TestCheckAloneDoesNotRecordNorms(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Clients: 2, Dim: 2, MaxNormMult: 2, MinHistory: 1, StrikeLimit: 100})
+	base := []float64{1, 1}
+	huge := []float64{100, 100}
+
+	// Checks without Commit: the history stays empty, so the gate never
+	// arms and even a wild norm keeps passing.
+	for i := 0; i < 5; i++ {
+		if _, err := v.Check(0, i, base, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := v.Check(1, 5, huge, 1); err != nil {
+		t.Fatalf("gate armed from un-committed norms: %v", err)
+	}
+
+	// One committed norm arms it (MinHistory 1) at the base scale.
+	if err := accept(t, v, 0, 6, base, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Check(1, 7, huge, 1); !errors.Is(err, ErrNormOutlier) {
+		t.Fatalf("outlier err = %v, want ErrNormOutlier", err)
 	}
 }
 
@@ -84,7 +126,7 @@ func TestValidatorQuarantine(t *testing.T) {
 		if v.Quarantined(0) {
 			t.Fatalf("quarantined after %d strikes", i)
 		}
-		if err := v.Check(0, i, poison, 1); !errors.Is(err, ErrNonFiniteUpdate) {
+		if _, err := v.Check(0, i, poison, 1); !errors.Is(err, ErrNonFiniteUpdate) {
 			t.Fatalf("strike %d: %v", i, err)
 		}
 	}
@@ -93,14 +135,14 @@ func TestValidatorQuarantine(t *testing.T) {
 	}
 	// Even a clean update from a quarantined client is refused, without
 	// charging further strikes.
-	if err := v.Check(0, 9, []float64{1, 2}, 1); !errors.Is(err, ErrQuarantined) {
+	if _, err := v.Check(0, 9, []float64{1, 2}, 1); !errors.Is(err, ErrQuarantined) {
 		t.Fatalf("post-quarantine err = %v, want ErrQuarantined", err)
 	}
 	if v.Strikes(0) != 3 {
 		t.Fatalf("quarantined rejections still strike: %d", v.Strikes(0))
 	}
 	// The other client is unaffected.
-	if err := v.Check(1, 9, []float64{1, 2}, 1); err != nil {
+	if err := accept(t, v, 1, 9, []float64{1, 2}, 1); err != nil {
 		t.Fatalf("clean client rejected: %v", err)
 	}
 }
@@ -111,18 +153,81 @@ func TestValidatorRollingWindow(t *testing.T) {
 	v := NewValidator(ValidatorConfig{Clients: 1, Dim: 1, MaxNormMult: 4, NormWindow: 4, MinHistory: 2, StrikeLimit: 100})
 	// Old scale ~1, then the model converges and updates shrink to ~0.1.
 	for i := 0; i < 4; i++ {
-		if err := v.Check(0, i, []float64{1}, 1); err != nil {
+		if err := accept(t, v, 0, i, []float64{1}, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 4; i < 8; i++ {
-		if err := v.Check(0, i, []float64{0.1}, 1); err != nil {
+		if err := accept(t, v, 0, i, []float64{0.1}, 1); err != nil {
 			t.Fatalf("shrinking update %d rejected: %v", i, err)
 		}
 	}
 	// Window now holds only the small norms; an old-scale update is 10x
 	// the median and must trip the 4x gate.
-	if err := v.Check(0, 8, []float64{1}, 1); !errors.Is(err, ErrNormOutlier) {
+	if err := accept(t, v, 0, 8, []float64{1}, 1); !errors.Is(err, ErrNormOutlier) {
 		t.Fatalf("stale-scale update err = %v, want ErrNormOutlier", err)
+	}
+}
+
+// TestValidatorStateRoundTrip snapshots a validator mid-run (one client
+// quarantined, gate armed), round-trips it through the server snapshot
+// codec, restores it into a fresh validator, and checks both defenses
+// survive: the quarantine holds and the norm gate fires immediately,
+// without waiting for MinHistory fresh norms.
+func TestValidatorStateRoundTrip(t *testing.T) {
+	cfg := ValidatorConfig{Clients: 3, Dim: 2, MaxNormMult: 4, NormWindow: 4, MinHistory: 3, StrikeLimit: 2}
+	v := NewValidator(cfg)
+	poison := []float64{math.NaN(), 0}
+	for i := 0; i < 2; i++ {
+		if _, err := v.Check(2, i, poison, 1); !errors.Is(err, ErrNonFiniteUpdate) {
+			t.Fatalf("strike %d: %v", i, err)
+		}
+	}
+	if !v.Quarantined(2) {
+		t.Fatal("client 2 not quarantined")
+	}
+	// Arm the gate at scale ~1, overflowing the 4-slot window once so the
+	// chronological export of a wrapped ring is exercised.
+	for i := 0; i < 6; i++ {
+		if err := accept(t, v, i%2, i, []float64{1, 1}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := &serverState{
+		NumClients: 3,
+		Rounds:     8,
+		Init:       []float64{0, 0},
+		Keys:       []string{"a", "b", "c"},
+		Names:      []string{"a", "b", "c"},
+		Validator:  v.snapshotState(),
+	}
+	decoded, err := decodeServerState(encodeServerState(st))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := verifyRecovered(decoded, ServerConfig{NumClients: 3, Rounds: 8, Init: []float64{0, 0}}); err != nil {
+		t.Fatalf("verifyRecovered: %v", err)
+	}
+
+	v2 := NewValidator(cfg)
+	if err := v2.restoreState(decoded.Validator); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !v2.Quarantined(2) || v2.Strikes(2) != 2 {
+		t.Fatalf("quarantine lost across restart (strikes=%d)", v2.Strikes(2))
+	}
+	// The gate is armed from the restored history: a 100x update is
+	// rejected on the very first post-restart check.
+	if _, err := v2.Check(0, 6, []float64{100, 100}, 1); !errors.Is(err, ErrNormOutlier) {
+		t.Fatalf("post-restart outlier err = %v, want ErrNormOutlier", err)
+	}
+	if err := accept(t, v2, 1, 6, []float64{1, 1}, 1); err != nil {
+		t.Fatalf("post-restart in-scale update rejected: %v", err)
+	}
+
+	// A validator state sized for a different cluster must be refused.
+	if err := NewValidator(ValidatorConfig{Clients: 2, Dim: 2}).restoreState(decoded.Validator); err == nil {
+		t.Fatal("restore accepted a state for a different cluster size")
 	}
 }
