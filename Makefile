@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet race fuzz crashtest bench hotpath ci
+.PHONY: tier1 vet race fuzz crashtest bench hotpath wirebench ci
 
 # Tier-1 verify (see ROADMAP.md): must stay green on every commit.
 tier1:
@@ -12,15 +12,17 @@ tier1:
 vet:
 	$(GO) vet ./...
 
-# The engine pool, sharded aggregation, transport goroutines, and chaos
-# harness are the concurrency surface; run them under the race detector
-# (this includes the chaos fault-injection test suite).
+# The engine pool, sharded aggregation, transport goroutines (including
+# the per-session broadcast writers), and chaos harness are the
+# concurrency surface; run them under the race detector (this includes
+# the chaos fault-injection test suite).
 race:
-	$(GO) test -race ./internal/fl/ ./internal/transport/ ./internal/chaos/
+	$(GO) test -race ./internal/fl/ ./internal/transport/ ./internal/chaos/ ./internal/wire/
 
-# Fuzz smoke: a short randomized pass over each wire-decode target on top
-# of the checked-in corpus (go only runs one -fuzz target per invocation).
+# Fuzz smoke: a short randomized pass over each decode target on top of
+# the checked-in corpus (go only runs one -fuzz target per invocation).
 fuzz:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime 10s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzServerDecode$$' -fuzztime 10s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzClientDecode$$' -fuzztime 10s
 	$(GO) test ./internal/checkpoint/ -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime 10s
@@ -40,4 +42,8 @@ bench:
 hotpath:
 	$(GO) run ./cmd/apfbench -hotpath BENCH_hotpath.json
 
-ci: tier1 vet race fuzz crashtest hotpath
+# Regenerate the tracked gob-vs-wire broadcast report.
+wirebench:
+	$(GO) run ./cmd/apfbench -wire BENCH_wire.json
+
+ci: tier1 vet race fuzz crashtest hotpath wirebench

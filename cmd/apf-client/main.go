@@ -48,6 +48,7 @@ func run(args []string) error {
 		iters     = fs.Int("iters", 4, "local iterations per round (Fs)")
 		scheme    = fs.String("scheme", "apf", "sync scheme: apf | none")
 		alpha     = fs.Float64("dirichlet", 1.0, "Dirichlet concentration for the non-IID split")
+		ioTimeout = fs.Duration("io-timeout", 30*time.Second, "per-message network read/write deadline")
 		retries   = fs.Int("retries", 0, "reconnect attempts after a connection failure (0 = fail fast)")
 		ckptDir   = fs.String("checkpoint-dir", "", "directory for periodic APF manager state exports (empty = none)")
 		snapEvery = fs.Int("snapshot-every", 5, "export the manager state every K applied rounds")
@@ -59,6 +60,9 @@ func run(args []string) error {
 	}
 	if *shard < 0 || *shard >= *shards {
 		return fmt.Errorf("shard %d out of range [0,%d)", *shard, *shards)
+	}
+	if *ioTimeout <= 0 {
+		return fmt.Errorf("-io-timeout must be positive, got %v", *ioTimeout)
 	}
 
 	p, err := preset.Load(*model, *seed)
@@ -147,6 +151,7 @@ func run(args []string) error {
 		LocalIters: *iters,
 		BatchSize:  p.Batch,
 		Seed:       *seed + int64(*shard),
+		IOTimeout:  *ioTimeout,
 		MaxRetries: *retries,
 		Dial:       dial,
 		OnRound:    onRound,

@@ -13,6 +13,8 @@ func TestClientRejectsBadFlags(t *testing.T) {
 		{"bad shard", []string{"-shard", "3", "-shards", "2"}},
 		{"bad model", []string{"-model", "nope"}},
 		{"bad scheme", []string{"-scheme", "nope", "-addr", "127.0.0.1:1"}},
+		{"zero io timeout", []string{"-io-timeout", "0s", "-addr", "127.0.0.1:1"}},
+		{"negative io timeout", []string{"-io-timeout", "-5s", "-addr", "127.0.0.1:1"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

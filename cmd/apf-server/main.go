@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"apf/internal/chaos"
 	"apf/internal/metrics"
@@ -40,6 +41,7 @@ func run(args []string) error {
 		rounds     = fs.Int("rounds", 50, "aggregation rounds")
 		model      = fs.String("model", "lenet", "workload preset: lenet | lstm | mlp")
 		seed       = fs.Int64("seed", 42, "shared seed (must match the clients)")
+		ioTimeout  = fs.Duration("io-timeout", 30*time.Second, "per-message network read/write deadline")
 		deadline   = fs.Duration("deadline", 0, "round deadline enabling partial aggregation and session resume (0 = strict barrier)")
 		minClients = fs.Int("min-clients", 1, "minimum updates before a round deadline may aggregate")
 		ckptDir    = fs.String("checkpoint-dir", "", "directory for the durable snapshot + WAL; a restarted server resumes from it bit-exactly (empty = not durable)")
@@ -50,6 +52,9 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ioTimeout <= 0 {
+		return fmt.Errorf("-io-timeout must be positive, got %v", *ioTimeout)
 	}
 
 	p, err := preset.Load(*model, *seed)
@@ -90,6 +95,7 @@ func run(args []string) error {
 		NumClients:    *clients,
 		Rounds:        *rounds,
 		Init:          init,
+		IOTimeout:     *ioTimeout,
 		RoundDeadline: *deadline,
 		MinClients:    *minClients,
 		CheckpointDir: *ckptDir,

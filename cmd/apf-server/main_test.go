@@ -12,6 +12,8 @@ func TestServerRejectsBadFlags(t *testing.T) {
 		{"bad model", []string{"-model", "nope"}},
 		{"zero clients", []string{"-clients", "0"}},
 		{"bad address", []string{"-addr", "256.256.256.256:99999"}},
+		{"zero io timeout", []string{"-io-timeout", "0s"}},
+		{"negative io timeout", []string{"-io-timeout", "-5s"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

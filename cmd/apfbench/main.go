@@ -7,6 +7,7 @@
 //	apfbench -exp table2 -scale full    # paper-like scale (hours on CPU)
 //	apfbench -exp all -seed 7
 //	apfbench -hotpath BENCH_hotpath.json  # hot-path perf report
+//	apfbench -wire BENCH_wire.json        # gob vs wire broadcast report
 //
 // Output is a textual report per experiment: markdown tables for the
 // paper's tables and per-series digests (+ optional TSV dumps via -tsv)
@@ -42,6 +43,7 @@ func run(args []string) error {
 		tsv     = fs.String("tsv", "", "directory to dump figure series as TSV files")
 		plot    = fs.Bool("plot", false, "render figures as terminal plots")
 		hotpath = fs.String("hotpath", "", "measure the APF hot-path benchmarks and write the JSON report to this file")
+		wirerep = fs.String("wire", "", "measure gob vs wire-format broadcast cost and write the JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +51,9 @@ func run(args []string) error {
 
 	if *hotpath != "" {
 		return runHotpath(*hotpath)
+	}
+	if *wirerep != "" {
+		return runWirebench(*wirerep)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {

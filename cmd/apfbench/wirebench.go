@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"apf/internal/stats"
+	"apf/internal/wire"
+)
+
+// wirebenchDim is the model size for the broadcast measurements — the
+// 1M-scalar regime the paper's larger workloads live in.
+const wirebenchDim = 1_000_000
+
+// wirebenchEntry is one client-count row of BENCH_wire.json. Bytes are per
+// round per client (the stream a single subscriber sees); broadcast times
+// are per round across all clients. EncodeNs is the wire format's one-off
+// serialization cost, which must not grow with the client count — the
+// encode-once fan-out is the point.
+type wirebenchEntry struct {
+	Clients          int     `json:"clients"`
+	GobBytesPerMsg   int64   `json:"gob_bytes_per_msg"`
+	WireBytesPerMsg  int64   `json:"wire_bytes_per_msg"`
+	BytesRatio       float64 `json:"wire_over_gob_bytes"`
+	GobBroadcastNs   float64 `json:"gob_broadcast_ns_per_round"`
+	WireBroadcastNs  float64 `json:"wire_broadcast_ns_per_round"`
+	WireEncodeNs     float64 `json:"wire_encode_ns_per_round"`
+	BroadcastSpeedup float64 `json:"broadcast_speedup"`
+}
+
+// wirebenchReport is the BENCH_wire.json document.
+type wirebenchReport struct {
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Dim        int              `json:"dim"`
+	Note       string           `json:"note"`
+	Broadcast  []wirebenchEntry `json:"broadcast"`
+}
+
+// countingWriter swallows writes and counts bytes, standing in for a
+// connected socket whose kernel buffer never fills.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// runWirebench compares the legacy per-session gob encoding against the
+// encode-once wire framing for GlobalMsg broadcast and writes the report
+// to path.
+func runWirebench(path string) error {
+	// Fail fast on an unwritable path before spending time measuring.
+	probe, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+
+	rng := stats.SplitRNG(1, 7)
+	payload := make([]float64, wirebenchDim)
+	for i := range payload {
+		payload[i] = rng.NormFloat64()
+	}
+	msg := &wire.GlobalMsg{Round: 3, Payload: payload, Participants: 2}
+
+	rep := wirebenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dim:        wirebenchDim,
+		Note:       "bytes are per round per client (steady-state stream); broadcast ns are per round across all clients; wire_encode_ns must stay flat as clients grow",
+	}
+
+	for _, clients := range []int{2, 8, 32} {
+		fmt.Fprintf(os.Stderr, "wirebench: clients=%d\n", clients)
+		e := wirebenchEntry{Clients: clients}
+
+		// Steady-state gob bytes: the first message on a stream carries the
+		// type descriptors, so warm each encoder once and count the second
+		// message — that is what every subsequent round costs.
+		{
+			var buf bytes.Buffer
+			enc := gob.NewEncoder(&buf)
+			if err := enc.Encode(msg); err != nil {
+				return err
+			}
+			buf.Reset()
+			if err := enc.Encode(msg); err != nil {
+				return err
+			}
+			e.GobBytesPerMsg = int64(buf.Len())
+		}
+		e.WireBytesPerMsg = int64(len(wire.Encode(msg)))
+		e.BytesRatio = float64(e.WireBytesPerMsg) / float64(e.GobBytesPerMsg)
+
+		// Legacy broadcast: one persistent gob encoder per session, the
+		// message re-encoded into every stream each round.
+		sinks := make([]*countingWriter, clients)
+		encs := make([]*gob.Encoder, clients)
+		for i := range encs {
+			sinks[i] = &countingWriter{}
+			encs[i] = gob.NewEncoder(sinks[i])
+			if err := encs[i].Encode(msg); err != nil { // warm descriptors
+				return err
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, enc := range encs {
+					if err := enc.Encode(msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		e.GobBroadcastNs = float64(r.NsPerOp())
+
+		// Wire broadcast: encode once, hand the same frame to every sink.
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				frame := wire.Encode(msg)
+				for _, w := range sinks {
+					if _, err := w.Write(frame); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		e.WireBroadcastNs = float64(r.NsPerOp())
+
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = wire.Encode(msg)
+			}
+		})
+		e.WireEncodeNs = float64(r.NsPerOp())
+		e.BroadcastSpeedup = e.GobBroadcastNs / e.WireBroadcastNs
+		rep.Broadcast = append(rep.Broadcast, e)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wirebench: wrote %s\n", path)
+	return nil
+}

@@ -9,7 +9,10 @@
 //
 // Every randomized choice (partial-write prefix length when unspecified)
 // derives from the script seed and the peer name, never from wall clock or
-// global state, so a scripted run is reproducible bit for bit. Each fault
+// global state, so a scripted run is reproducible bit for bit. The
+// transport writes each wire frame with a single Write call, so a torn
+// write cuts a frame mid-header or mid-payload — exactly the truncation
+// the framing's length and CRC checks exist to catch. Each fault
 // fires exactly once per script: after a severed client redials, the new
 // connection does not re-trigger the fault that killed its predecessor.
 //

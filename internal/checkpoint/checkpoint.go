@@ -124,6 +124,11 @@ type Writer struct {
 // Bytes returns the accumulated encoding.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset discards the accumulated encoding but keeps the backing array, so
+// a pooled Writer re-encodes without reallocating (package wire re-frames
+// every protocol message through one of these).
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // U16 appends one uint16.
 func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
 
@@ -188,6 +193,17 @@ func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
 // Err returns the first decode failure, wrapping ErrCorrupt.
 func (r *Reader) Err() error { return r.err }
+
+// Remaining returns how many undecoded bytes are left. Decoders of
+// variable-count structures (the wire protocol's missed-payload lists, the
+// transport's session tables) use it to bound counts before allocating.
+func (r *Reader) Remaining() int { return len(r.buf) }
+
+// Fail marks the Reader corrupt with the given reason (wrapping
+// ErrCorrupt) unless it already failed. Decoders use it to reject
+// structurally valid but semantically impossible values — counts that
+// overrun the payload, enum bytes outside their range.
+func (r *Reader) Fail(msg string) { r.fail(msg) }
 
 // Done returns Err, or ErrCorrupt if undecoded bytes trail the payload.
 func (r *Reader) Done() error {

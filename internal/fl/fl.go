@@ -60,9 +60,12 @@ type FrozenRatioReporter interface {
 
 // CompactCodec is implemented by managers whose synchronization payloads
 // omit frozen entries. Real network transports (package transport) use it
-// to put only the actually-transmitted scalars on the wire; the aggregation
-// server averages compact payloads positionally, which is sound because
-// every client's freezing mask is identical.
+// to put only the actually-transmitted scalars on the wire — the compact
+// slice travels verbatim as the F64s payload of a wire.UpdateMsg, raw
+// IEEE-754 bits with no further filtering — and the aggregation server
+// averages compact payloads positionally, which is sound because every
+// client's freezing mask is identical (transports guard this with a mask
+// hash per update).
 // Like PrepareUpload's contribution, both returned slices may be
 // manager-owned scratch, valid only until the next call of the same
 // method.

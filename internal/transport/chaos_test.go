@@ -180,7 +180,7 @@ func TestChaosKillAndReconnectBitExact(t *testing.T) {
 }
 
 // TestChaosPartialWriteTornUpdate tears a client's update mid-message; the
-// server sees a broken gob stream, the client reconnects and re-sends the
+// server sees a torn frame, the client reconnects and re-sends the
 // identical update, so the run still matches the fault-free one.
 func TestChaosPartialWriteTornUpdate(t *testing.T) {
 	base := chaosOpts{clients: 3, rounds: 8, deadline: 5 * time.Second, retries: 8}
@@ -345,38 +345,25 @@ func TestMaskDivergenceRejected(t *testing.T) {
 		done <- err
 	}()
 
-	type raw struct {
-		conn net.Conn
-		enc  interface{ Encode(any) error }
-		dec  interface{ Decode(any) error }
-	}
-	var peers []raw
+	var peers []*rawPeer
 	for i := 0; i < 2; i++ {
-		conn, enc, dec := dialRaw(t, srv.Addr().String())
-		defer conn.Close()
-		if err := enc.Encode(&JoinMsg{Name: fmt.Sprintf("fork-%d", i)}); err != nil {
-			t.Fatal(err)
-		}
-		peers = append(peers, raw{conn, enc, dec})
+		peer := dialRaw(t, srv.Addr().String())
+		defer peer.conn.Close()
+		peer.send(&JoinMsg{Name: fmt.Sprintf("fork-%d", i)})
+		peers = append(peers, peer)
 	}
-	for i := range peers {
-		var w WelcomeMsg
-		if err := peers[i].dec.Decode(&w); err != nil {
-			t.Fatal(err)
-		}
+	for _, peer := range peers {
+		peer.welcome()
 	}
 	// Same round, same geometry — but the clients disagree on which
 	// parameters are frozen.
-	for i := range peers {
-		err := peers[i].enc.Encode(&UpdateMsg{
+	for i, peer := range peers {
+		peer.send(&UpdateMsg{
 			Round:    0,
 			Payload:  []float64{1, 2, 3},
 			Weight:   1,
 			MaskHash: uint64(100 + i),
 		})
-		if err != nil {
-			t.Fatal(err)
-		}
 	}
 	select {
 	case err := <-done:

@@ -2,7 +2,6 @@ package transport
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -16,6 +15,7 @@ import (
 	"apf/internal/nn"
 	"apf/internal/opt"
 	"apf/internal/stats"
+	"apf/internal/wire"
 )
 
 // DialFunc abstracts the client's dialer so tests and the -chaos flag can
@@ -247,29 +247,20 @@ func (r *clientRun) session(ctx context.Context) error {
 		return ctx.Err() // the watcher may have missed this connection
 	}
 
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	send := func(msg any) error {
-		if err := conn.SetWriteDeadline(time.Now().Add(r.cfg.IOTimeout)); err != nil {
-			return err
-		}
-		return enc.Encode(msg)
-	}
-	recv := func(msg any) error {
-		if err := conn.SetReadDeadline(time.Now().Add(r.cfg.IOTimeout)); err != nil {
-			return err
-		}
-		return dec.Decode(msg)
-	}
-
-	if err := send(&JoinMsg{Name: r.cfg.Name, SessionKey: r.cfg.SessionKey, HaveRound: r.applied}); err != nil {
+	if err := writeMsg(conn, r.cfg.IOTimeout, &JoinMsg{Name: r.cfg.Name, SessionKey: r.cfg.SessionKey, HaveRound: r.applied}); err != nil {
 		return fmt.Errorf("transport: join: %w", err)
 	}
-	var welcome WelcomeMsg
-	if err := recv(&welcome); err != nil {
+	// The welcome carries the init model plus every missed aggregate, so
+	// its bound is the format ceiling rather than the model geometry.
+	m, err := readMsg(conn, r.cfg.IOTimeout, wire.MaxPayload)
+	if err != nil {
 		return fmt.Errorf("transport: welcome: %w", err)
 	}
-	if err := r.acceptWelcome(&welcome); err != nil {
+	welcome, ok := m.(*WelcomeMsg)
+	if !ok {
+		return protocolErrorf("expected a welcome frame, got %s", m.WireKind())
+	}
+	if err := r.acceptWelcome(welcome); err != nil {
 		return err
 	}
 
@@ -305,14 +296,18 @@ func (r *clientRun) session(ctx context.Context) error {
 			}
 			r.res.UpBytes += up
 		}
-		if err := send(r.inflight); err != nil {
+		if err := writeMsg(conn, r.cfg.IOTimeout, r.inflight); err != nil {
 			return fmt.Errorf("transport: round %d push: %w", round, err)
 		}
-		var g GlobalMsg
-		if err := recv(&g); err != nil {
+		m, err := readMsg(conn, r.cfg.IOTimeout, modelPayloadLimit(r.dim))
+		if err != nil {
 			return fmt.Errorf("transport: round %d pull: %w", round, err)
 		}
-		if err := r.applyGlobal(&g); err != nil {
+		g, ok := m.(*GlobalMsg)
+		if !ok {
+			return protocolErrorf("round %d: expected a global frame, got %s", round, m.WireKind())
+		}
+		if err := r.applyGlobal(g); err != nil {
 			return err
 		}
 		r.inflight = nil

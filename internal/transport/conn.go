@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"net"
+	"time"
+
+	"apf/internal/wire"
+)
+
+// Inbound payload limits, enforced by wire.ReadMsg from the frame header
+// before any payload is read: a hostile peer cannot drive an allocation
+// past these.
+const (
+	// joinPayloadLimit bounds a JoinMsg (a name, a session key, a round
+	// number) generously.
+	joinPayloadLimit = 1 << 16
+	// modelPayloadSlack covers every non-payload field of an Update or
+	// Global body beyond its dim·8 bytes of floats.
+	modelPayloadSlack = 1 << 10
+)
+
+// modelPayloadLimit bounds a frame carrying at most dim float64s of model
+// payload (UpdateMsg and GlobalMsg; compact payloads are strictly
+// shorter).
+func modelPayloadLimit(dim int) int { return dim*8 + modelPayloadSlack }
+
+// readMsg reads one framed message with the connection's I/O deadline and
+// the given payload limit.
+func readMsg(c net.Conn, timeout time.Duration, limit int) (wire.Msg, error) {
+	if err := c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	return wire.ReadMsg(c, limit)
+}
+
+// writeFrame writes one pre-encoded frame with the connection's I/O
+// deadline. The frame goes out in a single Write, so concurrent writers
+// never interleave partial frames and a torn-write fault tears at most
+// one message.
+func writeFrame(c net.Conn, timeout time.Duration, frame []byte) error {
+	if err := c.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	_, err := c.Write(frame)
+	return err
+}
+
+// writeMsg frames and writes one message with the connection's I/O
+// deadline.
+func writeMsg(c net.Conn, timeout time.Duration, m wire.Msg) error {
+	return writeFrame(c, timeout, wire.Encode(m))
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"apf/internal/checkpoint"
+	"apf/internal/wire"
 )
 
 // Checkpoint frame kinds used by the server, in the KindUser space of
@@ -63,7 +64,7 @@ func encodeServerState(s *serverState) []byte {
 	}
 	w.Int(len(s.History))
 	for i := range s.History {
-		appendGlobalMsg(&w, &s.History[i])
+		wire.AppendGlobalBody(&w, &s.History[i])
 	}
 	w.Int(s.PartialRounds)
 	w.Bool(s.Validator != nil)
@@ -98,7 +99,7 @@ func decodeServerState(payload []byte) (*serverState, error) {
 		return nil, fmt.Errorf("%w: history count %d", checkpoint.ErrCorrupt, nHist)
 	}
 	for i := 0; i < nHist && r.Err() == nil; i++ {
-		s.History = append(s.History, readGlobalMsg(r))
+		s.History = append(s.History, wire.ReadGlobalBody(r))
 	}
 	s.PartialRounds = r.Int()
 	if r.Bool() && r.Err() == nil {
@@ -122,24 +123,13 @@ func decodeServerState(payload []byte) (*serverState, error) {
 	return s, nil
 }
 
-func appendGlobalMsg(w *checkpoint.Writer, g *GlobalMsg) {
-	w.Int(g.Round)
-	w.Int(g.Participants)
-	w.F64s(g.Payload)
-}
-
-func readGlobalMsg(r *checkpoint.Reader) GlobalMsg {
-	return GlobalMsg{Round: r.Int(), Participants: r.Int(), Payload: r.F64s()}
-}
-
-// encodeWALUpdate frames one accepted update for the WAL.
+// encodeWALUpdate frames one accepted update for the WAL: the client id
+// followed by the message body in its wire encoding, so the WAL and the
+// socket share one codec (and one set of codec tests).
 func encodeWALUpdate(clientID int, u *UpdateMsg) []byte {
 	var w checkpoint.Writer
 	w.Int(clientID)
-	w.Int(u.Round)
-	w.F64(u.Weight)
-	w.U64(u.MaskHash)
-	w.F64s(u.Payload)
+	wire.AppendUpdateBody(&w, u)
 	return w.Bytes()
 }
 
@@ -147,25 +137,25 @@ func encodeWALUpdate(clientID int, u *UpdateMsg) []byte {
 func decodeWALUpdate(payload []byte) (clientID int, u *UpdateMsg, err error) {
 	r := checkpoint.NewReader(payload)
 	clientID = r.Int()
-	u = &UpdateMsg{Round: r.Int(), Weight: r.F64(), MaskHash: r.U64()}
-	u.Payload = r.F64s()
+	msg := wire.ReadUpdateBody(r)
 	if err := r.Done(); err != nil {
 		return 0, nil, err
 	}
-	return clientID, u, nil
+	return clientID, &msg, nil
 }
 
-// encodeWALGlobal frames one emitted aggregate for the WAL.
+// encodeWALGlobal frames one emitted aggregate for the WAL, in the same
+// body encoding the socket uses.
 func encodeWALGlobal(g *GlobalMsg) []byte {
 	var w checkpoint.Writer
-	appendGlobalMsg(&w, g)
+	wire.AppendGlobalBody(&w, g)
 	return w.Bytes()
 }
 
 // decodeWALGlobal reads a global record back.
 func decodeWALGlobal(payload []byte) (*GlobalMsg, error) {
 	r := checkpoint.NewReader(payload)
-	g := readGlobalMsg(r)
+	g := wire.ReadGlobalBody(r)
 	if err := r.Done(); err != nil {
 		return nil, err
 	}

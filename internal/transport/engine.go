@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"apf/internal/fl"
+)
+
+// event is a notification from the connection layer to the round engine:
+// one decoded update, or one connection failure. It carries plain client
+// identity rather than connection state, so the engine never touches a
+// socket.
+type event struct {
+	id   int
+	name string
+	upd  *UpdateMsg // nil for a connection failure
+	err  error
+}
+
+// roundSink is the narrow surface the round engine drives its host
+// through. The TCP server implements it with WAL appends, snapshot
+// rotation, and frame fan-out; engine tests implement it in-process. The
+// engine guarantees the call order per round: markRound, then zero or more
+// logUpdate/rejectUpdate, then exactly one commitRound (absent only when
+// the round aborts the run).
+type roundSink interface {
+	// markRound announces that the engine starts collecting the round.
+	markRound(round int)
+	// logUpdate durably records one admitted update before it counts
+	// toward the round; an error aborts the run (durability failures are
+	// never survivable).
+	logUpdate(id int, u *UpdateMsg) error
+	// rejectUpdate records one refused update (fault-tolerant mode only;
+	// in strict mode a refused update aborts the run instead).
+	rejectUpdate(id, round int, err error)
+	// commitRound durably commits and distributes one aggregate. partial
+	// marks a round that aggregated fewer than the full cluster.
+	commitRound(g *GlobalMsg, partial bool) error
+}
+
+// roundEngine is the transport-agnostic round state machine: it owns
+// collect/admit/deadline/partial-aggregate/commit and is fed through an
+// event channel, so the same engine runs under the TCP server and under
+// in-process tests without sockets.
+type roundEngine struct {
+	clients    int
+	rounds     int
+	deadline   time.Duration // 0 = strict barrier
+	minClients int
+	validator  *Validator // nil disables sanitization
+	events     <-chan event
+	sink       roundSink
+}
+
+// faultTolerant reports whether partial aggregation is enabled.
+func (e *roundEngine) faultTolerant() bool { return e.deadline > 0 }
+
+// run drives rounds startRound … rounds-1 and returns the final dense
+// global model. history holds the aggregates of already-committed rounds
+// (recovery); init is the round-0 model.
+func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, history []GlobalMsg) ([]float64, error) {
+	agg := fl.NewAggregator(0)
+	defer agg.Close()
+
+	n := e.clients
+	received := make([]*UpdateMsg, n)
+	global := append([]float64(nil), init...)
+	// After recovery the dense global resumes from the last full-length
+	// aggregate (compact aggregates leave the dense copy informational,
+	// exactly as in an uninterrupted run).
+	for i := len(history) - 1; i >= 0; i-- {
+		if len(history[i].Payload) == len(global) {
+			global = append(global[:0], history[i].Payload...)
+			break
+		}
+	}
+
+	for round := startRound; round < e.rounds; round++ {
+		e.sink.markRound(round)
+
+		for i := range received {
+			received[i] = nil
+		}
+		agg.Open(round, n)
+		count, err := e.collect(ctx, round, received, agg)
+		if err != nil {
+			agg.Discard()
+			return nil, err
+		}
+		if err := checkUpdates(round, received); err != nil {
+			return nil, fmt.Errorf("transport: %w", err)
+		}
+
+		out := make([]float64, agg.Dim())
+		if _, ok := agg.Reduce(out); !ok {
+			return nil, protocolErrorf("round %d: all contributions withheld (total weight 0)", round)
+		}
+
+		msg := GlobalMsg{Round: round, Payload: out, Participants: count}
+		if err := e.sink.commitRound(&msg, count < n); err != nil {
+			return nil, err
+		}
+		// A full-length aggregate is the new dense global; compact
+		// (mask-elided) aggregates only update the transmitted positions
+		// on the clients, so the engine's dense copy is informational.
+		if len(out) == len(global) {
+			global = out
+		}
+	}
+	return global, nil
+}
+
+// collect gathers round updates into received (indexed by client id) and
+// the aggregator until every eligible client reported or, in fault-
+// tolerant mode, the round deadline passed with at least minClients
+// updates. Quarantined clients are not waited for. Every accepted update
+// passes the sanitization hook (when configured) and the aggregator's
+// own finiteness guard, and is logged through the sink before it counts.
+// Returns the participant count.
+func (e *roundEngine) collect(ctx context.Context, round int, received []*UpdateMsg, agg *fl.Aggregator) (int, error) {
+	var deadline <-chan time.Time
+	var timer *time.Timer
+	if e.faultTolerant() {
+		timer = time.NewTimer(e.deadline)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	count := 0
+	for {
+		// Quarantine can trip mid-round, so the target is re-derived each
+		// iteration: a poisoned client must not hold the barrier hostage.
+		needed := len(received)
+		if e.validator != nil {
+			needed -= e.validator.QuarantinedCount()
+		}
+		if needed <= 0 {
+			return 0, fmt.Errorf("transport: round %d: every client is quarantined: %w", round, ErrQuarantined)
+		}
+		if count >= needed {
+			return count, nil
+		}
+		floor := e.minClients
+		if floor > needed {
+			floor = needed
+		}
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-deadline:
+			deadline = nil
+			if count >= floor {
+				return count, nil
+			}
+			// Below the aggregation floor: keep waiting for stragglers
+			// or reconnecting clients; ctx bounds the overall run.
+		case ev := <-e.events:
+			if ev.err != nil {
+				if e.faultTolerant() {
+					continue // the connection layer already detached the peer
+				}
+				if ctx.Err() != nil {
+					return 0, ctx.Err()
+				}
+				return 0, fmt.Errorf("transport: round %d recv from client %d (%s): %w",
+					round, ev.id, ev.name, ev.err)
+			}
+			u := ev.upd
+			if u.Round < round {
+				continue // stale re-send of an already-aggregated round
+			}
+			if u.Round > round {
+				return 0, protocolErrorf("client %d sent round %d during round %d",
+					ev.id, u.Round, round)
+			}
+			if received[ev.id] != nil {
+				continue // idempotent duplicate (reconnect re-send)
+			}
+			if err := e.admit(ev.id, round, u, agg); err != nil {
+				if !e.faultTolerant() {
+					// The strict barrier cannot complete without this
+					// client, so a poisoned update aborts the run.
+					return 0, fmt.Errorf("transport: round %d: %w", round, err)
+				}
+				e.sink.rejectUpdate(ev.id, round, err)
+				continue
+			}
+			received[ev.id] = u
+			count++
+			if err := e.sink.logUpdate(ev.id, u); err != nil {
+				return 0, err
+			}
+		}
+	}
+}
+
+// admit runs one update through the sanitization hook and the
+// aggregator's independent finiteness guard. The validator (when
+// configured) is the first line — typed rejections, strikes, quarantine;
+// fl.Aggregator.Add re-checks finiteness regardless, so even with
+// sanitization disabled a NaN/Inf contribution cannot fold into the
+// shards.
+func (e *roundEngine) admit(id, round int, u *UpdateMsg, agg *fl.Aggregator) error {
+	var norm float64
+	if e.validator != nil {
+		var err error
+		norm, err = e.validator.Check(id, round, u.Payload, u.Weight)
+		if err != nil {
+			return err
+		}
+	}
+	if err := agg.Add(id, u.Payload, u.Weight); err != nil {
+		if errors.Is(err, fl.ErrLengthMismatch) {
+			// Cross-client geometry disagreement is a protocol violation
+			// (misaligned compact payloads), not a sanitization matter.
+			return protocolErrorf("client %d: %v", id, err)
+		}
+		if e.validator != nil && errors.Is(err, fl.ErrNonFinite) {
+			// Validator enabled but bypassed (e.g. gate raced a decode
+			// quirk): still charge the strike so repeat offenders
+			// quarantine.
+			e.validator.strike(id, err)
+		}
+		return err
+	}
+	// The norm enters the median history only now, when every guard has
+	// accepted the update; an aggregator rejection above must not let a
+	// refused update skew the gate.
+	if e.validator != nil {
+		e.validator.Commit(norm)
+	}
+	return nil
+}

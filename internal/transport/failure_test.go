@@ -2,22 +2,63 @@ package transport
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"net"
 	"testing"
 	"time"
+
+	"apf/internal/wire"
 )
 
-// dialRaw opens a raw gob session to the server for protocol-violation
-// tests.
-func dialRaw(t *testing.T, addr string) (net.Conn, *gob.Encoder, *gob.Decoder) {
+// rawPeer is a hand-driven wire-framed connection for protocol-violation
+// tests: it speaks the framing without any of the client's validation.
+type rawPeer struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+// dialRaw opens a raw framed session to the server.
+func dialRaw(t *testing.T, addr string) *rawPeer {
 	t.Helper()
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return conn, gob.NewEncoder(conn), gob.NewDecoder(conn)
+	return &rawPeer{t: t, conn: conn}
+}
+
+func (p *rawPeer) send(m wire.Msg) {
+	p.t.Helper()
+	if err := writeMsg(p.conn, 5*time.Second, m); err != nil {
+		p.t.Fatal(err)
+	}
+}
+
+func (p *rawPeer) recv() wire.Msg {
+	p.t.Helper()
+	m, err := readMsg(p.conn, 5*time.Second, wire.MaxPayload)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	return m
+}
+
+func (p *rawPeer) welcome() *WelcomeMsg {
+	p.t.Helper()
+	w, ok := p.recv().(*WelcomeMsg)
+	if !ok {
+		p.t.Fatal("expected a welcome frame")
+	}
+	return w
+}
+
+func (p *rawPeer) global() *GlobalMsg {
+	p.t.Helper()
+	g, ok := p.recv().(*GlobalMsg)
+	if !ok {
+		p.t.Fatal("expected a global frame")
+	}
+	return g
 }
 
 func startServer(t *testing.T, clients, rounds int) *Server {
@@ -43,23 +84,13 @@ func TestServerSurvivesClientCrashMidRound(t *testing.T) {
 		done <- err
 	}()
 
-	conn, enc, dec := dialRaw(t, srv.Addr().String())
-	if err := enc.Encode(&JoinMsg{Name: "crasher"}); err != nil {
-		t.Fatal(err)
-	}
-	var w WelcomeMsg
-	if err := dec.Decode(&w); err != nil {
-		t.Fatal(err)
-	}
+	peer := dialRaw(t, srv.Addr().String())
+	peer.send(&JoinMsg{Name: "crasher"})
+	peer.welcome()
 	// Complete round 0 then vanish.
-	if err := enc.Encode(&UpdateMsg{Round: 0, Payload: []float64{1, 2, 3}, Weight: 1}); err != nil {
-		t.Fatal(err)
-	}
-	var g GlobalMsg
-	if err := dec.Decode(&g); err != nil {
-		t.Fatal(err)
-	}
-	conn.Close()
+	peer.send(&UpdateMsg{Round: 0, Payload: []float64{1, 2, 3}, Weight: 1})
+	peer.global()
+	peer.conn.Close()
 
 	select {
 	case err := <-done:
@@ -79,19 +110,12 @@ func TestServerRejectsWrongRound(t *testing.T) {
 		done <- err
 	}()
 
-	conn, enc, dec := dialRaw(t, srv.Addr().String())
-	defer conn.Close()
-	if err := enc.Encode(&JoinMsg{Name: "skewed"}); err != nil {
-		t.Fatal(err)
-	}
-	var w WelcomeMsg
-	if err := dec.Decode(&w); err != nil {
-		t.Fatal(err)
-	}
+	peer := dialRaw(t, srv.Addr().String())
+	defer peer.conn.Close()
+	peer.send(&JoinMsg{Name: "skewed"})
+	peer.welcome()
 	// Claim to be at round 7 during round 0.
-	if err := enc.Encode(&UpdateMsg{Round: 7, Payload: []float64{1, 2, 3}, Weight: 1}); err != nil {
-		t.Fatal(err)
-	}
+	peer.send(&UpdateMsg{Round: 7, Payload: []float64{1, 2, 3}, Weight: 1})
 	select {
 	case err := <-done:
 		if !errors.Is(err, errProtocol) {
@@ -110,33 +134,19 @@ func TestServerRejectsMismatchedPayloadLengths(t *testing.T) {
 		done <- err
 	}()
 
-	type session struct {
-		conn net.Conn
-		enc  *gob.Encoder
-		dec  *gob.Decoder
-	}
-	var sessions []session
+	var peers []*rawPeer
 	for i := 0; i < 2; i++ {
-		conn, enc, dec := dialRaw(t, srv.Addr().String())
-		defer conn.Close()
-		if err := enc.Encode(&JoinMsg{Name: "c"}); err != nil {
-			t.Fatal(err)
-		}
-		sessions = append(sessions, session{conn, enc, dec})
+		peer := dialRaw(t, srv.Addr().String())
+		defer peer.conn.Close()
+		peer.send(&JoinMsg{Name: "c"})
+		peers = append(peers, peer)
 	}
-	for i := range sessions {
-		var w WelcomeMsg
-		if err := sessions[i].dec.Decode(&w); err != nil {
-			t.Fatal(err)
-		}
+	for _, peer := range peers {
+		peer.welcome()
 	}
 	// Client 0 sends 3 scalars, client 1 only 2.
-	if err := sessions[0].enc.Encode(&UpdateMsg{Round: 0, Payload: []float64{1, 2, 3}, Weight: 1}); err != nil {
-		t.Fatal(err)
-	}
-	if err := sessions[1].enc.Encode(&UpdateMsg{Round: 0, Payload: []float64{1, 2}, Weight: 1}); err != nil {
-		t.Fatal(err)
-	}
+	peers[0].send(&UpdateMsg{Round: 0, Payload: []float64{1, 2, 3}, Weight: 1})
+	peers[1].send(&UpdateMsg{Round: 0, Payload: []float64{1, 2}, Weight: 1})
 	select {
 	case err := <-done:
 		if !errors.Is(err, errProtocol) {
@@ -144,6 +154,35 @@ func TestServerRejectsMismatchedPayloadLengths(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server hung on mismatched payloads")
+	}
+}
+
+// TestServerRejectsMalformedFrame feeds the registration path raw garbage:
+// in strict mode the decode failure must abort the run with a typed wire
+// error rather than hang or crash.
+func TestServerRejectsMalformedFrame(t *testing.T) {
+	srv := startServer(t, 1, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(context.Background())
+		done <- err
+	}()
+
+	conn, err := net.DialTimeout("tcp", srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not a frame, not even close")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, wire.ErrCorrupt) {
+			t.Errorf("expected wire.ErrCorrupt, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server hung on a malformed join frame")
 	}
 }
 

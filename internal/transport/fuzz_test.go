@@ -1,23 +1,19 @@
 package transport
 
 import (
-	"bytes"
-	"encoding/gob"
 	"testing"
+
+	"apf/internal/wire"
 )
 
-// encodeAll gob-encodes a sequence of messages into one stream, as a peer
-// would produce on the wire.
-func encodeAll(tb testing.TB, msgs ...any) []byte {
-	tb.Helper()
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
+// encodeAll frames a sequence of messages into one wire stream, as a peer
+// would produce on the socket.
+func encodeAll(msgs ...wire.Msg) []byte {
+	var buf []byte
 	for _, m := range msgs {
-		if err := enc.Encode(m); err != nil {
-			tb.Fatal(err)
-		}
+		buf = wire.Append(buf, m)
 	}
-	return buf.Bytes()
+	return buf
 }
 
 // FuzzServerDecode drives the server's inbound decode path — a JoinMsg
@@ -25,33 +21,40 @@ func encodeAll(tb testing.TB, msgs ...any) []byte {
 // update through the same validation the round loop applies. Nothing here
 // may panic, however malformed the stream.
 func FuzzServerDecode(f *testing.F) {
-	f.Add(encodeAll(f,
+	f.Add(encodeAll(
 		&JoinMsg{Name: "shard-0", SessionKey: "shard-0", HaveRound: -1},
 		&UpdateMsg{Round: 0, Payload: []float64{1, 2, 3}, Weight: 3, MaskHash: 42},
 		&UpdateMsg{Round: 1, Payload: []float64{4, 5, 6}, Weight: 3, MaskHash: 42},
 	))
-	f.Add(encodeAll(f, &JoinMsg{Name: "reconnector", SessionKey: "k", HaveRound: 7}))
-	f.Add([]byte("not gob at all"))
+	f.Add(encodeAll(&JoinMsg{Name: "reconnector", SessionKey: "k", HaveRound: 7}))
+	f.Add([]byte("not a wire frame at all"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, in []byte) {
 		if len(in) > 64<<10 {
 			t.Skip("oversized input")
 		}
-		dec := gob.NewDecoder(bytes.NewReader(in))
-		var join JoinMsg
-		if err := dec.Decode(&join); err != nil {
+		m, rest, err := wire.Decode(in, joinPayloadLimit)
+		if err != nil {
+			return
+		}
+		if _, ok := m.(*JoinMsg); !ok {
 			return
 		}
 		for i := 0; i < 16; i++ {
-			var u UpdateMsg
-			if err := dec.Decode(&u); err != nil {
+			m, next, err := wire.Decode(rest, modelPayloadLimit(3))
+			if err != nil {
 				return
+			}
+			rest = next
+			u, ok := m.(*UpdateMsg)
+			if !ok {
+				continue
 			}
 			// The round loop's validation must tolerate anything that
 			// decodes: reject or accept, never panic.
-			_ = checkUpdates(u.Round, []*UpdateMsg{&u})
-			_ = checkUpdates(u.Round, []*UpdateMsg{nil, &u, {Payload: u.Payload, Weight: 1}})
+			_ = checkUpdates(u.Round, []*UpdateMsg{u})
+			_ = checkUpdates(u.Round, []*UpdateMsg{nil, u, {Payload: u.Payload, Weight: 1}})
 		}
 	})
 }
@@ -60,12 +63,12 @@ func FuzzServerDecode(f *testing.F) {
 // followed by GlobalMsgs — with arbitrary bytes, then pushes the decoded
 // messages through the client-side validators.
 func FuzzClientDecode(f *testing.F) {
-	f.Add(encodeAll(f,
+	f.Add(encodeAll(
 		&WelcomeMsg{ClientID: 0, NumClients: 2, Rounds: 3, Dim: 3, Init: []float64{1, 2, 3}},
 		&GlobalMsg{Round: 0, Payload: []float64{1, 2, 3}, Participants: 2},
 		&GlobalMsg{Round: 1, Payload: []float64{4, 5, 6}, Participants: 1},
 	))
-	f.Add(encodeAll(f, &WelcomeMsg{
+	f.Add(encodeAll(&WelcomeMsg{
 		ClientID: 1, NumClients: 2, Rounds: 8, Dim: 3,
 		Init: []float64{1, 2, 3}, Round: 5, Resumed: true,
 		Missed: []GlobalMsg{{Round: 4, Payload: []float64{7, 8, 9}, Participants: 2}},
@@ -76,20 +79,28 @@ func FuzzClientDecode(f *testing.F) {
 		if len(in) > 64<<10 {
 			t.Skip("oversized input")
 		}
-		dec := gob.NewDecoder(bytes.NewReader(in))
-		var w WelcomeMsg
-		if err := dec.Decode(&w); err != nil {
+		m, rest, err := wire.Decode(in, wire.MaxPayload)
+		if err != nil {
 			return
 		}
-		_ = checkWelcome(&w, 3)
-		_ = checkWelcome(&w, w.Dim)
+		w, ok := m.(*WelcomeMsg)
+		if !ok {
+			return
+		}
+		_ = checkWelcome(w, 3)
+		_ = checkWelcome(w, w.Dim)
 		expect := 0
 		for i := 0; i < 16; i++ {
-			var g GlobalMsg
-			if err := dec.Decode(&g); err != nil {
+			m, next, err := wire.Decode(rest, modelPayloadLimit(3))
+			if err != nil {
 				return
 			}
-			if checkGlobal(&g, expect, 3, true) == nil {
+			rest = next
+			g, ok := m.(*GlobalMsg)
+			if !ok {
+				continue
+			}
+			if checkGlobal(g, expect, 3, true) == nil {
 				expect++
 			}
 		}

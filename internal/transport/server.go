@@ -2,15 +2,13 @@ package transport
 
 import (
 	"context"
-	"encoding/gob"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"apf/internal/checkpoint"
-	"apf/internal/fl"
+	"apf/internal/wire"
 )
 
 // ServerConfig parameterizes an aggregation server.
@@ -61,6 +59,13 @@ type ServerConfig struct {
 	Validator *ValidatorConfig
 }
 
+// maxQueuedFrames bounds a session's outbound frame queue. A client that
+// stops draining its connection is detached once the queue fills, instead
+// of growing server memory without bound; after resuming it catches up
+// through the missed-payload replay. In practice the protocol's lockstep
+// (one Update in flight per Global out) keeps queues at depth ≤ 2.
+const maxQueuedFrames = 64
+
 // Server is the central FL aggregation endpoint.
 type Server struct {
 	cfg ServerConfig
@@ -68,7 +73,7 @@ type Server struct {
 
 	// done is closed when Run returns; it unblocks reader goroutines.
 	done chan struct{}
-	// events carries decoded updates and connection failures to Run.
+	// events carries decoded updates and connection failures to the engine.
 	events chan event
 	// regErr carries a fatal registration failure (strict mode).
 	regErr chan error
@@ -89,6 +94,7 @@ type Server struct {
 	mu            sync.Mutex
 	round         int         // round currently being collected
 	history       []GlobalMsg // aggregates of completed rounds, by round
+	frames        [][]byte    // pre-encoded GlobalMsg frames, parallel to history
 	sessions      []*session  // by client id, registration order
 	byKey         map[string]*session
 	conns         map[*countingConn]struct{} // live, un-absorbed connections
@@ -100,23 +106,32 @@ type Server struct {
 }
 
 // session is the server-side state of one client, surviving reconnects.
+// Each attached connection gets a dedicated writer goroutine draining
+// queue, so a stalled client blocks only its own writer — never the round
+// loop or another client's delivery.
 type session struct {
 	id   int
 	key  string
 	name string
 
 	mu   sync.Mutex
+	cond *sync.Cond    // signalled on queue/conn/inflight changes
 	conn *countingConn // nil while disconnected
-	enc  *gob.Encoder
-	gen  int // bumps per attached connection; stale readers detach no-one
-	sent int // next round whose GlobalMsg this connection needs
+	gen  int           // bumps per attached connection; stale readers detach no-one
+	sent int           // next round whose GlobalMsg this connection needs
+	// queue holds encoded frames awaiting the writer goroutine; inflight
+	// marks a frame popped but not yet written; sendErr is the sticky
+	// write failure of the current connection.
+	queue    [][]byte
+	inflight bool
+	sendErr  error
 }
 
-// event is a reader/accept notification to the round loop.
-type event struct {
-	sess *session
-	upd  *UpdateMsg // nil for a connection failure
-	err  error
+// newSession builds a session with its condition variable armed.
+func newSession(id int, key, name string) *session {
+	sess := &session{id: id, key: key, name: name}
+	sess.cond = sync.NewCond(&sess.mu)
+	return sess
 }
 
 // NewServer binds the listen socket. Call Run to serve.
@@ -206,13 +221,18 @@ func (s *Server) openStore() error {
 		}
 	}
 	for id := range st.Keys {
-		sess := &session{id: id, key: st.Keys[id], name: st.Names[id]}
+		sess := newSession(id, st.Keys[id], st.Names[id])
 		s.sessions = append(s.sessions, sess)
 		if sess.key != "" {
 			s.byKey[sess.key] = sess
 		}
 	}
 	s.history = st.History
+	// Re-frame the recovered history so the broadcast index stays aligned
+	// with it (frames[r] always carries history[r]).
+	for i := range s.history {
+		s.frames = append(s.frames, wire.Encode(&s.history[i]))
+	}
 	s.partialRounds = st.PartialRounds
 	s.startRound = len(st.History)
 	s.recovered = true
@@ -313,7 +333,8 @@ func (s *Server) absorb(cc *countingConn) {
 	closeQuietly(cc)
 }
 
-// detach drops a session's connection if it still is the given generation.
+// detach drops a session's connection if it still is the given
+// generation, waking its writer and any flush waiter.
 func (s *Server) detach(sess *session, gen int) {
 	sess.mu.Lock()
 	if sess.gen != gen || sess.conn == nil {
@@ -321,7 +342,8 @@ func (s *Server) detach(sess *session, gen int) {
 		return
 	}
 	cc := sess.conn
-	sess.conn, sess.enc = nil, nil
+	sess.conn = nil
+	sess.cond.Broadcast()
 	sess.mu.Unlock()
 	s.absorb(cc)
 }
@@ -345,11 +367,19 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		}
 		closeQuietly(s.ln)
 		s.mu.Lock()
+		sessions := append([]*session(nil), s.sessions...)
 		live := make([]*countingConn, 0, len(s.conns))
 		for cc := range s.conns {
 			live = append(live, cc)
 		}
 		s.mu.Unlock()
+		// Release every writer goroutine before closing its socket.
+		for _, sess := range sessions {
+			sess.mu.Lock()
+			sess.conn = nil
+			sess.cond.Broadcast()
+			sess.mu.Unlock()
+		}
 		for _, cc := range live {
 			s.absorb(cc)
 		}
@@ -395,253 +425,36 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		}
 	}
 
-	agg := fl.NewAggregator(0)
-	defer agg.Close()
-
-	n := s.cfg.NumClients
-	received := make([]*UpdateMsg, n)
-	global := append([]float64(nil), s.cfg.Init...)
-	// After recovery the dense global resumes from the last full-length
-	// aggregate (compact aggregates leave the server's dense copy
-	// informational, exactly as in an uninterrupted run).
-	for i := len(s.history) - 1; i >= 0; i-- {
-		if len(s.history[i].Payload) == len(global) {
-			global = append(global[:0], s.history[i].Payload...)
-			break
-		}
+	engine := &roundEngine{
+		clients:    s.cfg.NumClients,
+		rounds:     s.cfg.Rounds,
+		deadline:   s.cfg.RoundDeadline,
+		minClients: s.cfg.MinClients,
+		validator:  s.validator,
+		events:     s.events,
+		sink:       s,
 	}
-
-	for round := s.startRound; round < s.cfg.Rounds; round++ {
-		s.mu.Lock()
-		s.round = round
-		s.mu.Unlock()
-		s.markRound(round)
-
-		for i := range received {
-			received[i] = nil
-		}
-		agg.Open(round, n)
-		count, err := s.collect(ctx, round, received, agg)
-		if err != nil {
-			agg.Discard()
-			return nil, err
-		}
-		if err := checkUpdates(round, received); err != nil {
-			return nil, fmt.Errorf("transport: %w", err)
-		}
-
-		out := make([]float64, agg.Dim())
-		if _, ok := agg.Reduce(out); !ok {
-			return nil, protocolErrorf("round %d: all contributions withheld (total weight 0)", round)
-		}
-
-		msg := GlobalMsg{Round: round, Payload: out, Participants: count}
-		// Commit before broadcast: once any client observes round R, a
-		// restarted server must still know it, or resume would refuse the
-		// client for claiming rounds the server never produced.
-		if s.store != nil {
-			if err := s.store.Append(kindWALGlobal, encodeWALGlobal(&msg)); err != nil {
-				return nil, err
-			}
-		}
-		s.mu.Lock()
-		s.history = append(s.history, msg)
-		if count < n {
-			s.partialRounds++
-		}
-		s.mu.Unlock()
-		if s.store != nil && (round+1)%s.cfg.SnapshotEvery == 0 {
-			if err := s.store.WriteSnapshot(round+1, kindServerSnap, encodeServerState(s.snapshotState())); err != nil {
-				return nil, err
-			}
-		}
-
-		if err := s.broadcast(ctx, round); err != nil {
-			return nil, err
-		}
-		// A full-length aggregate is the new dense global; compact
-		// (mask-elided) aggregates only update the transmitted positions
-		// on the clients, so the server's dense copy is informational.
-		if len(out) == len(global) {
-			global = out
-		}
+	s.mu.Lock()
+	history := append([]GlobalMsg(nil), s.history...)
+	s.mu.Unlock()
+	global, err := engine.run(ctx, s.startRound, s.cfg.Init, history)
+	if err != nil {
+		return nil, err
+	}
+	// The engine's commits only enqueue frames; make sure the final
+	// aggregates actually left the building before declaring the run done.
+	if err := s.flush(ctx); err != nil {
+		return nil, err
 	}
 	return global, nil
 }
 
-// collect gathers round updates into received (indexed by client id) and
-// the aggregator until every eligible client reported or, in fault-
-// tolerant mode, the round deadline passed with at least MinClients
-// updates. Quarantined clients are not waited for. Every accepted update
-// passes the sanitization hook (when configured) and the aggregator's
-// own finiteness guard, and is logged to the WAL before it counts.
-// Returns the participant count.
-func (s *Server) collect(ctx context.Context, round int, received []*UpdateMsg, agg *fl.Aggregator) (int, error) {
-	var deadline <-chan time.Time
-	var timer *time.Timer
-	if s.faultTolerant() {
-		timer = time.NewTimer(s.cfg.RoundDeadline)
-		defer timer.Stop()
-		deadline = timer.C
-	}
-	count := 0
-	for {
-		// Quarantine can trip mid-round, so the target is re-derived each
-		// iteration: a poisoned client must not hold the barrier hostage.
-		needed := len(received)
-		if s.validator != nil {
-			needed -= s.validator.QuarantinedCount()
-		}
-		if needed <= 0 {
-			return 0, fmt.Errorf("transport: round %d: every client is quarantined: %w", round, ErrQuarantined)
-		}
-		if count >= needed {
-			return count, nil
-		}
-		floor := s.cfg.MinClients
-		if floor > needed {
-			floor = needed
-		}
-		select {
-		case <-ctx.Done():
-			return 0, ctx.Err()
-		case <-deadline:
-			deadline = nil
-			if count >= floor {
-				return count, nil
-			}
-			// Below the aggregation floor: keep waiting for stragglers
-			// or reconnecting clients; ctx bounds the overall run.
-		case ev := <-s.events:
-			if ev.err != nil {
-				if s.faultTolerant() {
-					continue // the reader already detached the session
-				}
-				if ctx.Err() != nil {
-					return 0, ctx.Err()
-				}
-				return 0, fmt.Errorf("transport: round %d recv from client %d (%s): %w",
-					round, ev.sess.id, ev.sess.name, ev.err)
-			}
-			u := ev.upd
-			if u.Round < round {
-				continue // stale re-send of an already-aggregated round
-			}
-			if u.Round > round {
-				return 0, protocolErrorf("client %d sent round %d during round %d",
-					ev.sess.id, u.Round, round)
-			}
-			if received[ev.sess.id] != nil {
-				continue // idempotent duplicate (reconnect re-send)
-			}
-			if err := s.admit(ev.sess.id, round, u, agg); err != nil {
-				if !s.faultTolerant() {
-					// The strict barrier cannot complete without this
-					// client, so a poisoned update aborts the run.
-					return 0, fmt.Errorf("transport: round %d: %w", round, err)
-				}
-				s.mu.Lock()
-				s.rejected++
-				s.mu.Unlock()
-				continue
-			}
-			received[ev.sess.id] = u
-			count++
-			if s.store != nil {
-				if err := s.store.Append(kindWALUpdate, encodeWALUpdate(ev.sess.id, u)); err != nil {
-					return 0, err
-				}
-			}
-		}
-	}
-}
-
-// admit runs one update through the sanitization hook and the
-// aggregator's independent finiteness guard. The validator (when
-// configured) is the first line — typed rejections, strikes, quarantine;
-// fl.Aggregator.Add re-checks finiteness regardless, so even with
-// sanitization disabled a NaN/Inf contribution cannot fold into the
-// shards.
-func (s *Server) admit(id, round int, u *UpdateMsg, agg *fl.Aggregator) error {
-	var norm float64
-	if s.validator != nil {
-		var err error
-		norm, err = s.validator.Check(id, round, u.Payload, u.Weight)
-		if err != nil {
-			return err
-		}
-	}
-	if err := agg.Add(id, u.Payload, u.Weight); err != nil {
-		if errors.Is(err, fl.ErrLengthMismatch) {
-			// Cross-client geometry disagreement is a protocol violation
-			// (misaligned compact payloads), not a sanitization matter.
-			return protocolErrorf("client %d: %v", id, err)
-		}
-		if s.validator != nil && errors.Is(err, fl.ErrNonFinite) {
-			// Validator enabled but bypassed (e.g. gate raced a decode
-			// quirk): still charge the strike so repeat offenders
-			// quarantine.
-			s.validator.strike(id, err)
-		}
-		return err
-	}
-	// The norm enters the median history only now, when every guard has
-	// accepted the update; an aggregator rejection above must not let a
-	// refused update skew the gate.
-	if s.validator != nil {
-		s.validator.Commit(norm)
-	}
-	return nil
-}
-
-// broadcast delivers every not-yet-sent aggregate (up to round) to each
-// connected session, keeping per-connection GlobalMsg delivery strictly
-// sequential. In strict mode a send failure aborts; in fault-tolerant mode
-// the session is detached and catches up after resuming.
-func (s *Server) broadcast(ctx context.Context, round int) error {
-	s.mu.Lock()
-	hist := s.history
-	sessions := append([]*session(nil), s.sessions...)
-	s.mu.Unlock()
-
-	for _, sess := range sessions {
-		sess.mu.Lock()
-		cc, enc, gen := sess.conn, sess.enc, sess.gen
-		var err error
-		if cc == nil {
-			err = fmt.Errorf("client disconnected")
-		} else {
-			for r := sess.sent; r <= round; r++ {
-				if err = cc.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
-					break
-				}
-				if err = enc.Encode(&hist[r]); err != nil {
-					break
-				}
-				sess.sent = r + 1
-			}
-		}
-		sess.mu.Unlock()
-		if err == nil {
-			continue
-		}
-		if !s.faultTolerant() {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			return fmt.Errorf("transport: round %d send to client %d: %w", round, sess.id, err)
-		}
-		if cc != nil {
-			s.detach(sess, gen)
-		}
-	}
-	return nil
-}
-
-// markRound announces the round on every live connection so fault-injecting
-// wrappers (package chaos) can fire scripted faults.
+// markRound implements roundSink: it records the round being collected
+// (the resume path reads it) and announces it on every live connection so
+// fault-injecting wrappers (package chaos) can fire scripted faults.
 func (s *Server) markRound(round int) {
 	s.mu.Lock()
+	s.round = round
 	sessions := append([]*session(nil), s.sessions...)
 	s.mu.Unlock()
 	for _, sess := range sessions {
@@ -651,6 +464,167 @@ func (s *Server) markRound(round int) {
 		}
 		sess.mu.Unlock()
 	}
+}
+
+// logUpdate implements roundSink: an admitted update reaches the WAL
+// before it counts toward the round.
+func (s *Server) logUpdate(id int, u *UpdateMsg) error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Append(kindWALUpdate, encodeWALUpdate(id, u))
+}
+
+// rejectUpdate implements roundSink (fault-tolerant accounting).
+func (s *Server) rejectUpdate(id, round int, err error) {
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
+// commitRound implements roundSink. Commit before broadcast: once any
+// client observes round R, a restarted server must still know it, or
+// resume would refuse the client for claiming rounds the server never
+// produced. The aggregate is encoded into a single frame shared by every
+// session's outbound queue, so serialization cost is O(1) in client count
+// and delivery never blocks the round loop.
+func (s *Server) commitRound(g *GlobalMsg, partial bool) error {
+	if s.store != nil {
+		if err := s.store.Append(kindWALGlobal, encodeWALGlobal(g)); err != nil {
+			return err
+		}
+	}
+	frame := wire.Encode(g)
+	s.mu.Lock()
+	s.history = append(s.history, *g)
+	s.frames = append(s.frames, frame)
+	if partial {
+		s.partialRounds++
+	}
+	sessions := append([]*session(nil), s.sessions...)
+	frames := s.frames
+	s.mu.Unlock()
+	if s.store != nil && (g.Round+1)%s.cfg.SnapshotEvery == 0 {
+		if err := s.store.WriteSnapshot(g.Round+1, kindServerSnap, encodeServerState(s.snapshotState())); err != nil {
+			return err
+		}
+	}
+	for _, sess := range sessions {
+		s.enqueueGlobals(sess, g.Round, frames)
+	}
+	return nil
+}
+
+// enqueueGlobals queues every not-yet-sent aggregate frame (up to round)
+// on a session's writer, keeping per-connection GlobalMsg delivery
+// strictly sequential. frames is an immutable prefix snapshot of s.frames
+// covering at least rounds 0…round. A queue overflow means the client
+// stopped draining: the session is detached (it catches up via resume in
+// fault-tolerant mode; in strict mode the posted failure aborts the run).
+func (s *Server) enqueueGlobals(sess *session, round int, frames [][]byte) {
+	sess.mu.Lock()
+	if sess.conn == nil {
+		// Disconnected: a later resume replays the history instead.
+		sess.mu.Unlock()
+		return
+	}
+	gen := sess.gen
+	for r := sess.sent; r <= round; r++ {
+		if len(sess.queue) >= maxQueuedFrames {
+			err := fmt.Errorf("client %d (%s) stopped draining: outbound queue full at %d frames",
+				sess.id, sess.name, maxQueuedFrames)
+			if sess.sendErr == nil {
+				sess.sendErr = err
+			}
+			sess.cond.Broadcast()
+			sess.mu.Unlock()
+			s.detach(sess, gen)
+			s.post(event{id: sess.id, name: sess.name, err: err})
+			return
+		}
+		sess.queue = append(sess.queue, frames[r])
+		sess.sent = r + 1
+	}
+	sess.cond.Broadcast()
+	sess.mu.Unlock()
+}
+
+// writer drains one connection's outbound queue, writing each frame with
+// the I/O deadline. It exits when the connection is replaced (generation
+// bump), detached, or fails. Frames are shared, never mutated.
+func (s *Server) writer(sess *session, gen int) {
+	for {
+		sess.mu.Lock()
+		for sess.gen == gen && sess.conn != nil && len(sess.queue) == 0 {
+			sess.cond.Wait()
+		}
+		if sess.gen != gen || sess.conn == nil {
+			sess.mu.Unlock()
+			return
+		}
+		frame := sess.queue[0]
+		sess.queue = sess.queue[1:]
+		sess.inflight = true
+		cc := sess.conn
+		sess.mu.Unlock()
+
+		err := writeFrame(cc, s.cfg.IOTimeout, frame)
+
+		sess.mu.Lock()
+		sess.inflight = false
+		if err != nil && sess.gen == gen && sess.sendErr == nil {
+			sess.sendErr = err
+		}
+		sess.cond.Broadcast()
+		sess.mu.Unlock()
+		if err != nil {
+			s.detach(sess, gen)
+			s.post(event{id: sess.id, name: sess.name, err: err})
+			return
+		}
+	}
+}
+
+// flush waits until every session's outbound queue has drained or its
+// connection has died. Each pending write is bounded by the I/O deadline
+// (and by the cancellation watcher closing the sockets), so the wait
+// terminates. In strict mode an undelivered aggregate fails the run — the
+// old synchronous broadcast aborted on the same condition, just earlier.
+func (s *Server) flush(ctx context.Context) error {
+	s.mu.Lock()
+	sessions := append([]*session(nil), s.sessions...)
+	s.mu.Unlock()
+	var firstErr error
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		for sess.conn != nil && sess.sendErr == nil && (len(sess.queue) > 0 || sess.inflight) {
+			sess.cond.Wait()
+		}
+		err := sess.sendErr
+		undelivered := len(sess.queue) + boolToInt(sess.inflight)
+		sess.mu.Unlock()
+		if s.faultTolerant() {
+			continue
+		}
+		if err == nil && undelivered > 0 {
+			err = fmt.Errorf("client disconnected with %d aggregate(s) undelivered", undelivered)
+		}
+		if err != nil && firstErr == nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			firstErr = fmt.Errorf("transport: send to client %d: %w", sess.id, err)
+		}
+	}
+	return firstErr
+}
+
+// boolToInt counts a pending in-flight frame.
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // acceptLoop serves joins — registrations and session resumes — for the
@@ -663,11 +637,12 @@ func (s *Server) acceptLoop() {
 		}
 		cc := &countingConn{Conn: conn}
 		s.track(cc)
-		enc := gob.NewEncoder(cc)
-		dec := gob.NewDecoder(cc)
-		_ = cc.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
-		var join JoinMsg
-		if err := dec.Decode(&join); err != nil {
+		m, err := readMsg(cc, s.cfg.IOTimeout, joinPayloadLimit)
+		join, ok := m.(*JoinMsg)
+		if err == nil && !ok {
+			err = protocolErrorf("expected a join frame, got %s", m.WireKind())
+		}
+		if err != nil {
 			s.mu.Lock()
 			reg := s.regDone
 			s.mu.Unlock()
@@ -682,15 +657,15 @@ func (s *Server) acceptLoop() {
 			}
 			continue
 		}
-		s.handleJoin(cc, enc, dec, &join)
+		s.handleJoin(cc, join)
 	}
 }
 
 // handleJoin registers a fresh session or resumes an existing one.
-func (s *Server) handleJoin(cc *countingConn, enc *gob.Encoder, dec *gob.Decoder, join *JoinMsg) {
+func (s *Server) handleJoin(cc *countingConn, join *JoinMsg) {
 	s.mu.Lock()
 	if sess, ok := s.byKey[join.SessionKey]; ok && join.SessionKey != "" {
-		s.resume(sess, cc, enc, dec, join)
+		s.resume(sess, cc, join)
 		return // resume unlocks
 	}
 	if s.regDone || len(s.sessions) >= s.cfg.NumClients {
@@ -699,14 +674,9 @@ func (s *Server) handleJoin(cc *countingConn, enc *gob.Encoder, dec *gob.Decoder
 		s.absorb(cc)
 		return
 	}
-	sess := &session{
-		id:   len(s.sessions),
-		key:  join.SessionKey,
-		name: join.Name,
-		conn: cc,
-		enc:  enc,
-		gen:  1,
-	}
+	sess := newSession(len(s.sessions), join.SessionKey, join.Name)
+	sess.conn = cc
+	sess.gen = 1
 	s.sessions = append(s.sessions, sess)
 	if sess.key != "" {
 		s.byKey[sess.key] = sess
@@ -724,7 +694,9 @@ func (s *Server) handleJoin(cc *countingConn, enc *gob.Encoder, dec *gob.Decoder
 		Dim:        len(s.cfg.Init),
 		Init:       s.cfg.Init,
 	}
-	if err := s.send(sess, 1, &w); err != nil {
+	// The welcome is written directly: the session's writer goroutine only
+	// starts afterwards, so queued aggregate frames cannot overtake it.
+	if err := s.sendWelcome(sess, 1, &w); err != nil {
 		s.detach(sess, 1)
 		if !s.faultTolerant() {
 			// Run may be at the registration barrier or already in the
@@ -734,18 +706,21 @@ func (s *Server) handleJoin(cc *countingConn, enc *gob.Encoder, dec *gob.Decoder
 			case s.regErr <- werr:
 			default:
 			}
-			s.post(event{sess: sess, err: err})
+			s.post(event{id: sess.id, name: sess.name, err: err})
 		}
 		return
 	}
-	go s.reader(sess, 1, cc, dec)
+	go s.writer(sess, 1)
+	go s.reader(sess, 1, cc)
 }
 
 // resume re-attaches a reconnecting client to its session: it receives the
 // aggregates it missed (HaveRound+1 … latest) for replay, and this
 // connection's sequential GlobalMsg stream continues from there. Called
-// with s.mu held; unlocks it.
-func (s *Server) resume(sess *session, cc *countingConn, enc *gob.Encoder, dec *gob.Decoder, join *JoinMsg) {
+// with s.mu held; unlocks it. Holding s.mu across the session swap keeps
+// the missed list and the writer cursor (sent) consistent: no round can
+// commit between computing one and setting the other.
+func (s *Server) resume(sess *session, cc *countingConn, join *JoinMsg) {
 	done := len(s.history) // rounds aggregated so far
 	round := s.round
 	if join.HaveRound < -1 || join.HaveRound >= done {
@@ -764,56 +739,61 @@ func (s *Server) resume(sess *session, cc *countingConn, enc *gob.Encoder, dec *
 		Resumed:    true,
 		Missed:     missed,
 	}
-	s.mu.Unlock()
 
 	sess.mu.Lock()
 	old := sess.conn
 	sess.gen++
 	gen := sess.gen
-	sess.conn, sess.enc = cc, enc
+	sess.conn = cc
 	sess.sent = done
+	sess.queue = nil
+	sess.inflight = false
+	sess.sendErr = nil
+	sess.cond.Broadcast() // release the old connection's writer
 	sess.mu.Unlock()
+	s.mu.Unlock()
 	if old != nil {
 		s.absorb(old)
 	}
 
-	if err := s.send(sess, gen, &w); err != nil {
+	if err := s.sendWelcome(sess, gen, &w); err != nil {
 		s.detach(sess, gen)
 		return
 	}
-	go s.reader(sess, gen, cc, dec)
+	go s.writer(sess, gen)
+	go s.reader(sess, gen, cc)
 }
 
-// send encodes one message on a session's current connection if it still is
-// the given generation.
-func (s *Server) send(sess *session, gen int, msg any) error {
+// sendWelcome writes the welcome frame on a session's current connection
+// if it still is the given generation. The write happens outside sess.mu
+// so a slow handshake never blocks the round loop's enqueues.
+func (s *Server) sendWelcome(sess *session, gen int, w *WelcomeMsg) error {
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
-	if sess.gen != gen || sess.conn == nil {
+	cc := sess.conn
+	if sess.gen != gen || cc == nil {
+		sess.mu.Unlock()
 		return fmt.Errorf("connection replaced")
 	}
-	if err := sess.conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
-		return err
-	}
-	return sess.enc.Encode(msg)
+	sess.mu.Unlock()
+	return writeMsg(cc, s.cfg.IOTimeout, w)
 }
 
 // reader decodes one connection's updates into the event stream until the
 // connection fails; then it detaches the session (a resumed connection has
 // a newer generation and is left alone).
-func (s *Server) reader(sess *session, gen int, cc *countingConn, dec *gob.Decoder) {
+func (s *Server) reader(sess *session, gen int, cc *countingConn) {
+	limit := modelPayloadLimit(len(s.cfg.Init))
 	for {
-		if err := cc.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
-			s.detach(sess, gen)
-			s.post(event{sess: sess, err: err})
-			return
+		m, err := readMsg(cc, s.cfg.IOTimeout, limit)
+		if err == nil {
+			if u, ok := m.(*UpdateMsg); ok {
+				s.post(event{id: sess.id, name: sess.name, upd: u})
+				continue
+			}
+			err = protocolErrorf("expected an update frame, got %s", m.WireKind())
 		}
-		var u UpdateMsg
-		if err := dec.Decode(&u); err != nil {
-			s.detach(sess, gen)
-			s.post(event{sess: sess, err: err})
-			return
-		}
-		s.post(event{sess: sess, upd: &u})
+		s.detach(sess, gen)
+		s.post(event{id: sess.id, name: sess.name, err: err})
+		return
 	}
 }

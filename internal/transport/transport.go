@@ -1,9 +1,18 @@
 // Package transport runs the federated protocol over a real network: a TCP
-// aggregation server and trainer clients exchanging gob-encoded messages.
-// It complements the in-process simulator (package fl) by demonstrating the
-// same SyncManager schemes — including APF's compact, mask-elided payloads
-// (fl.CompactCodec) — end to end over an actual transport, with measured
-// wire bytes.
+// aggregation server and trainer clients exchanging messages framed by the
+// binary wire format of package wire (versioned, length-prefixed,
+// CRC-checked, bit-exact floats). It complements the in-process simulator
+// (package fl) by demonstrating the same SyncManager schemes — including
+// APF's compact, mask-elided payloads (fl.CompactCodec) — end to end over
+// an actual transport, with measured wire bytes.
+//
+// The stack is three layers. Package wire owns framing and message codecs;
+// this package's connection layer owns sockets — framed reads with payload
+// limits, per-session writer goroutines fanning out shared pre-encoded
+// frames, reconnect/resume — and the round engine (roundEngine) owns the
+// protocol state machine (collect/admit/deadline/partial-aggregate/
+// commit), driven purely through an event channel and a roundSink, so the
+// same engine runs under TCP and under in-process tests without sockets.
 //
 // Protocol, per connection:
 //
@@ -39,62 +48,26 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"apf/internal/wire"
 )
 
 // Default I/O deadline applied to every message exchange.
 const defaultIOTimeout = 30 * time.Second
 
-// JoinMsg registers a client with the server, or resumes a session.
-type JoinMsg struct {
-	Name string
-	// SessionKey identifies a resumable session. Empty disables resume:
-	// the connection registers a fresh anonymous session (pre-resume
-	// behaviour). Reconnecting with a known key re-attaches to that
-	// session instead of being rejected.
-	SessionKey string
-	// HaveRound is the last round the client has applied (-1 when it has
-	// none); on resume the server replies with the missed payloads
-	// (HaveRound+1 … current-1).
-	HaveRound int
-}
-
-// WelcomeMsg tells a client its identity and the run geometry.
-type WelcomeMsg struct {
-	ClientID   int
-	NumClients int
-	Rounds     int
-	Dim        int
-	// Init is the initial global model (round-0 state).
-	Init []float64
-	// Round is the round the server is currently collecting; 0 on a fresh
-	// registration.
-	Round int
-	// Resumed marks a session re-attachment.
-	Resumed bool
-	// Missed carries the GlobalMsg payloads for rounds HaveRound+1 … Round-1
-	// so a resuming client can replay them and rebuild its mask state.
-	Missed []GlobalMsg
-}
-
-// UpdateMsg carries one client's per-round push.
-type UpdateMsg struct {
-	Round   int
-	Payload []float64
-	Weight  float64
-	// MaskHash is the FNV-1a hash of the sender's freezing-mask words
-	// (HashMaskWords); 0 for managers without a mask. The server rejects
-	// rounds whose participants disagree (ErrMaskDivergence).
-	MaskHash uint64
-}
-
-// GlobalMsg carries the aggregated model back to the clients.
-type GlobalMsg struct {
-	Round   int
-	Payload []float64
-	// Participants is the number of client updates folded into Payload
-	// (K ≤ N under partial aggregation).
-	Participants int
-}
+// The protocol messages are defined by package wire (which owns their
+// serialization); the aliases keep this package's API unchanged across
+// the gob→wire migration.
+type (
+	// JoinMsg registers a client with the server, or resumes a session.
+	JoinMsg = wire.JoinMsg
+	// WelcomeMsg tells a client its identity and the run geometry.
+	WelcomeMsg = wire.WelcomeMsg
+	// UpdateMsg carries one client's per-round push.
+	UpdateMsg = wire.UpdateMsg
+	// GlobalMsg carries the aggregated model back to the clients.
+	GlobalMsg = wire.GlobalMsg
+)
 
 // HashMaskWords returns the FNV-1a hash of a freezing mask's backing words
 // (fl.MaskReporter.MaskWords). Identical masks hash identically on every

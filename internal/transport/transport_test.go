@@ -140,7 +140,7 @@ func TestTCPClusterWithAPFSavesWireBytes(t *testing.T) {
 			apfResults[0].UpBytes, baseResults[0].UpBytes)
 	}
 	// ...and so must the real TCP byte counters, since frozen scalars
-	// never enter the gob payload.
+	// never enter the wire payload.
 	apfRead, apfSent := apfSrv.WireBytes()
 	baseRead, baseSent := baseSrv.WireBytes()
 	if apfRead >= baseRead || apfSent >= baseSent {

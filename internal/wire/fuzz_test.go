@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at the frame decoder. Whatever the
+// input, Decode must never panic and must either fail with one of the
+// package's typed errors or hand back a message that re-encodes canonically
+// — byte-for-byte — to the frame it was decoded from.
+func FuzzWireDecode(f *testing.F) {
+	for _, m := range []Msg{
+		&JoinMsg{Name: "shard-0", SessionKey: "shard-0", HaveRound: -1},
+		&UpdateMsg{Round: 3, Payload: []float64{1, -2.5, 3e300}, Weight: 30, MaskHash: 0xfeedface},
+		&GlobalMsg{Round: 7, Payload: []float64{0.25, -0.75}, Participants: 2},
+		&WelcomeMsg{
+			ClientID: 1, NumClients: 2, Rounds: 8, Dim: 3,
+			Init: []float64{1, 2, 3}, Round: 5, Resumed: true,
+			Missed: []GlobalMsg{{Round: 4, Payload: []float64{7, 8, 9}, Participants: 2}},
+		},
+	} {
+		f.Add(Encode(m))
+	}
+	// Two frames back to back: Decode must return the remainder intact.
+	f.Add(append(Encode(&JoinMsg{Name: "a"}), Encode(&GlobalMsg{Round: 0})...))
+	f.Add([]byte("not a frame at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		m, rest, err := Decode(in, 0)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrUnknownKind) && !errors.Is(err, ErrTooLarge) &&
+				!errors.Is(err, io.EOF) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		frame := in[:len(in)-len(rest)]
+		if got := Encode(m); !bytes.Equal(got, frame) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", frame, got)
+		}
+		// The streaming reader must agree with the in-memory decoder.
+		m2, err := ReadMsg(bytes.NewReader(in), 0)
+		if err != nil {
+			t.Fatalf("ReadMsg failed on a frame Decode accepted: %v", err)
+		}
+		if !bytes.Equal(Encode(m2), frame) {
+			t.Fatal("ReadMsg and Decode disagree")
+		}
+	})
+}

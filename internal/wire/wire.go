@@ -1,0 +1,182 @@
+// Package wire is the federated protocol's binary wire format: a
+// versioned, length-prefixed, CRC-checked framing plus codecs for the four
+// protocol messages (Join, Welcome, Update, Global). It replaces
+// encoding/gob on the socket so that
+//
+//   - a message is serialized exactly once into an immutable frame that
+//     can be fanned out to any number of connections (encode-once
+//     broadcast: the server's per-round encode cost is O(1) in client
+//     count);
+//   - payload floats cross the wire as raw IEEE-754 bit patterns via
+//     package checkpoint's codec primitives, so a decoded model vector is
+//     bit-identical to the encoded one, NaN payloads included;
+//   - decoders survive hostile input: a frame declares its length up
+//     front, lengths are bounded before allocation, checksums cover the
+//     header and payload, and structural damage surfaces as typed errors
+//     (ErrCorrupt, ErrVersion, ErrUnknownKind, ErrTooLarge) rather than
+//     panics or giant allocations.
+//
+// # Frame layout
+//
+// Every message is one frame:
+//
+//	offset  size  field
+//	0       4     magic "APFW" (0x57465041 little-endian)
+//	4       1     protocol version (Version)
+//	5       1     message kind (KindJoin … KindGlobal)
+//	6       4     payload length, little-endian
+//	10      n     payload (checkpoint.Writer encoding of the message body)
+//	10+n    4     CRC-32 (IEEE) over header + payload
+//
+// # Versioning
+//
+// The version byte is stamped into every frame and checked on every
+// decode: a frame from a different protocol version fails with ErrVersion
+// before any of its payload is interpreted, so incompatible peers part
+// ways at the first message instead of mis-decoding each other. There is
+// no in-band negotiation at v1 — both directions must speak the same
+// version — but the byte reserves the space for a future server to accept
+// a range of client versions per kind.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"apf/internal/checkpoint"
+)
+
+// Version is the protocol version stamped into every frame.
+const Version = 1
+
+// Frame geometry.
+const (
+	frameMagic = 0x57465041 // "APFW" little-endian
+	headerLen  = 10
+	trailerLen = 4
+	// MaxPayload is the hard upper bound on a frame payload; hostile
+	// length fields beyond it are rejected before any allocation. Callers
+	// reading from a network usually pass ReadMsg a much tighter limit
+	// derived from the model geometry.
+	MaxPayload = 1 << 30
+)
+
+// Kind identifies a protocol message within a frame.
+type Kind uint8
+
+// Message kinds.
+const (
+	// KindJoin frames a JoinMsg (client → server).
+	KindJoin Kind = 1
+	// KindWelcome frames a WelcomeMsg (server → client).
+	KindWelcome Kind = 2
+	// KindUpdate frames an UpdateMsg (client → server).
+	KindUpdate Kind = 3
+	// KindGlobal frames a GlobalMsg (server → client).
+	KindGlobal Kind = 4
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindJoin:
+		return "join"
+	case KindWelcome:
+		return "welcome"
+	case KindUpdate:
+		return "update"
+	case KindGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Typed decode failures, distinguishable with errors.Is.
+var (
+	// ErrCorrupt marks a frame whose magic, checksum, or body structure is
+	// damaged (torn writes, truncation, trailing garbage).
+	ErrCorrupt = errors.New("wire: corrupt frame")
+	// ErrVersion marks a frame from an incompatible protocol version.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrUnknownKind marks a structurally valid frame whose kind this
+	// build does not understand.
+	ErrUnknownKind = errors.New("wire: unknown message kind")
+	// ErrTooLarge marks a frame whose declared payload exceeds the
+	// caller's limit; it is detected from the header alone, before the
+	// payload is read or allocated.
+	ErrTooLarge = errors.New("wire: frame exceeds payload limit")
+)
+
+// Msg is one protocol message. The four implementations are JoinMsg,
+// WelcomeMsg, UpdateMsg, and GlobalMsg.
+type Msg interface {
+	// WireKind returns the frame kind this message serializes under.
+	WireKind() Kind
+	// appendBody serializes the message body; the interface is sealed to
+	// this package so the kind↔type mapping stays closed.
+	appendBody(w *checkpoint.Writer)
+}
+
+// JoinMsg registers a client with the server, or resumes a session.
+type JoinMsg struct {
+	Name string
+	// SessionKey identifies a resumable session. Empty disables resume:
+	// the connection registers a fresh anonymous session (pre-resume
+	// behaviour). Reconnecting with a known key re-attaches to that
+	// session instead of being rejected.
+	SessionKey string
+	// HaveRound is the last round the client has applied (-1 when it has
+	// none); on resume the server replies with the missed payloads
+	// (HaveRound+1 … current-1).
+	HaveRound int
+}
+
+// WelcomeMsg tells a client its identity and the run geometry.
+type WelcomeMsg struct {
+	ClientID   int
+	NumClients int
+	Rounds     int
+	Dim        int
+	// Init is the initial global model (round-0 state).
+	Init []float64
+	// Round is the round the server is currently collecting; 0 on a fresh
+	// registration.
+	Round int
+	// Resumed marks a session re-attachment.
+	Resumed bool
+	// Missed carries the GlobalMsg payloads for rounds HaveRound+1 … Round-1
+	// so a resuming client can replay them and rebuild its mask state.
+	Missed []GlobalMsg
+}
+
+// UpdateMsg carries one client's per-round push.
+type UpdateMsg struct {
+	Round   int
+	Payload []float64
+	Weight  float64
+	// MaskHash is the FNV-1a hash of the sender's freezing-mask words;
+	// 0 for managers without a mask. The server rejects rounds whose
+	// participants disagree (transport.ErrMaskDivergence).
+	MaskHash uint64
+}
+
+// GlobalMsg carries the aggregated model back to the clients.
+type GlobalMsg struct {
+	Round   int
+	Payload []float64
+	// Participants is the number of client updates folded into Payload
+	// (K ≤ N under partial aggregation).
+	Participants int
+}
+
+// WireKind implements Msg.
+func (*JoinMsg) WireKind() Kind { return KindJoin }
+
+// WireKind implements Msg.
+func (*WelcomeMsg) WireKind() Kind { return KindWelcome }
+
+// WireKind implements Msg.
+func (*UpdateMsg) WireKind() Kind { return KindUpdate }
+
+// WireKind implements Msg.
+func (*GlobalMsg) WireKind() Kind { return KindGlobal }
