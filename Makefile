@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 vet race fuzz crashtest bench hotpath wirebench ci
+.PHONY: tier1 vet race fuzz crashtest bench hotpath wirebench telemetrybench ci
 
 # Tier-1 verify (see ROADMAP.md): must stay green on every commit.
 tier1:
@@ -13,11 +13,12 @@ vet:
 	$(GO) vet ./...
 
 # The engine pool, sharded aggregation, transport goroutines (including
-# the per-session broadcast writers), and chaos harness are the
-# concurrency surface; run them under the race detector (this includes
-# the chaos fault-injection test suite).
+# the per-session broadcast writers), telemetry registry, and chaos
+# harness are the concurrency surface; run them under the race detector
+# (this includes the chaos fault-injection suite and the concurrent
+# /metrics scrape test).
 race:
-	$(GO) test -race ./internal/fl/ ./internal/transport/ ./internal/chaos/ ./internal/wire/
+	$(GO) test -race ./internal/fl/ ./internal/transport/ ./internal/chaos/ ./internal/wire/ ./internal/telemetry/
 
 # Fuzz smoke: a short randomized pass over each decode target on top of
 # the checked-in corpus (go only runs one -fuzz target per invocation).
@@ -46,4 +47,9 @@ hotpath:
 wirebench:
 	$(GO) run ./cmd/apfbench -wire BENCH_wire.json
 
-ci: tier1 vet race fuzz crashtest hotpath wirebench
+# Regenerate the tracked telemetry-overhead report (instrumented vs nop
+# registry on the steady-state manager round).
+telemetrybench:
+	$(GO) run ./cmd/apfbench -telemetry BENCH_telemetry.json
+
+ci: tier1 vet race fuzz crashtest hotpath wirebench telemetrybench

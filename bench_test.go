@@ -25,6 +25,8 @@ import (
 	"apf/internal/nn"
 	"apf/internal/perturb"
 	"apf/internal/quantize"
+	"apf/internal/telemetry"
+	"apf/internal/telemetry/hooks"
 	"apf/internal/tensor"
 )
 
@@ -148,10 +150,23 @@ func BenchmarkEMATrackerObserve(b *testing.B) {
 // BenchmarkManagerRound measures one full steady-state client round
 // (rollback + upload + compact codec + download/check) over the
 // Dim × frozen-ratio grid. `apfbench -hotpath` records the same cases.
+// The /telemetry variants attach a live telemetry registry through the
+// manager's observer hook — they must stay at 0 allocs/op and within
+// noise of the uninstrumented numbers (`apfbench -telemetry` tracks the
+// ratio in BENCH_telemetry.json).
 func BenchmarkManagerRound(b *testing.B) {
 	for _, c := range hotbench.Cases() {
 		b.Run(fmt.Sprintf("dim=%d/frozen=%.2f", c.Dim, c.Frozen), func(b *testing.B) {
 			m, x, start := hotbench.NewManagerAt(c.Dim, c.Frozen)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hotbench.Round(m, start+i, x)
+			}
+		})
+		b.Run(fmt.Sprintf("dim=%d/frozen=%.2f/telemetry", c.Dim, c.Frozen), func(b *testing.B) {
+			obs := hooks.Manager(telemetry.New())
+			m, x, start := hotbench.NewManagerAtObserved(c.Dim, c.Frozen, obs)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

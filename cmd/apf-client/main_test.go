@@ -15,6 +15,9 @@ func TestClientRejectsBadFlags(t *testing.T) {
 		{"bad scheme", []string{"-scheme", "nope", "-addr", "127.0.0.1:1"}},
 		{"zero io timeout", []string{"-io-timeout", "0s", "-addr", "127.0.0.1:1"}},
 		{"negative io timeout", []string{"-io-timeout", "-5s", "-addr", "127.0.0.1:1"}},
+		{"bad log level", []string{"-log-level", "loud", "-addr", "127.0.0.1:1"}},
+		{"bad log format", []string{"-log-format", "xml", "-addr", "127.0.0.1:1"}},
+		{"bad metrics address", []string{"-metrics-addr", "256.256.256.256:99999", "-addr", "127.0.0.1:1"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -33,5 +36,11 @@ func TestClientFailsFastWithoutServer(t *testing.T) {
 	}
 	if time.Since(start) > 15*time.Second {
 		t.Error("client hung instead of failing fast")
+	}
+}
+
+func TestClientVersionFlag(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatalf("-version: %v", err)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"apf/internal/chaos"
 	"apf/internal/metrics"
 	"apf/internal/preset"
+	"apf/internal/telemetry"
 	"apf/internal/transport"
 )
 
@@ -49,12 +50,38 @@ func run(args []string) error {
 		maxNorm    = fs.Float64("max-norm-mult", 0, "enable update sanitization, rejecting updates whose L2 norm exceeds this multiple of the recent median (0 = off)")
 		chaosSpec  = fs.String("chaos", "", "fault-injection script, e.g. 'accept:1/sever-write@5;kill-server@7' (testing)")
 		chaosSeed  = fs.Int64("chaos-seed", 1, "seed for randomized chaos choices")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = disabled)")
+		logLevel    = fs.String("log-level", "warn", "log verbosity: debug | info | warn | error")
+		logFormat   = fs.String("log-format", "text", "log output format: text | json")
+		version     = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		fmt.Println("apf-server", telemetry.ReadBuildInfo().String())
+		return nil
+	}
 	if *ioTimeout <= 0 {
 		return fmt.Errorf("-io-timeout must be positive, got %v", *ioTimeout)
+	}
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	format, err := telemetry.ParseFormat(*logFormat)
+	if err != nil {
+		return fmt.Errorf("-log-format: %w", err)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, format)
+
+	// The registry only exists when something serves it; with -metrics-addr
+	// unset every instrumented path below degrades to nil-safe no-ops.
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.New()
+		telemetry.RegisterBuildInfo(reg)
 	}
 
 	p, err := preset.Load(*model, *seed)
@@ -101,12 +128,32 @@ func run(args []string) error {
 		CheckpointDir: *ckptDir,
 		SnapshotEvery: *snapEvery,
 		Validator:     validator,
+		Metrics:       reg,
+		Log:           logger,
 	})
 	if err != nil {
 		return err
 	}
 	if *ckptDir != "" && srv.Recovered() {
 		fmt.Printf("apf-server: resumed from checkpoint at round %d\n", srv.StartRound())
+	}
+
+	if *metricsAddr != "" {
+		h := telemetry.Handler(reg, telemetry.HealthFunc(func() []any {
+			return []any{
+				"round", srv.Round(),
+				"committed_rounds", srv.CommittedRounds(),
+				"recovered", srv.Recovered(),
+			}
+		}))
+		mln, err := telemetry.Serve(*metricsAddr, h, func(err error) {
+			logger.Error("observability endpoint failed", "err", err)
+		})
+		if err != nil {
+			return err
+		}
+		defer mln.Close()
+		fmt.Printf("apf-server: observability on http://%s/metrics\n", mln.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -14,6 +14,9 @@ func TestServerRejectsBadFlags(t *testing.T) {
 		{"bad address", []string{"-addr", "256.256.256.256:99999"}},
 		{"zero io timeout", []string{"-io-timeout", "0s"}},
 		{"negative io timeout", []string{"-io-timeout", "-5s"}},
+		{"bad log level", []string{"-log-level", "loud"}},
+		{"bad log format", []string{"-log-format", "xml"}},
+		{"bad metrics address", []string{"-addr", "127.0.0.1:0", "-metrics-addr", "256.256.256.256:99999"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -21,5 +24,11 @@ func TestServerRejectsBadFlags(t *testing.T) {
 				t.Error("expected error")
 			}
 		})
+	}
+}
+
+func TestServerVersionFlag(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatalf("-version: %v", err)
 	}
 }

@@ -8,6 +8,7 @@
 //	apfbench -exp all -seed 7
 //	apfbench -hotpath BENCH_hotpath.json  # hot-path perf report
 //	apfbench -wire BENCH_wire.json        # gob vs wire broadcast report
+//	apfbench -telemetry BENCH_telemetry.json  # telemetry overhead report
 //
 // Output is a textual report per experiment: markdown tables for the
 // paper's tables and per-series digests (+ optional TSV dumps via -tsv)
@@ -44,6 +45,7 @@ func run(args []string) error {
 		plot    = fs.Bool("plot", false, "render figures as terminal plots")
 		hotpath = fs.String("hotpath", "", "measure the APF hot-path benchmarks and write the JSON report to this file")
 		wirerep = fs.String("wire", "", "measure gob vs wire-format broadcast cost and write the JSON report to this file")
+		telem   = fs.String("telemetry", "", "measure the telemetry observer's hot-path overhead and write the JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +56,9 @@ func run(args []string) error {
 	}
 	if *wirerep != "" {
 		return runWirebench(*wirerep)
+	}
+	if *telem != "" {
+		return runTelemetrybench(*telem)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"apf/internal/core"
+	"apf/internal/hotbench"
+	"apf/internal/telemetry"
+	"apf/internal/telemetry/hooks"
+)
+
+// telemetryEntry is one benchmark case in BENCH_telemetry.json: the same
+// steady-state manager round measured without and with a live telemetry
+// registry observing it.
+type telemetryEntry struct {
+	Name             string  `json:"name"`
+	NopNsPerOp       float64 `json:"nop_ns_per_op"`
+	TelemetryNsPerOp float64 `json:"telemetry_ns_per_op"`
+	OverheadPct      float64 `json:"overhead_pct"`
+	TelemetryAllocs  int64   `json:"telemetry_allocs_per_op"`
+}
+
+// telemetryReport is the BENCH_telemetry.json document.
+type telemetryReport struct {
+	GoVersion      string           `json:"go_version"`
+	GOMAXPROCS     int              `json:"gomaxprocs"`
+	Note           string           `json:"note"`
+	ManagerRound   []telemetryEntry `json:"manager_round"`
+	MaxOverheadPct float64          `json:"max_overhead_pct"`
+}
+
+// runTelemetrybench measures the full hotbench grid and writes the report
+// to path. The acceptance bar tracked across PRs: every case stays
+// allocation-free under instrumentation and the worst-case overhead stays
+// within single-digit percent (noise-dominated — the observer is a handful
+// of atomic stores per round).
+func runTelemetrybench(path string) error {
+	return telemetryReportFor(path, hotbench.Cases())
+}
+
+// telemetryReportFor measures the given cases (tests use a reduced grid).
+func telemetryReportFor(path string, cases []hotbench.Case) error {
+	// Fail fast on an unwritable path before spending minutes measuring.
+	probe, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+
+	rep := telemetryReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       "overhead_pct compares the steady-state manager round with a live telemetry registry attached against the identical uninstrumented fixture; fastest of 4 interleaved runs per arm",
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("dim=%d/frozen=%.2f", c.Dim, c.Frozen)
+		fmt.Fprintf(os.Stderr, "telemetry: ManagerRound/%s\n", name)
+
+		// Interleave the arms and keep each arm's fastest run: drift on a
+		// shared machine (frequency scaling, cache pressure from neighbours)
+		// dwarfs the effect under test, and interleaving exposes both arms
+		// to the same drift.
+		var nop, tel roundMeasurement
+		for run := 0; run < measureRuns; run++ {
+			n := measureRound(c, nil)
+			o := measureRound(c, func() core.Observer { return hooks.Manager(telemetry.New()) })
+			if run == 0 || n.nsPerOp < nop.nsPerOp {
+				nop = n
+			}
+			if run == 0 || o.nsPerOp < tel.nsPerOp {
+				tel = o
+			}
+		}
+
+		e := telemetryEntry{
+			Name:             name,
+			NopNsPerOp:       nop.nsPerOp,
+			TelemetryNsPerOp: tel.nsPerOp,
+			OverheadPct:      (tel.nsPerOp - nop.nsPerOp) / nop.nsPerOp * 100,
+			TelemetryAllocs:  tel.allocs,
+		}
+		if e.OverheadPct > rep.MaxOverheadPct {
+			rep.MaxOverheadPct = e.OverheadPct
+		}
+		rep.ManagerRound = append(rep.ManagerRound, e)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: wrote %s (max overhead %.2f%%)\n", path, rep.MaxOverheadPct)
+	return nil
+}
+
+// measureRuns is how many interleaved (nop, telemetry) measurement pairs
+// each case gets; the reported number per arm is the fastest run.
+const measureRuns = 4
+
+// roundMeasurement is one benchmark run's result.
+type roundMeasurement struct {
+	nsPerOp float64
+	allocs  int64
+}
+
+// measureRound benchmarks the steady-state round once over a fresh
+// fixture — observed when newObs is non-nil.
+func measureRound(c hotbench.Case, newObs func() core.Observer) roundMeasurement {
+	var obs core.Observer
+	if newObs != nil {
+		obs = newObs()
+	}
+	m, x, start := hotbench.NewManagerAtObserved(c.Dim, c.Frozen, obs)
+	hotbench.Round(m, start, x) // warm scratch buffers
+	offset := start + 1
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hotbench.Round(m, offset+i, x)
+		}
+		offset += b.N
+	})
+	return roundMeasurement{nsPerOp: float64(r.NsPerOp()), allocs: r.AllocsPerOp()}
+}

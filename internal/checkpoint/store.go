@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Store persists a coordinator under one directory as generations of
@@ -29,7 +30,26 @@ type Store struct {
 	dir    string
 	rounds int      // generation currently appended to
 	wal    *os.File // open WAL of that generation
+	obs    Observer // nil disables instrumentation
 }
+
+// Observer receives durability events from a Store. checkpoint defines
+// the interface itself and carries no telemetry dependency — the metrics
+// adapter is injected with SetObserver. Implementations must be cheap;
+// they run synchronously on the append path.
+type Observer interface {
+	// AppendDone fires after each durable (fsync'd) WAL append.
+	AppendDone(bytes int, d time.Duration)
+	// SnapshotDone fires after each durable snapshot rotation.
+	SnapshotDone(rounds, bytes int, d time.Duration)
+	// LoadDone fires after recovery: whether a usable snapshot was found,
+	// at how many completed rounds, and how many WAL records replayed.
+	LoadDone(found bool, rounds, walRecords int, d time.Duration)
+}
+
+// SetObserver installs (or, with nil, removes) the store's event hook.
+// Call it before the store is shared across goroutines.
+func (s *Store) SetObserver(obs Observer) { s.obs = obs }
 
 const (
 	snapPrefix = "snap-"
@@ -105,6 +125,10 @@ func (s *Store) WriteSnapshot(rounds int, kind uint16, payload []byte) error {
 	if rounds <= s.rounds {
 		return fmt.Errorf("checkpoint: snapshot rounds %d not beyond current generation %d", rounds, s.rounds)
 	}
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 	tmp := filepath.Join(s.dir, fmt.Sprintf(".snap-%08d.tmp", rounds))
 	frame := AppendFrame(nil, kind, payload)
 	if err := writeFileSync(tmp, frame); err != nil {
@@ -133,6 +157,9 @@ func (s *Store) WriteSnapshot(rounds int, kind uint16, payload []byte) error {
 		_ = os.Remove(s.walPath(prev))
 		_ = s.syncDir()
 	}
+	if s.obs != nil {
+		s.obs.SnapshotDone(rounds, len(frame), time.Since(start))
+	}
 	return nil
 }
 
@@ -142,12 +169,19 @@ func (s *Store) Append(kind uint16, payload []byte) error {
 	if s.wal == nil {
 		return fmt.Errorf("checkpoint: append without a snapshot generation")
 	}
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 	frame := AppendFrame(nil, kind, payload)
 	if _, err := s.wal.Write(frame); err != nil {
 		return fmt.Errorf("checkpoint: append wal: %w", err)
 	}
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("checkpoint: sync wal: %w", err)
+	}
+	if s.obs != nil {
+		s.obs.AppendDone(len(frame), time.Since(start))
 	}
 	return nil
 }
@@ -164,6 +198,10 @@ type Record struct {
 // false when the store holds no usable snapshot (fresh start). After a
 // successful Load, Append continues the recovered generation's WAL.
 func (s *Store) Load() (rounds int, kind uint16, payload []byte, wal []Record, found bool, err error) {
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 	gens, err := s.generations()
 	if err != nil {
 		return 0, 0, nil, nil, false, err
@@ -194,7 +232,13 @@ func (s *Store) Load() (rounds int, kind uint16, payload []byte, wal []Record, f
 			_ = s.wal.Close()
 		}
 		s.wal, s.rounds = f, r
+		if s.obs != nil {
+			s.obs.LoadDone(true, r, len(records), time.Since(start))
+		}
 		return r, k, p, records, true, nil
+	}
+	if s.obs != nil {
+		s.obs.LoadDone(false, 0, 0, time.Since(start))
 	}
 	return 0, 0, nil, nil, false, nil
 }

@@ -90,6 +90,28 @@ type Config struct {
 	// the same seed so their masks agree (decisions are a deterministic
 	// function of (Seed, check index), never of client state).
 	Seed int64
+	// Observer receives freezing-state events; nil disables. Implementations
+	// must be cheap and must not call back into the Manager — they run
+	// synchronously on the round hot path, which stays allocation-free
+	// (scalar arguments only, no boxing).
+	Observer Observer
+}
+
+// Observer is the narrow instrumentation hook through which external
+// telemetry watches a Manager. core deliberately defines the interface
+// itself and carries no metrics dependency; the adapter lives with the
+// telemetry plane and is injected via Config.Observer.
+type Observer interface {
+	// RoundApplied fires once per ApplyDownload with the freezing state
+	// that governed the round: frozen scalars out of dim total.
+	RoundApplied(round, frozen, dim int)
+	// StabilityChecked fires after stability check number check (1-based)
+	// ran at round, having newly frozen the given number of scalars by
+	// stability (random freezing not included).
+	StabilityChecked(check, round, frozen int)
+	// ThresholdDecayed fires when the stability threshold halves,
+	// reporting the new threshold.
+	ThresholdDecayed(threshold float64)
 }
 
 // withDefaults fills unset fields with the paper's defaults.
@@ -271,6 +293,11 @@ func (m *Manager) ApplyDownload(round int, x, global []float64) int64 {
 		m.mask.ApplyMasked(x, m.ref)
 	}
 	unfrozen := m.cfg.Dim - m.maskCount
+	if m.cfg.Observer != nil {
+		// Report the mask that governed this round now: the stability
+		// check below may invalidate it (maskRound = -1) for lazy rebuild.
+		m.cfg.Observer.RoundApplied(round, m.maskCount, m.cfg.Dim)
+	}
 	if !m.initialized {
 		// Seed the check baseline from *synchronized* state: every
 		// client sees the identical post-aggregation vector here, which
@@ -329,15 +356,24 @@ func (m *Manager) stabilityCheck(round int, x []float64) {
 	// stability — under APF++ the freezing probability approaches 1, so
 	// counting them would fire the decay on nearly every check and drive
 	// the threshold to zero regardless of actual parameter maturity.
-	if m.cfg.ThresholdDecayFrac > 0 {
+	// The observer wants the same stability-frozen count, so one pass
+	// serves both.
+	if m.cfg.ThresholdDecayFrac > 0 || m.cfg.Observer != nil {
 		frozen := 0
 		for j := 0; j < m.cfg.Dim; j++ {
 			if round+1 < m.unfreezeAt[j] {
 				frozen++
 			}
 		}
-		if float64(frozen) >= m.cfg.ThresholdDecayFrac*float64(m.cfg.Dim) {
+		if m.cfg.ThresholdDecayFrac > 0 &&
+			float64(frozen) >= m.cfg.ThresholdDecayFrac*float64(m.cfg.Dim) {
 			m.threshold /= 2
+			if m.cfg.Observer != nil {
+				m.cfg.Observer.ThresholdDecayed(m.threshold)
+			}
+		}
+		if m.cfg.Observer != nil {
+			m.cfg.Observer.StabilityChecked(m.checkCount, round, frozen)
 		}
 	}
 	m.maskRound = -1 // mask changed; recompute lazily

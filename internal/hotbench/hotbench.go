@@ -48,6 +48,14 @@ const warmupRounds = 64
 // stable). The Fixed freezing policy then pins the stable set for 2^20
 // checks, so benchmark iterations never cross an unfreeze.
 func NewManagerAt(dim int, frozen float64) (*core.Manager, []float64, int) {
+	return NewManagerAtObserved(dim, frozen, nil)
+}
+
+// NewManagerAtObserved is NewManagerAt with a telemetry observer wired
+// into the manager (core.Config.Observer). The instrumented and
+// uninstrumented fixtures are otherwise identical, so benchmarking both
+// isolates the observer's cost on the steady-state hot path.
+func NewManagerAtObserved(dim int, frozen float64, obs core.Observer) (*core.Manager, []float64, int) {
 	m := core.NewManager(core.Config{
 		Dim:              dim,
 		CheckEveryRounds: warmupRounds,
@@ -55,6 +63,7 @@ func NewManagerAt(dim int, frozen float64) (*core.Manager, []float64, int) {
 		EMAAlpha:         0.9,
 		Policy:           core.Fixed{Checks: 1 << 20},
 		Seed:             1,
+		Observer:         obs,
 	})
 	x := make([]float64, dim)
 	nFrozen := int(frozen * float64(dim))

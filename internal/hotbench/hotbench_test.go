@@ -3,6 +3,9 @@ package hotbench
 import (
 	"math"
 	"testing"
+
+	"apf/internal/telemetry"
+	"apf/internal/telemetry/hooks"
 )
 
 // TestFixtureFrozenRatio verifies the warm-up lands the manager exactly on
@@ -42,6 +45,29 @@ func TestSteadyStateRoundIsAllocationFree(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("steady-state round allocates %v times per round, want 0", avg)
+	}
+}
+
+// TestInstrumentedRoundIsAllocationFree extends the memory-discipline
+// guarantee to the observed hot path: a live telemetry registry watching
+// the manager through its observer hook must not introduce a single heap
+// allocation per round.
+func TestInstrumentedRoundIsAllocationFree(t *testing.T) {
+	reg := telemetry.New()
+	m, x, start := NewManagerAtObserved(10_000, 0.5, hooks.Manager(reg))
+	round := start
+	Round(m, round, x) // warm the scratch buffers
+	round++
+	avg := testing.AllocsPerRun(200, func() {
+		Round(m, round, x)
+		round++
+	})
+	if avg != 0 {
+		t.Fatalf("instrumented steady-state round allocates %v times per round, want 0", avg)
+	}
+	// The observer really fired: the rounds counter tracks every round.
+	if got := reg.Snapshot()["apf_manager_rounds_total"]; got == 0 {
+		t.Fatal("observer never fired on the instrumented rounds")
 	}
 }
 

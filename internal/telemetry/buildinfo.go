@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the identity stamped on the apf_build_info gauge and
+// printed by the binaries' -version flag.
+type BuildInfo struct {
+	// Version is the module version ("(devel)" for source builds).
+	Version string
+	// Revision is the VCS commit hash, if the build embedded one.
+	Revision string
+	// Modified reports uncommitted changes at build time.
+	Modified bool
+	// GoVersion is the toolchain that produced the binary.
+	GoVersion string
+}
+
+// ReadBuildInfo extracts version identity from the binary's embedded
+// build metadata. Missing metadata (e.g. test binaries) degrades to
+// "unknown" fields rather than failing.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "unknown", Revision: "unknown", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo publishes the constant apf_build_info gauge (value 1,
+// identity in labels — the Prometheus build-info convention) on reg.
+// No-op on a nil registry.
+func RegisterBuildInfo(reg *Registry) BuildInfo {
+	bi := ReadBuildInfo()
+	modified := "false"
+	if bi.Modified {
+		modified = "true"
+	}
+	reg.Gauge("apf_build_info",
+		"Build identity of this binary; constant 1 with version info in labels.",
+		"version", bi.Version,
+		"revision", bi.Revision,
+		"modified", modified,
+		"goversion", bi.GoVersion,
+	).Set(1)
+	return bi
+}
+
+// String renders the identity for -version output.
+func (b BuildInfo) String() string {
+	s := "version " + b.Version + " revision " + b.Revision
+	if b.Modified {
+		s += " (modified)"
+	}
+	return s + " " + b.GoVersion
+}

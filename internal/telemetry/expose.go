@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WriteText renders every family in the registry in Prometheus text
+// exposition format 0.0.4, in registration order. Samples are read with
+// atomic loads while writers keep recording; each individual sample is
+// consistent but the page as a whole is not a point-in-time snapshot —
+// standard scrape semantics. A nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	// Copy the family/child structure so exposition doesn't hold the
+	// registration lock while doing I/O. The metric values themselves are
+	// read lock-free afterwards.
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	type snap struct {
+		f        *family
+		children []*child
+	}
+	snaps := make([]snap, len(fams))
+	for i, f := range fams {
+		cs := make([]*child, len(f.children))
+		copy(cs, f.children)
+		snaps[i] = snap{f: f, children: cs}
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, s := range snaps {
+		writeHeader(bw, s.f)
+		for _, c := range s.children {
+			switch s.f.kind {
+			case kindCounter:
+				writeSample(bw, s.f.name, "", c.labels, "", float64(c.ctr.Value()))
+			case kindGauge:
+				writeSample(bw, s.f.name, "", c.labels, "", c.gauge.Value())
+			case kindHistogram:
+				writeHistogram(bw, s.f.name, c)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHeader emits the # HELP / # TYPE preamble for one family.
+func writeHeader(w *bufio.Writer, f *family) {
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+}
+
+// escapeHelp escapes backslash and newline (HELP text keeps quotes raw).
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// writeSample emits one `name{labels,extra}value` line. suffix extends
+// the metric name (e.g. "_sum"); extra is an extra pre-rendered label
+// (e.g. `le="0.5"`) appended after the child's own labels.
+func writeSample(w *bufio.Writer, name, suffix, labels, extra string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if labels != "" || extra != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		if labels != "" && extra != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatValue(v))
+	w.WriteByte('\n')
+}
+
+// formatValue renders a float the way Prometheus expects: integral values
+// without exponent noise, specials as +Inf/-Inf/NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// writeHistogram emits the cumulative bucket series, _sum, and _count for
+// one histogram child. Buckets are stored per-bucket and accumulated
+// here; the +Inf bucket count always equals _count.
+func writeHistogram(w *bufio.Writer, name string, c *child) {
+	h := c.hist
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(w, name, "_bucket", c.labels, `le="`+formatValue(bound)+`"`, float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(w, name, "_bucket", c.labels, `le="+Inf"`, float64(cum))
+	writeSample(w, name, "_sum", c.labels, "", h.Sum())
+	writeSample(w, name, "_count", c.labels, "", float64(cum))
+}
+
+// Snapshot returns the current value of every series as a map from
+// "name{labels}" to value — counters and gauges map to their value,
+// histograms to their observation count (with "name_sum{labels}" holding
+// the sum). Intended for tests and debugging, not the scrape path.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		for _, c := range f.children {
+			key := f.name
+			if c.labels != "" {
+				key += "{" + c.labels + "}"
+			}
+			switch f.kind {
+			case kindCounter:
+				out[key] = float64(c.ctr.Value())
+			case kindGauge:
+				out[key] = c.gauge.Value()
+			case kindHistogram:
+				out[key] = float64(c.hist.Count())
+				sumKey := f.name + "_sum"
+				if c.labels != "" {
+					sumKey += "{" + c.labels + "}"
+				}
+				out[sumKey] = c.hist.Sum()
+			}
+		}
+	}
+	return out
+}
+
+// Names returns the registered family names, sorted. Test helper.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for _, f := range r.families {
+		names = append(names, f.name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -15,6 +15,7 @@ import (
 	"apf/internal/fl"
 	"apf/internal/nn"
 	"apf/internal/stats"
+	"apf/internal/telemetry"
 )
 
 // chaosOpts parameterizes a fault-tolerant cluster run under a chaos
@@ -31,6 +32,10 @@ type chaosOpts struct {
 	// backoff optionally overrides (base, max) per client; nil entries and
 	// nil func keep fast defaults (10ms, 100ms) so tests stay quick.
 	backoff func(i int) (time.Duration, time.Duration)
+	// metrics/cmetrics optionally instrument the server and (shared across)
+	// the clients.
+	metrics  *telemetry.Registry
+	cmetrics *telemetry.Registry
 }
 
 // runChaosCluster runs a fault-tolerant cluster to completion, failing the
@@ -60,6 +65,7 @@ func runChaosCluster(t *testing.T, mf fl.ManagerFactory, o chaosOpts) ([]*Client
 		IOTimeout:     5 * time.Second,
 		RoundDeadline: o.deadline,
 		MinClients:    o.minClients,
+		Metrics:       o.metrics,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -93,6 +99,7 @@ func runChaosCluster(t *testing.T, mf fl.ManagerFactory, o chaosOpts) ([]*Client
 			BatchSize:  10,
 			Seed:       5,
 			MaxRetries: o.retries,
+			Metrics:    o.cmetrics,
 		}
 		cfg.RetryBaseDelay, cfg.RetryMaxDelay = 10*time.Millisecond, 100*time.Millisecond
 		if o.backoff != nil {

@@ -15,6 +15,7 @@ import (
 	"apf/internal/nn"
 	"apf/internal/opt"
 	"apf/internal/stats"
+	"apf/internal/telemetry"
 	"apf/internal/wire"
 )
 
@@ -76,6 +77,12 @@ type ClientConfig struct {
 	// periodic manager checkpoints. The model slice is live client state;
 	// callbacks must not retain or mutate it.
 	OnRound func(round int, model []float64)
+	// Metrics, when non-nil, receives runtime metrics (rounds, training
+	// time, wire traffic, reconnects). Nil keeps the client metric-free.
+	Metrics *telemetry.Registry
+	// Log, when non-nil, receives structured events (connection attempts,
+	// resumes, round application). Nil keeps the client silent.
+	Log *telemetry.Logger
 }
 
 // ClientResult summarizes one client's run.
@@ -100,6 +107,11 @@ type ClientResult struct {
 type clientRun struct {
 	cfg ClientConfig
 	res *ClientResult
+
+	// metrics/wireM/log are nil-safe instrumentation handles.
+	metrics *clientMetrics
+	wireM   *wireMetrics
+	log     *telemetry.Logger
 
 	// Training state, built on the first Welcome.
 	net0     *nn.Network
@@ -152,7 +164,14 @@ func RunClient(ctx context.Context, cfg ClientConfig) (*ClientResult, error) {
 		}
 	}
 
-	r := &clientRun{cfg: cfg, res: &ClientResult{ClientID: -1}, applied: -1}
+	r := &clientRun{
+		cfg:     cfg,
+		res:     &ClientResult{ClientID: -1},
+		applied: -1,
+		metrics: newClientMetrics(cfg.Metrics),
+		wireM:   newWireMetrics(cfg.Metrics),
+		log:     cfg.Log.With("component", "client", "name", cfg.Name),
+	}
 
 	// Tear the live connection down on cancellation to unblock I/O.
 	stop := make(chan struct{})
@@ -247,12 +266,12 @@ func (r *clientRun) session(ctx context.Context) error {
 		return ctx.Err() // the watcher may have missed this connection
 	}
 
-	if err := writeMsg(conn, r.cfg.IOTimeout, &JoinMsg{Name: r.cfg.Name, SessionKey: r.cfg.SessionKey, HaveRound: r.applied}); err != nil {
+	if err := writeMsg(conn, r.cfg.IOTimeout, &JoinMsg{Name: r.cfg.Name, SessionKey: r.cfg.SessionKey, HaveRound: r.applied}, r.wireM); err != nil {
 		return fmt.Errorf("transport: join: %w", err)
 	}
 	// The welcome carries the init model plus every missed aggregate, so
 	// its bound is the format ceiling rather than the model geometry.
-	m, err := readMsg(conn, r.cfg.IOTimeout, wire.MaxPayload)
+	m, err := readMsg(conn, r.cfg.IOTimeout, wire.MaxPayload, r.wireM)
 	if err != nil {
 		return fmt.Errorf("transport: welcome: %w", err)
 	}
@@ -267,6 +286,13 @@ func (r *clientRun) session(ctx context.Context) error {
 	// Replay the aggregates this client missed while disconnected; the
 	// manager state is a deterministic function of the synchronized
 	// trajectory, so replay rebuilds model and freezing mask exactly.
+	if len(welcome.Missed) > 0 {
+		if r.metrics != nil {
+			r.metrics.replayed.Add(int64(len(welcome.Missed)))
+		}
+		r.log.Info("replaying missed aggregates",
+			"from", r.applied+1, "count", len(welcome.Missed))
+	}
 	for i := range welcome.Missed {
 		if err := r.applyGlobal(&welcome.Missed[i]); err != nil {
 			return err
@@ -275,8 +301,19 @@ func (r *clientRun) session(ctx context.Context) error {
 
 	for round := r.applied + 1; round < r.rounds; round++ {
 		markRound(conn, round)
+		var roundStart time.Time
+		if r.metrics != nil {
+			roundStart = time.Now()
+		}
 		if r.inflight == nil || r.inflight.Round != round {
+			var trainStart time.Time
+			if r.metrics != nil {
+				trainStart = time.Now()
+			}
 			r.train(round)
+			if r.metrics != nil {
+				r.metrics.trainSeconds.Observe(time.Since(trainStart).Seconds())
+			}
 			contrib, weight, up := r.manager.PrepareUpload(round, r.x)
 			payload := contrib
 			if r.hasCodec {
@@ -295,11 +332,14 @@ func (r *clientRun) session(ctx context.Context) error {
 				MaskHash: hash,
 			}
 			r.res.UpBytes += up
+			if r.metrics != nil {
+				r.metrics.upBytes.Add(up)
+			}
 		}
-		if err := writeMsg(conn, r.cfg.IOTimeout, r.inflight); err != nil {
+		if err := writeMsg(conn, r.cfg.IOTimeout, r.inflight, r.wireM); err != nil {
 			return fmt.Errorf("transport: round %d push: %w", round, err)
 		}
-		m, err := readMsg(conn, r.cfg.IOTimeout, modelPayloadLimit(r.dim))
+		m, err := readMsg(conn, r.cfg.IOTimeout, modelPayloadLimit(r.dim), r.wireM)
 		if err != nil {
 			return fmt.Errorf("transport: round %d pull: %w", round, err)
 		}
@@ -311,6 +351,9 @@ func (r *clientRun) session(ctx context.Context) error {
 			return err
 		}
 		r.inflight = nil
+		if r.metrics != nil {
+			r.metrics.roundSeconds.Observe(time.Since(roundStart).Seconds())
+		}
 	}
 	return nil
 }
@@ -328,6 +371,10 @@ func (r *clientRun) acceptWelcome(w *WelcomeMsg) error {
 			return protocolErrorf("server restarted the session instead of resuming it")
 		}
 		r.res.Reconnects++
+		if r.metrics != nil {
+			r.metrics.reconnects.Inc()
+		}
+		r.log.Info("session resumed", "client", r.res.ClientID, "have_round", r.applied)
 		return nil
 	}
 
@@ -351,7 +398,11 @@ func (r *clientRun) acceptWelcome(w *WelcomeMsg) error {
 	r.res.Rounds = w.Rounds
 	if w.Resumed {
 		r.res.Reconnects++
+		if r.metrics != nil {
+			r.metrics.reconnects.Inc()
+		}
 	}
+	r.log.Info("joined cluster", "client", w.ClientID, "rounds", w.Rounds, "dim", w.Dim)
 	return nil
 }
 
@@ -384,9 +435,15 @@ func (r *clientRun) applyGlobal(g *GlobalMsg) error {
 		}
 		dense = r.codec.ExpandDownload(g.Round, g.Payload)
 	}
-	r.res.DownBytes += r.manager.ApplyDownload(g.Round, r.x, dense)
+	down := r.manager.ApplyDownload(g.Round, r.x, dense)
+	r.res.DownBytes += down
 	nn.SetFlat(r.params, r.x)
 	r.applied = g.Round
+	if r.metrics != nil {
+		r.metrics.rounds.Inc()
+		r.metrics.round.Set(float64(g.Round))
+		r.metrics.downBytes.Add(down)
+	}
 	if r.cfg.OnRound != nil {
 		r.cfg.OnRound(g.Round, r.x)
 	}

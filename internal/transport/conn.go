@@ -25,28 +25,44 @@ const (
 func modelPayloadLimit(dim int) int { return dim*8 + modelPayloadSlack }
 
 // readMsg reads one framed message with the connection's I/O deadline and
-// the given payload limit.
-func readMsg(c net.Conn, timeout time.Duration, limit int) (wire.Msg, error) {
+// the given payload limit, accounting the frame (or the decode failure)
+// to wm when instrumentation is attached.
+func readMsg(c net.Conn, timeout time.Duration, limit int, wm *wireMetrics) (wire.Msg, error) {
 	if err := c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, err
 	}
-	return wire.ReadMsg(c, limit)
+	if wm == nil {
+		return wire.ReadMsg(c, limit)
+	}
+	// The metered wrapper measures exactly this call's bytes; the
+	// connection's own counters mix in concurrent writer traffic.
+	mr := meteredReader{r: c}
+	m, err := wire.ReadMsg(&mr, limit)
+	if err != nil {
+		wm.recordReadErr(err)
+		return nil, err
+	}
+	wm.recordFrame(dirIn, m.WireKind(), mr.n)
+	return m, nil
 }
 
-// writeFrame writes one pre-encoded frame with the connection's I/O
-// deadline. The frame goes out in a single Write, so concurrent writers
-// never interleave partial frames and a torn-write fault tears at most
-// one message.
-func writeFrame(c net.Conn, timeout time.Duration, frame []byte) error {
+// writeFrame writes one pre-encoded frame of the given kind with the
+// connection's I/O deadline. The frame goes out in a single Write, so
+// concurrent writers never interleave partial frames and a torn-write
+// fault tears at most one message.
+func writeFrame(c net.Conn, timeout time.Duration, frame []byte, wm *wireMetrics, kind wire.Kind) error {
 	if err := c.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 		return err
 	}
 	_, err := c.Write(frame)
+	if err == nil {
+		wm.recordFrame(dirOut, kind, len(frame))
+	}
 	return err
 }
 
 // writeMsg frames and writes one message with the connection's I/O
 // deadline.
-func writeMsg(c net.Conn, timeout time.Duration, m wire.Msg) error {
-	return writeFrame(c, timeout, wire.Encode(m))
+func writeMsg(c net.Conn, timeout time.Duration, m wire.Msg, wm *wireMetrics) error {
+	return writeFrame(c, timeout, wire.Encode(m), wm, m.WireKind())
 }

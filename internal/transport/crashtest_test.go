@@ -3,10 +3,13 @@ package transport
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -61,11 +64,13 @@ func TestCrashRealSIGKILL(t *testing.T) {
 		defer cancel()
 
 		addr := freeAddr(t)
+		maddr := freeAddr(t)
 		dir := t.TempDir()
 		args := []string{
 			"-addr", addr, "-clients", fmt.Sprint(clients), "-rounds", fmt.Sprint(rounds),
 			"-model", model, "-seed", fmt.Sprint(seed),
 			"-deadline", "5s", "-checkpoint-dir", dir, "-snapshot-every", "3",
+			"-metrics-addr", maddr, "-log-level", "info",
 		}
 		srvArgs := args
 		if killRound >= 0 {
@@ -78,6 +83,16 @@ func TestCrashRealSIGKILL(t *testing.T) {
 		}
 		srvDone := make(chan error, 1)
 		go func() { srvDone <- srv.Wait() }()
+
+		// The observability endpoint serves from process start: metrics,
+		// health, and the pprof index must all answer before any round
+		// completes (and, in the crash arm, before the SIGKILL fires).
+		pollHTTP(t, name+" pre-crash", "http://"+maddr+"/metrics", "apf_round")
+		for _, path := range []string{"/healthz", "/debug/pprof/"} {
+			if _, err := httpGetBody("http://" + maddr + path); err != nil {
+				t.Errorf("%s: %s unreachable: %v", name, path, err)
+			}
+		}
 
 		results := make([]*ClientResult, clients)
 		errs := make([]error, clients)
@@ -126,6 +141,22 @@ func TestCrashRealSIGKILL(t *testing.T) {
 			}
 			srvDone = make(chan error, 1)
 			go func() { srvDone <- srv2.Wait() }()
+
+			// Post-recovery observability: the restarted process reports
+			// the recovery in its counters and health, and its update
+			// accounting stays internally consistent mid-run.
+			body := pollHTTP(t, name+" post-recovery", "http://"+maddr+"/metrics", "apf_recoveries_total 1")
+			m := parseMetricsText(t, body)
+			recv, acc, rej, stale := updateCounts(m)
+			if acc+rej+stale > recv {
+				t.Errorf("%s: classified %v+%v+%v updates but only %v received",
+					name, acc, rej, stale, recv)
+			}
+			if hz, err := httpGetBody("http://" + maddr + "/healthz"); err != nil {
+				t.Errorf("%s: /healthz after recovery: %v", name, err)
+			} else if !strings.Contains(hz, `"recovered":true`) {
+				t.Errorf("%s: /healthz does not report the recovery: %s", name, hz)
+			}
 		}
 
 		wg.Wait()
@@ -160,6 +191,47 @@ func TestCrashRealSIGKILL(t *testing.T) {
 				killRound, diffs, len(clean))
 		}
 	}
+}
+
+// httpGetBody fetches url with a short timeout and returns the body of a
+// 200 response.
+func httpGetBody(url string) (string, error) {
+	c := http.Client{Timeout: 2 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// pollHTTP polls url until its body contains want (the target process may
+// still be binding its listener), failing the test after 30 seconds.
+func pollHTTP(t *testing.T, label, url, want string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		body, err := httpGetBody(url)
+		if err == nil && strings.Contains(body, want) {
+			return body
+		}
+		if err == nil {
+			lastErr = fmt.Errorf("body does not contain %q", want)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s: %s never served %q: %v", label, url, want, lastErr)
+	return ""
 }
 
 // freeAddr reserves a loopback port and releases it for the server

@@ -53,6 +53,10 @@ type roundEngine struct {
 	validator  *Validator // nil disables sanitization
 	events     <-chan event
 	sink       roundSink
+	// metrics instruments update classification and phase timings; nil
+	// (the default for in-process engine tests) disables it entirely,
+	// including the clock reads.
+	metrics *engineMetrics
 }
 
 // faultTolerant reports whether partial aggregation is enabled.
@@ -79,6 +83,10 @@ func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, h
 	}
 
 	for round := startRound; round < e.rounds; round++ {
+		var roundStart time.Time
+		if e.metrics != nil {
+			roundStart = time.Now()
+		}
 		e.sink.markRound(round)
 
 		for i := range received {
@@ -90,6 +98,11 @@ func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, h
 			agg.Discard()
 			return nil, err
 		}
+		var reduceStart time.Time
+		if e.metrics != nil {
+			e.metrics.collectSeconds.Observe(time.Since(roundStart).Seconds())
+			reduceStart = time.Now()
+		}
 		if err := checkUpdates(round, received); err != nil {
 			return nil, fmt.Errorf("transport: %w", err)
 		}
@@ -99,9 +112,18 @@ func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, h
 			return nil, protocolErrorf("round %d: all contributions withheld (total weight 0)", round)
 		}
 
+		var commitStart time.Time
+		if e.metrics != nil {
+			e.metrics.reduceSeconds.Observe(time.Since(reduceStart).Seconds())
+			commitStart = time.Now()
+		}
 		msg := GlobalMsg{Round: round, Payload: out, Participants: count}
 		if err := e.sink.commitRound(&msg, count < n); err != nil {
 			return nil, err
+		}
+		if e.metrics != nil {
+			e.metrics.commitSeconds.Observe(time.Since(commitStart).Seconds())
+			e.metrics.roundSeconds.Observe(time.Since(roundStart).Seconds())
 		}
 		// A full-length aggregate is the new dense global; compact
 		// (mask-elided) aggregates only update the transmitted positions
@@ -168,7 +190,15 @@ func (e *roundEngine) collect(ctx context.Context, round int, received []*Update
 					round, ev.id, ev.name, ev.err)
 			}
 			u := ev.upd
+			// received counts before classification; the accepted/
+			// rejected/stale split below sums to it at quiescence.
+			if e.metrics != nil {
+				e.metrics.received.Inc()
+			}
 			if u.Round < round {
+				if e.metrics != nil {
+					e.metrics.stale.Inc()
+				}
 				continue // stale re-send of an already-aggregated round
 			}
 			if u.Round > round {
@@ -176,7 +206,12 @@ func (e *roundEngine) collect(ctx context.Context, round int, received []*Update
 					ev.id, u.Round, round)
 			}
 			if received[ev.id] != nil {
-				continue // idempotent duplicate (reconnect re-send)
+				// An idempotent duplicate (reconnect re-send) is a stale
+				// copy of an already-counted update.
+				if e.metrics != nil {
+					e.metrics.stale.Inc()
+				}
+				continue
 			}
 			if err := e.admit(ev.id, round, u, agg); err != nil {
 				if !e.faultTolerant() {
@@ -184,11 +219,17 @@ func (e *roundEngine) collect(ctx context.Context, round int, received []*Update
 					// client, so a poisoned update aborts the run.
 					return 0, fmt.Errorf("transport: round %d: %w", round, err)
 				}
+				if e.metrics != nil {
+					e.metrics.rejected.Inc()
+				}
 				e.sink.rejectUpdate(ev.id, round, err)
 				continue
 			}
 			received[ev.id] = u
 			count++
+			if e.metrics != nil {
+				e.metrics.accepted.Inc()
+			}
 			if err := e.sink.logUpdate(ev.id, u); err != nil {
 				return 0, err
 			}

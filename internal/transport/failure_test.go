@@ -29,14 +29,14 @@ func dialRaw(t *testing.T, addr string) *rawPeer {
 
 func (p *rawPeer) send(m wire.Msg) {
 	p.t.Helper()
-	if err := writeMsg(p.conn, 5*time.Second, m); err != nil {
+	if err := writeMsg(p.conn, 5*time.Second, m, nil); err != nil {
 		p.t.Fatal(err)
 	}
 }
 
 func (p *rawPeer) recv() wire.Msg {
 	p.t.Helper()
-	m, err := readMsg(p.conn, 5*time.Second, wire.MaxPayload)
+	m, err := readMsg(p.conn, 5*time.Second, wire.MaxPayload, nil)
 	if err != nil {
 		p.t.Fatal(err)
 	}

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"apf/internal/checkpoint"
+	"apf/internal/telemetry"
+	"apf/internal/telemetry/hooks"
 	"apf/internal/wire"
 )
 
@@ -57,6 +59,14 @@ type ServerConfig struct {
 	// outliers are rejected with typed errors, repeat offenders are
 	// quarantined. Clients and Dim are filled from the server config.
 	Validator *ValidatorConfig
+	// Metrics, when non-nil, receives runtime metrics from every layer of
+	// the server (rounds, updates, wire traffic, durability, validation).
+	// Nil keeps the server metric-free at the cost of one branch per
+	// record site.
+	Metrics *telemetry.Registry
+	// Log, when non-nil, receives structured events (round commits,
+	// rejections, resumes, recovery). Nil keeps the server silent.
+	Log *telemetry.Logger
 }
 
 // maxQueuedFrames bounds a session's outbound frame queue. A client that
@@ -90,6 +100,12 @@ type Server struct {
 	startRound int
 	recovered  bool
 	validator  *Validator
+
+	// metrics/wireM/log are nil-safe instrumentation handles (no-ops
+	// unless ServerConfig injected a registry or logger).
+	metrics *serverMetrics
+	wireM   *wireMetrics
+	log     *telemetry.Logger
 
 	mu            sync.Mutex
 	round         int         // round currently being collected
@@ -174,6 +190,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		regReady: make(chan struct{}),
 		byKey:    make(map[string]*session),
 		conns:    make(map[*countingConn]struct{}),
+		metrics:  newServerMetrics(cfg.Metrics),
+		wireM:    newWireMetrics(cfg.Metrics),
+		log:      cfg.Log.With("component", "server"),
 	}
 	if cfg.Validator != nil {
 		vcfg := *cfg.Validator
@@ -201,6 +220,9 @@ func (s *Server) openStore() error {
 	if err != nil {
 		return err
 	}
+	// Attach durability instrumentation before recovery so the recovery
+	// Load itself is observed.
+	store.SetObserver(hooks.Store(s.cfg.Metrics, s.cfg.Log))
 	st, err := recoverState(store)
 	if err != nil {
 		store.Close()
@@ -239,6 +261,14 @@ func (s *Server) openStore() error {
 	s.round = s.startRound
 	s.regDone = true
 	close(s.regReady)
+	if s.metrics != nil {
+		s.metrics.recoveries.Inc()
+		s.metrics.recoveredRound.Set(float64(s.startRound))
+		s.metrics.committedRounds.Set(float64(len(s.history)))
+	}
+	s.log.Info("run recovered from checkpoint",
+		"start_round", s.startRound, "sessions", len(s.sessions),
+		"partial_rounds", s.partialRounds)
 	return nil
 }
 
@@ -312,24 +342,48 @@ func (s *Server) StartRound() int { return s.startRound }
 // the recovered history is still empty.
 func (s *Server) Recovered() bool { return s.recovered }
 
+// Round returns the round currently being collected. Safe to call while
+// the server runs (the /healthz endpoint does).
+func (s *Server) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// CommittedRounds returns how many rounds have been durably committed
+// (the aggregate history length). Safe to call while the server runs.
+func (s *Server) CommittedRounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.history)
+}
+
 // track registers a live connection for byte accounting.
 func (s *Server) track(cc *countingConn) {
 	s.mu.Lock()
 	s.conns[cc] = struct{}{}
 	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.connsTotal.Inc()
+		s.metrics.connsActive.Add(1)
+	}
 }
 
 // absorb folds a connection's byte counts into the server totals exactly
 // once and closes it.
 func (s *Server) absorb(cc *countingConn) {
 	s.mu.Lock()
-	if _, live := s.conns[cc]; live {
+	_, live := s.conns[cc]
+	if live {
 		delete(s.conns, cc)
 		r, w := cc.Counts()
 		s.bytesRead += r
 		s.bytesSent += w
 	}
 	s.mu.Unlock()
+	if live && s.metrics != nil {
+		s.metrics.connsActive.Add(-1)
+	}
 	closeQuietly(cc)
 }
 
@@ -345,6 +399,10 @@ func (s *Server) detach(sess *session, gen int) {
 	sess.conn = nil
 	sess.cond.Broadcast()
 	sess.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.writerDetaches.Inc()
+	}
+	s.log.Warn("session detached", "client", sess.id, "name", sess.name)
 	s.absorb(cc)
 }
 
@@ -433,6 +491,7 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		validator:  s.validator,
 		events:     s.events,
 		sink:       s,
+		metrics:    newEngineMetrics(s.cfg.Metrics),
 	}
 	s.mu.Lock()
 	history := append([]GlobalMsg(nil), s.history...)
@@ -457,6 +516,10 @@ func (s *Server) markRound(round int) {
 	s.round = round
 	sessions := append([]*session(nil), s.sessions...)
 	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.round.Set(float64(round))
+	}
+	s.log.Debug("collecting round", "round", round)
 	for _, sess := range sessions {
 		sess.mu.Lock()
 		if sess.conn != nil {
@@ -480,6 +543,13 @@ func (s *Server) rejectUpdate(id, round int, err error) {
 	s.mu.Lock()
 	s.rejected++
 	s.mu.Unlock()
+	s.metrics.recordRejection(err)
+	if s.metrics != nil && s.validator != nil {
+		// The validator is owned by the round loop, which is the only
+		// caller here, so the read is race-free.
+		s.metrics.quarantined.Set(float64(s.validator.QuarantinedCount()))
+	}
+	s.log.Warn("update rejected", "client", id, "round", round, "err", err)
 }
 
 // commitRound implements roundSink. Commit before broadcast: once any
@@ -503,7 +573,17 @@ func (s *Server) commitRound(g *GlobalMsg, partial bool) error {
 	}
 	sessions := append([]*session(nil), s.sessions...)
 	frames := s.frames
+	committed := len(s.history)
 	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.roundsTotal.Inc()
+		s.metrics.committedRounds.Set(float64(committed))
+		if partial {
+			s.metrics.partialRounds.Inc()
+		}
+	}
+	s.log.Info("round committed",
+		"round", g.Round, "participants", g.Participants, "partial", partial)
 	if s.store != nil && (g.Round+1)%s.cfg.SnapshotEvery == 0 {
 		if err := s.store.WriteSnapshot(g.Round+1, kindServerSnap, encodeServerState(s.snapshotState())); err != nil {
 			return err
@@ -544,6 +624,9 @@ func (s *Server) enqueueGlobals(sess *session, round int, frames [][]byte) {
 		}
 		sess.queue = append(sess.queue, frames[r])
 		sess.sent = r + 1
+		if s.metrics != nil {
+			s.metrics.queueFrames.Add(1)
+		}
 	}
 	sess.cond.Broadcast()
 	sess.mu.Unlock()
@@ -567,8 +650,11 @@ func (s *Server) writer(sess *session, gen int) {
 		sess.inflight = true
 		cc := sess.conn
 		sess.mu.Unlock()
+		if s.metrics != nil {
+			s.metrics.queueFrames.Add(-1)
+		}
 
-		err := writeFrame(cc, s.cfg.IOTimeout, frame)
+		err := writeFrame(cc, s.cfg.IOTimeout, frame, s.wireM, wire.KindGlobal)
 
 		sess.mu.Lock()
 		sess.inflight = false
@@ -637,7 +723,7 @@ func (s *Server) acceptLoop() {
 		}
 		cc := &countingConn{Conn: conn}
 		s.track(cc)
-		m, err := readMsg(cc, s.cfg.IOTimeout, joinPayloadLimit)
+		m, err := readMsg(cc, s.cfg.IOTimeout, joinPayloadLimit, s.wireM)
 		join, ok := m.(*JoinMsg)
 		if err == nil && !ok {
 			err = protocolErrorf("expected a join frame, got %s", m.WireKind())
@@ -746,12 +832,20 @@ func (s *Server) resume(sess *session, cc *countingConn, join *JoinMsg) {
 	gen := sess.gen
 	sess.conn = cc
 	sess.sent = done
+	dropped := len(sess.queue)
 	sess.queue = nil
 	sess.inflight = false
 	sess.sendErr = nil
 	sess.cond.Broadcast() // release the old connection's writer
 	sess.mu.Unlock()
 	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.resumes.Inc()
+		s.metrics.replayedGlobals.Add(int64(len(missed)))
+		s.metrics.queueFrames.Add(float64(-dropped))
+	}
+	s.log.Info("session resumed", "client", sess.id, "name", sess.name,
+		"have_round", join.HaveRound, "replayed", len(missed))
 	if old != nil {
 		s.absorb(old)
 	}
@@ -775,7 +869,7 @@ func (s *Server) sendWelcome(sess *session, gen int, w *WelcomeMsg) error {
 		return fmt.Errorf("connection replaced")
 	}
 	sess.mu.Unlock()
-	return writeMsg(cc, s.cfg.IOTimeout, w)
+	return writeMsg(cc, s.cfg.IOTimeout, w, s.wireM)
 }
 
 // reader decodes one connection's updates into the event stream until the
@@ -784,7 +878,7 @@ func (s *Server) sendWelcome(sess *session, gen int, w *WelcomeMsg) error {
 func (s *Server) reader(sess *session, gen int, cc *countingConn) {
 	limit := modelPayloadLimit(len(s.cfg.Init))
 	for {
-		m, err := readMsg(cc, s.cfg.IOTimeout, limit)
+		m, err := readMsg(cc, s.cfg.IOTimeout, limit, s.wireM)
 		if err == nil {
 			if u, ok := m.(*UpdateMsg); ok {
 				s.post(event{id: sess.id, name: sess.name, upd: u})

@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"apf/internal/chaos"
+	"apf/internal/data"
+	"apf/internal/fl"
+	"apf/internal/nn"
+	"apf/internal/stats"
+	"apf/internal/telemetry"
+)
+
+// parseMetricsText parses Prometheus text exposition into a map of
+// "name{labels}" → value (comment lines skipped).
+func parseMetricsText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// updateCounts extracts the engine's update-classification counters.
+func updateCounts(m map[string]float64) (received, accepted, rejected, stale float64) {
+	return m["apf_updates_received_total"],
+		m[`apf_updates_total{result="accepted"}`],
+		m[`apf_updates_total{result="rejected"}`],
+		m[`apf_updates_total{result="stale"}`]
+}
+
+// TestMetricsConsistencyUnderChaosScrape runs a fault-injected cluster
+// while hammering the live /metrics endpoint from a concurrent scraper,
+// checking on every scrape that the counter identities hold mid-flight:
+// classification never exceeds reception, and counters never move
+// backwards. Under -race this also proves the record and exposition paths
+// are data-race free against the full transport stack.
+func TestMetricsConsistencyUnderChaosScrape(t *testing.T) {
+	reg := telemetry.New()
+	creg := telemetry.New()
+
+	ts := httptest.NewServer(telemetry.Handler(reg, nil))
+	defer ts.Close()
+
+	var (
+		scrapeWG  sync.WaitGroup
+		stop      = make(chan struct{})
+		mu        sync.Mutex
+		scrapes   int
+		anomalies []string
+	)
+	last := make(map[string]float64)
+	scrape := func() {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			mu.Lock()
+			anomalies = append(anomalies, fmt.Sprintf("scrape failed: %v", err))
+			mu.Unlock()
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			mu.Lock()
+			anomalies = append(anomalies, fmt.Sprintf("scrape status %d err %v", resp.StatusCode, err))
+			mu.Unlock()
+			return
+		}
+		m := parseMetricsText(t, string(body))
+		mu.Lock()
+		defer mu.Unlock()
+		scrapes++
+		recv, acc, rej, st := updateCounts(m)
+		if acc+rej+st > recv {
+			anomalies = append(anomalies, fmt.Sprintf(
+				"classified %v+%v+%v updates but only %v received", acc, rej, st, recv))
+		}
+		for k, v := range m {
+			if !strings.Contains(k, "_total") {
+				continue // gauges may move either way
+			}
+			if prev, ok := last[k]; ok && v < prev {
+				anomalies = append(anomalies, fmt.Sprintf("%s went backwards: %v -> %v", k, prev, v))
+			}
+			last[k] = v
+		}
+	}
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				scrape()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+
+	const rounds = 10
+	o := chaosOpts{
+		clients: 3, rounds: rounds, deadline: 5 * time.Second, retries: 8,
+		metrics: reg, cmetrics: creg,
+		clientScript: chaos.NewScript(7,
+			chaos.Fault{Peer: "shard-1", Round: 3, Kind: chaos.Sever},
+			chaos.Fault{Peer: "shard-2", Round: 6, Kind: chaos.Sever},
+		),
+	}
+	results, _, _ := runChaosCluster(t, apfChaosFactory, o)
+
+	close(stop)
+	scrapeWG.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, a := range anomalies {
+		t.Error(a)
+	}
+	if scrapes == 0 {
+		t.Fatal("the scraper never completed a scrape")
+	}
+	t.Logf("%d concurrent scrapes, 0 anomalies", scrapes)
+
+	// Quiescence: every received update has been classified, exactly once.
+	final := reg.Snapshot()
+	recv := final["apf_updates_received_total"]
+	acc := final[`apf_updates_total{result="accepted"}`]
+	rej := final[`apf_updates_total{result="rejected"}`]
+	st := final[`apf_updates_total{result="stale"}`]
+	if acc+rej+st != recv {
+		t.Errorf("update classification does not sum up: %v+%v+%v != %v", acc, rej, st, recv)
+	}
+	if want := float64(o.clients * rounds); acc < want {
+		t.Errorf("accepted %v updates, want at least %v", acc, want)
+	}
+	if got := final["apf_rounds_committed_total"]; got != rounds {
+		t.Errorf("apf_rounds_committed_total = %v, want %v", got, rounds)
+	}
+	if got := final["apf_committed_rounds"]; got != rounds {
+		t.Errorf("apf_committed_rounds = %v, want %v", got, rounds)
+	}
+	if got := final["apf_connections_total"]; got < 3 {
+		t.Errorf("apf_connections_total = %v, want >= 3", got)
+	}
+	if got := final["apf_sessions_resumed_total"]; got < 2 {
+		t.Errorf("apf_sessions_resumed_total = %v, want >= 2 (both severed clients resumed)", got)
+	}
+	// Wire accounting saw every accepted update frame at least once, in
+	// both directions (updates in, globals out).
+	if got := final[`apf_wire_frames_total{kind="update",dir="in"}`]; got < recv {
+		t.Errorf("inbound update frames %v < received updates %v", got, recv)
+	}
+	if got := final[`apf_wire_bytes_total{kind="global",dir="out"}`]; got <= 0 {
+		t.Errorf("no outbound global bytes accounted")
+	}
+
+	// Client-side counters (shared registry across the 3 clients).
+	cfinal := creg.Snapshot()
+	if got := cfinal["apf_client_rounds_total"]; got < float64(o.clients*rounds) {
+		t.Errorf("apf_client_rounds_total = %v, want >= %v", got, o.clients*rounds)
+	}
+	recon := 0
+	for _, r := range results {
+		recon += r.Reconnects
+	}
+	if got := cfinal["apf_client_reconnects_total"]; got != float64(recon) {
+		t.Errorf("apf_client_reconnects_total = %v, want %v (sum of client results)", got, recon)
+	}
+	if got := cfinal[`apf_client_payload_bytes_total{dir="up"}`]; got <= 0 {
+		t.Error("no client upload payload bytes accounted")
+	}
+}
+
+// TestRecoveryMetrics restarts a durable server under a live registry and
+// asserts the recovery surfaces as metrics: the recovery counter, the
+// resume round, and the restored history length.
+func TestRecoveryMetrics(t *testing.T) {
+	const clients, rounds = 2, 6
+	dir := t.TempDir()
+	ds := data.SynthImages(data.ImageConfig{Classes: 3, Channels: 1, Size: 6, Samples: 60, NoiseStd: 0.5, Seed: 5})
+	parts := data.PartitionIID(stats.SplitRNG(5, 50), ds.Len(), clients)
+	init := nn.FlattenParams(tinyModel(stats.SplitRNG(5, 99)).Params(), nil)
+
+	run := func(reg *telemetry.Registry) {
+		srv, err := NewServer(ServerConfig{
+			Addr:          "127.0.0.1:0",
+			NumClients:    clients,
+			Rounds:        rounds,
+			Init:          init,
+			CheckpointDir: dir,
+			SnapshotEvery: 4,
+			Metrics:       reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		serverErr := make(chan error, 1)
+		go func() {
+			_, err := srv.Run(ctx)
+			serverErr <- err
+		}()
+		if srv.Recovered() {
+			// Recovery happened before Run: the gauges already reflect it.
+			snap := reg.Snapshot()
+			if got := snap["apf_recoveries_total"]; got != 1 {
+				t.Errorf("apf_recoveries_total = %v, want 1", got)
+			}
+			if got := snap["apf_recovered_round"]; got != float64(srv.StartRound()) {
+				t.Errorf("apf_recovered_round = %v, want %v", got, srv.StartRound())
+			}
+			if got := snap["apf_committed_rounds"]; got != float64(srv.CommittedRounds()) {
+				t.Errorf("apf_committed_rounds = %v, want %v", got, srv.CommittedRounds())
+			}
+		} else {
+			var wg sync.WaitGroup
+			errs := make([]error, clients)
+			for i := 0; i < clients; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, errs[i] = RunClient(ctx, ClientConfig{
+						Addr: srv.Addr().String(), Name: "c", SessionKey: fmt.Sprintf("c%d", i),
+						Model: tinyModel, Optimizer: tinySGD,
+						Manager: func(clientID, dim int) fl.SyncManager { return fl.NewPassthroughManager(4) },
+						Data:    ds, Indices: parts[i], LocalIters: 2, BatchSize: 10, Seed: 5,
+					})
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("client %d: %v", i, err)
+				}
+			}
+		}
+		if err := <-serverErr; err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	}
+
+	// First run: fresh start, no recovery metrics.
+	reg1 := telemetry.New()
+	run(reg1)
+	if got := reg1.Snapshot()["apf_recoveries_total"]; got != 0 {
+		t.Errorf("fresh start reported %v recoveries, want 0", got)
+	}
+
+	// Second run against the same checkpoint dir: a recovery, visible
+	// before the first client connects.
+	run(telemetry.New())
+}
