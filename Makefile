@@ -24,6 +24,7 @@ race:
 # the checked-in corpus (go only runs one -fuzz target per invocation).
 fuzz:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime 10s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzSparseDecode$$' -fuzztime 10s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzServerDecode$$' -fuzztime 10s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzClientDecode$$' -fuzztime 10s
 	$(GO) test ./internal/checkpoint/ -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime 10s
@@ -43,7 +44,10 @@ bench:
 hotpath:
 	$(GO) run ./cmd/apfbench -hotpath BENCH_hotpath.json
 
-# Regenerate the tracked gob-vs-wire broadcast report.
+# Regenerate the tracked gob-vs-wire broadcast report, including the
+# sparse-codec arm across frozen fractions. The run itself enforces the
+# regression gate: at frozen_frac 0.95 the lossless sparse reduction must
+# stay within 5% of the geometric ideal 20x, or the target fails.
 wirebench:
 	$(GO) run ./cmd/apfbench -wire BENCH_wire.json
 

@@ -24,6 +24,7 @@ import (
 	"apf/internal/preset"
 	"apf/internal/telemetry"
 	"apf/internal/transport"
+	"apf/internal/wire"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func run(args []string) error {
 		ckptDir    = fs.String("checkpoint-dir", "", "directory for the durable snapshot + WAL; a restarted server resumes from it bit-exactly (empty = not durable)")
 		snapEvery  = fs.Int("snapshot-every", 5, "rotate the checkpoint snapshot every K committed rounds")
 		maxNorm    = fs.Float64("max-norm-mult", 0, "enable update sanitization, rejecting updates whose L2 norm exceeds this multiple of the recent median (0 = off)")
+		codec      = fs.String("codec", "dense", "strongest payload codec to offer sessions: dense | sparse | sparse-q16 (each client negotiates down to what it supports)")
 		chaosSpec  = fs.String("chaos", "", "fault-injection script, e.g. 'accept:1/sever-write@5;kill-server@7' (testing)")
 		chaosSeed  = fs.Int64("chaos-seed", 1, "seed for randomized chaos choices")
 
@@ -116,6 +118,10 @@ func run(args []string) error {
 	if *maxNorm > 0 {
 		validator = &transport.ValidatorConfig{MaxNormMult: *maxNorm}
 	}
+	maxCodec, err := wire.ParseCodec(*codec)
+	if err != nil {
+		return fmt.Errorf("-codec: %w", err)
+	}
 	srv, err := transport.NewServer(transport.ServerConfig{
 		Addr:          *addr,
 		Listener:      ln,
@@ -128,6 +134,7 @@ func run(args []string) error {
 		CheckpointDir: *ckptDir,
 		SnapshotEvery: *snapEvery,
 		Validator:     validator,
+		Codec:         maxCodec,
 		Metrics:       reg,
 		Log:           logger,
 	})

@@ -78,7 +78,13 @@ func (m *TopK) PrepareUpload(_ int, x []float64) ([]float64, float64, int64) {
 		if ub < 0 {
 			ub = -ub
 		}
-		return ua > ub
+		if ua != ub {
+			return ua > ub
+		}
+		// Equal magnitudes tie-break by index: sort.Slice is unstable, and
+		// an arbitrary tie selection would make the pushed set (and with it
+		// every seeded baseline experiment) nondeterministic.
+		return order[a] < order[b]
 	})
 
 	contrib := append([]float64(nil), m.lastGlobal...)

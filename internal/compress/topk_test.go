@@ -196,3 +196,71 @@ func TestStochasticQuantizerZeroVector(t *testing.T) {
 		t.Error("zero vector must pass through with scale 0")
 	}
 }
+
+// TestTopKTieBreakDeterministic pins the tie-break contract: when update
+// magnitudes tie, the k lowest indices win. With an unstable magnitude-only
+// comparator the selection among ties is arbitrary (and changes with the
+// sort implementation), breaking seeded bit-exact reproducibility; this
+// test fails on that pre-fix comparator.
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	// Magnitude-2 components scattered through magnitude-1 filler: the
+	// input is far from sorted, so the sort really partitions, and the 2s
+	// form one large tie group. With fraction 1/6 only 2s are selected,
+	// and the contract says the lowest-indexed ones win.
+	const dim = 256
+	m := NewTopK(dim, 1.0/6, 8)
+	zero := make([]float64, dim)
+	m.PostIterate(0, zero) // reference model = 0
+
+	x := make([]float64, dim)
+	for j := range x {
+		x[j] = 1
+		if j%3 == 2 {
+			x[j] = 2
+		}
+	}
+	contrib, _, _ := m.PrepareUpload(0, x)
+	k := dim / 6 // 42 slots for 85 tied 2s
+	var got, want []int
+	for j := 0; j < dim; j++ {
+		if contrib[j] != 0 {
+			got = append(got, j)
+		}
+	}
+	for n := 0; n < k; n++ {
+		want = append(want, 2+3*n) // the k lowest-indexed 2s
+	}
+	if len(got) != len(want) {
+		t.Fatalf("selected %d components, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie selection not index-ordered: got %v..., want %v...", got[:i+1], want[:i+1])
+		}
+	}
+
+	// Mixed magnitudes with a tie group: the two 5s win outright, the
+	// remaining two slots go to the lowest-indexed 1s.
+	m2 := NewTopK(8, 0.5, 8)
+	m2.PostIterate(0, make([]float64, 8))
+	x2 := []float64{5, 1, 1, -1, 1, 1, 1, -5}
+	contrib2, _, _ := m2.PrepareUpload(0, x2)
+	want2 := []float64{5, 1, 1, 0, 0, 0, 0, -5}
+	for j := range want2 {
+		if contrib2[j] != want2[j] {
+			t.Fatalf("mixed-ties selection: contrib = %v, want %v", contrib2, want2)
+		}
+	}
+
+	// Two identical fresh instances must make identical selections.
+	a, b := NewTopK(dim, 0.1, 8), NewTopK(dim, 0.1, 8)
+	a.PostIterate(0, zero)
+	b.PostIterate(0, zero)
+	ca, _, _ := a.PrepareUpload(0, x)
+	cb, _, _ := b.PrepareUpload(0, x)
+	for j := range ca {
+		if ca[j] != cb[j] {
+			t.Fatalf("identical instances diverged at component %d", j)
+		}
+	}
+}

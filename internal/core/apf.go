@@ -504,6 +504,13 @@ func (m *Manager) Threshold() float64 { return m.threshold }
 // Checks returns how many stability checks have run.
 func (m *Manager) Checks() int { return m.checkCount }
 
+// MaskGeneration returns the freezing mask's generation: the number of
+// stability checks that have shaped it. Two deterministic replicas hold
+// the same mask exactly when their generations and mask words agree, so
+// transports ship the generation as a cheap divergence tripwire alongside
+// the mask hash (fl.MaskGenerationReporter).
+func (m *Manager) MaskGeneration() int { return m.checkCount }
+
 // checkDim panics when a vector of the wrong length reaches the manager.
 func (m *Manager) checkDim(x []float64) {
 	if len(x) != m.cfg.Dim {

@@ -85,6 +85,16 @@ type MaskReporter interface {
 	MaskWords() []uint64
 }
 
+// MaskGenerationReporter is implemented by managers that version their
+// freezing mask (core.Manager counts stability checks). Transports attach
+// the generation to sparse updates so the server can trip on divergent
+// mask histories before positional aggregation, and echo it on sparse
+// globals so clients verify they expand against the intended mask.
+type MaskGenerationReporter interface {
+	// MaskGeneration returns the mask's generation (≥ 0).
+	MaskGeneration() int
+}
+
 // ModelFactory builds one model replica. The engine seeds every replica
 // with the same initial parameter vector regardless of the factory's rng.
 type ModelFactory func(rng *rand.Rand) *nn.Network

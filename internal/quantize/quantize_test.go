@@ -161,3 +161,69 @@ func FuzzHalfValue(f *testing.F) {
 		}
 	})
 }
+
+// TestExhaustiveHalfRoundTrip drives every one of the 65536 binary16 bit
+// patterns through decode→encode. Non-NaN patterns must survive exactly;
+// NaN payloads canonicalize to the quiet NaN of their sign.
+func TestExhaustiveHalfRoundTrip(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		h := uint16(i)
+		v := HalfToFloat64(h)
+		back := Float64ToHalf(v)
+		if math.IsNaN(v) {
+			if want := h&0x8000 | 0x7e00; back != want {
+				t.Fatalf("NaN %#04x re-encoded as %#04x, want %#04x", h, back, want)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("half %#04x -> %v -> %#04x", h, v, back)
+		}
+	}
+}
+
+// TestDirectRoundingBoundaries pins inputs near binary16 half-ulp
+// boundaries where rounding through a float32 intermediate double-rounds
+// to the wrong half. These cases fail on the pre-fix converter.
+func TestDirectRoundingBoundaries(t *testing.T) {
+	exp2 := func(e int) float64 { return math.Ldexp(1, e) }
+	tests := []struct {
+		name string
+		v    float64
+		bits uint16
+	}{
+		// 1 + 2⁻¹¹ is the exact midpoint between 1.0 (0x3c00) and
+		// 1+2⁻¹⁰ (0x3c01); the extra 2⁻⁴⁰ pushes it strictly above the
+		// midpoint, so RNE must round up. float32 first collapses the
+		// value onto the midpoint (2⁻⁴⁰ is below float32's half-ulp at
+		// 1.0) and then ties-to-even lands on 0x3c00 — off by one ulp.
+		{"just above midpoint rounds up", 1 + exp2(-11) + exp2(-40), 0x3c01},
+		{"exact midpoint ties to even", 1 + exp2(-11), 0x3c00},
+		{"next interval midpoint ties to even", 1 + 3*exp2(-11), 0x3c02},
+		{"just below midpoint rounds down", 1 + exp2(-11) - exp2(-40), 0x3c00},
+		{"negative mirror", -(1 + exp2(-11) + exp2(-40)), 0xbc01},
+		// Same hazard at the zero/subnormal boundary: 2⁻²⁵ is the exact
+		// midpoint between 0 and the smallest subnormal 2⁻²⁴; a hair
+		// above it must produce 0x0001, which the float32 detour loses.
+		{"subnormal boundary exact tie", exp2(-25), 0x0000},
+		{"just above subnormal boundary", exp2(-25) + exp2(-60), 0x0001},
+		// Largest-half boundary: 65520 = midpoint(65504, 65536) ties up
+		// into the carry → Inf; just below stays at 65504.
+		{"overflow midpoint carries to inf", 65520, 0x7c00},
+		{"just below overflow midpoint", 65520 - exp2(-20), 0x7bff},
+		// Subnormal interior midpoint: 3·2⁻²⁵ = midpoint(2⁻²⁴, 2⁻²³)
+		// ties to even (0x0002); just above must round up from the tie.
+		{"subnormal midpoint ties to even", 3 * exp2(-25), 0x0002},
+		{"subnormal just above midpoint", 3*exp2(-25) + exp2(-70), 0x0002},
+		// float64 subnormals underflow to signed zero.
+		{"f64 subnormal flushes to zero", exp2(-1030), 0x0000},
+		{"negative f64 subnormal keeps sign", -exp2(-1030), 0x8000},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Float64ToHalf(tt.v); got != tt.bits {
+				t.Errorf("Float64ToHalf(%g) = %#04x, want %#04x", tt.v, got, tt.bits)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"apf/internal/fl"
 	"apf/internal/nn"
 	"apf/internal/opt"
+	"apf/internal/quantize"
 	"apf/internal/stats"
 	"apf/internal/telemetry"
 	"apf/internal/wire"
@@ -71,6 +72,13 @@ type ClientConfig struct {
 	// fault-injecting wrappers (package chaos). It must enforce its own
 	// connect timeout.
 	Dial DialFunc
+	// Codec is the strongest payload codec this client offers
+	// (wire.CodecDense requests the v1 dense kinds). Its capability bits go
+	// out in the Join; the server's Welcome answers with the negotiated
+	// codec, never stronger than offered. Sparse codecs require a manager
+	// implementing fl.CompactCodec and fl.MaskReporter — negotiation
+	// completing sparse without them fails the run with a typed error.
+	Codec wire.Codec
 	// OnRound, when non-nil, is called after each round's aggregate is
 	// applied (including resume replay), with the round number and the
 	// client's current dense model. cmd/apf-client uses it to export
@@ -124,13 +132,20 @@ type clientRun struct {
 	dim      int
 	rounds   int
 	x        []float64
+	// codecNeg is the payload codec the server negotiated for this session;
+	// maskGenR reports the manager's mask generation (nil when the manager
+	// has none — sparse updates then carry generation -1).
+	codecNeg wire.Codec
+	maskGenR fl.MaskGenerationReporter
 
 	// applied is the last round whose aggregate has been merged (-1 none);
 	// inflight is the prepared-but-unacknowledged UpdateMsg, re-sent
 	// idempotently after a reconnect so local training runs exactly once
-	// per round.
-	applied  int
-	inflight *UpdateMsg
+	// per round. inflightGen is the mask generation captured when inflight
+	// was prepared (-1 unknown), stamped on its sparse framing.
+	applied     int
+	inflight    *UpdateMsg
+	inflightGen int
 
 	// Current connection, guarded for the cancellation watcher.
 	connMu sync.Mutex
@@ -266,7 +281,13 @@ func (r *clientRun) session(ctx context.Context) error {
 		return ctx.Err() // the watcher may have missed this connection
 	}
 
-	if err := writeMsg(conn, r.cfg.IOTimeout, &JoinMsg{Name: r.cfg.Name, SessionKey: r.cfg.SessionKey, HaveRound: r.applied}, r.wireM); err != nil {
+	join := &JoinMsg{
+		Name:       r.cfg.Name,
+		SessionKey: r.cfg.SessionKey,
+		HaveRound:  r.applied,
+		Caps:       r.cfg.Codec.Caps(),
+	}
+	if err := writeMsg(conn, r.cfg.IOTimeout, join, r.wireM); err != nil {
 		return fmt.Errorf("transport: join: %w", err)
 	}
 	// The welcome carries the init model plus every missed aggregate, so
@@ -331,21 +352,31 @@ func (r *clientRun) session(ctx context.Context) error {
 				Weight:   weight,
 				MaskHash: hash,
 			}
+			r.inflightGen = -1
+			if r.maskGenR != nil {
+				r.inflightGen = r.maskGenR.MaskGeneration()
+			}
+			if r.codecNeg == wire.CodecSparseQ16 {
+				// Round the local copy through binary16 now, so the values
+				// this client keeps equal the values the server decodes and
+				// a reconnect re-send re-quantizes losslessly.
+				quantize.RoundTripSlice(r.inflight.Payload)
+			}
 			r.res.UpBytes += up
 			if r.metrics != nil {
 				r.metrics.upBytes.Add(up)
 			}
 		}
-		if err := writeMsg(conn, r.cfg.IOTimeout, r.inflight, r.wireM); err != nil {
+		if err := r.push(conn); err != nil {
 			return fmt.Errorf("transport: round %d push: %w", round, err)
 		}
 		m, err := readMsg(conn, r.cfg.IOTimeout, modelPayloadLimit(r.dim), r.wireM)
 		if err != nil {
 			return fmt.Errorf("transport: round %d pull: %w", round, err)
 		}
-		g, ok := m.(*GlobalMsg)
-		if !ok {
-			return protocolErrorf("round %d: expected a global frame, got %s", round, m.WireKind())
+		g, err := r.acceptGlobal(m, round)
+		if err != nil {
+			return err
 		}
 		if err := r.applyGlobal(g); err != nil {
 			return err
@@ -358,9 +389,67 @@ func (r *clientRun) session(ctx context.Context) error {
 	return nil
 }
 
+// push writes the round's in-flight update on the session's negotiated
+// codec: verbatim on dense sessions, wrapped into a SparseUpdateMsg on
+// sparse ones. The compact payload is already the unfrozen sub-vector
+// (fl.CompactCodec), so sparse framing adds only the mask metadata — and,
+// under sparse-q16, halves the scalars to binary16 (lossless here, because
+// the in-flight copy was rounded through binary16 when prepared).
+func (r *clientRun) push(conn *countingConn) error {
+	if r.codecNeg < wire.CodecSparse {
+		return writeMsg(conn, r.cfg.IOTimeout, r.inflight, r.wireM)
+	}
+	sp := &SparseUpdateMsg{
+		Round:    r.inflight.Round,
+		Weight:   r.inflight.Weight,
+		MaskHash: r.inflight.MaskHash,
+		MaskGen:  r.inflightGen,
+		Dim:      r.dim,
+		Enc:      r.codecNeg.Enc(),
+	}
+	sp.Values, sp.Q = wire.PackSparse(sp.Enc, r.inflight.Payload)
+	return writeMsg(conn, r.cfg.IOTimeout, sp, r.wireM)
+}
+
+// acceptGlobal validates one downloaded frame of the round and returns its
+// dense-payload form. Dense globals are accepted on every session (the
+// server falls back to them when a round lacks mask-agreement evidence);
+// sparse globals are only legal on sparse sessions and must match the
+// client's own mask state before they are expanded.
+func (r *clientRun) acceptGlobal(m wire.Msg, round int) (*GlobalMsg, error) {
+	switch g := m.(type) {
+	case *GlobalMsg:
+		return g, nil
+	case *SparseGlobalMsg:
+		if r.codecNeg < wire.CodecSparse {
+			return nil, protocolErrorf("round %d: sparse global on a %s session", round, r.codecNeg)
+		}
+		if g.Dim != r.dim {
+			return nil, protocolErrorf("round %d: sparse global dimension %d, model has %d",
+				round, g.Dim, r.dim)
+		}
+		if mr, ok := r.manager.(fl.MaskReporter); ok {
+			if local := HashMaskWords(mr.MaskWords()); g.MaskHash != local {
+				return nil, fmt.Errorf("%w: round %d: server mask hash %016x, local mask hash %016x",
+					ErrMaskDivergence, round, g.MaskHash, local)
+			}
+		}
+		if g.MaskGen >= 0 && r.maskGenR != nil && g.MaskGen != r.maskGenR.MaskGeneration() {
+			return nil, fmt.Errorf("%w: round %d: server mask generation %d, local generation %d",
+				ErrMaskDivergence, round, g.MaskGen, r.maskGenR.MaskGeneration())
+		}
+		return &GlobalMsg{Round: g.Round, Participants: g.Participants, Payload: g.Floats(nil)}, nil
+	}
+	return nil, protocolErrorf("round %d: expected a global frame, got %s", round, m.WireKind())
+}
+
 // acceptWelcome validates a WelcomeMsg and, on the first connection, builds
 // the training state (model, optimizer, batcher, manager) from it.
 func (r *clientRun) acceptWelcome(w *WelcomeMsg) error {
+	if w.Codec > r.cfg.Codec {
+		return protocolErrorf("server negotiated codec %s, stronger than the offered %s",
+			w.Codec, r.cfg.Codec)
+	}
 	if r.params != nil {
 		// Reconnection: the geometry must not have changed.
 		if w.ClientID != r.res.ClientID || w.Rounds != r.rounds || w.Dim != r.dim {
@@ -369,6 +458,9 @@ func (r *clientRun) acceptWelcome(w *WelcomeMsg) error {
 		}
 		if !w.Resumed {
 			return protocolErrorf("server restarted the session instead of resuming it")
+		}
+		if w.Codec != r.codecNeg {
+			return protocolErrorf("resume welcome changed codec %s→%s", r.codecNeg, w.Codec)
 		}
 		r.res.Reconnects++
 		if r.metrics != nil {
@@ -393,6 +485,16 @@ func (r *clientRun) acceptWelcome(w *WelcomeMsg) error {
 		stats.SplitRNG(r.cfg.Seed, int64(3_000_000+w.ClientID)))
 	r.manager = r.cfg.Manager(w.ClientID, w.Dim)
 	r.codec, r.hasCodec = r.manager.(fl.CompactCodec)
+	r.codecNeg = w.Codec
+	r.maskGenR, _ = r.manager.(fl.MaskGenerationReporter)
+	if r.codecNeg >= wire.CodecSparse {
+		// Sparse framing is positional against the freezing mask; without a
+		// mask-reporting compact manager the client can neither produce nor
+		// verify it. This is a configuration error, not a retryable fault.
+		if _, hasMask := r.manager.(fl.MaskReporter); !r.hasCodec || !hasMask {
+			return protocolErrorf("codec %s negotiated, but the manager reports no freezing mask", r.codecNeg)
+		}
+	}
 	r.x = make([]float64, w.Dim)
 	r.res.ClientID = w.ClientID
 	r.res.Rounds = w.Rounds
@@ -402,7 +504,8 @@ func (r *clientRun) acceptWelcome(w *WelcomeMsg) error {
 			r.metrics.reconnects.Inc()
 		}
 	}
-	r.log.Info("joined cluster", "client", w.ClientID, "rounds", w.Rounds, "dim", w.Dim)
+	r.log.Info("joined cluster", "client", w.ClientID, "rounds", w.Rounds,
+		"dim", w.Dim, "codec", w.Codec.String())
 	return nil
 }
 

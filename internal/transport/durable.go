@@ -18,6 +18,11 @@ const (
 	// kindWALGlobal records one emitted GlobalMsg — the commit record of
 	// its round. A round is durable exactly when its global record is.
 	kindWALGlobal
+	// kindWALSparseUpdate records one accepted SparseUpdateMsg (client id +
+	// message), used when the update arrived on a sparse session. Like
+	// kindWALUpdate records it belongs to the round left open by a crash
+	// and is discarded at recovery.
+	kindWALSparseUpdate
 )
 
 // serverState is the decoded form of a server snapshot: everything a
@@ -144,6 +149,26 @@ func decodeWALUpdate(payload []byte) (clientID int, u *UpdateMsg, err error) {
 	return clientID, &msg, nil
 }
 
+// encodeWALSparseUpdate frames one accepted sparse update for the WAL, in
+// the same body encoding the socket uses.
+func encodeWALSparseUpdate(clientID int, u *SparseUpdateMsg) []byte {
+	var w checkpoint.Writer
+	w.Int(clientID)
+	wire.AppendSparseUpdateBody(&w, u)
+	return w.Bytes()
+}
+
+// decodeWALSparseUpdate reads a sparse update record back.
+func decodeWALSparseUpdate(payload []byte) (clientID int, u *SparseUpdateMsg, err error) {
+	r := checkpoint.NewReader(payload)
+	clientID = r.Int()
+	msg := wire.ReadSparseUpdateBody(r)
+	if err := r.Done(); err != nil {
+		return 0, nil, err
+	}
+	return clientID, &msg, nil
+}
+
 // encodeWALGlobal frames one emitted aggregate for the WAL, in the same
 // body encoding the socket uses.
 func encodeWALGlobal(g *GlobalMsg) []byte {
@@ -199,7 +224,7 @@ func recoverState(store *checkpoint.Store) (*serverState, error) {
 			if g.Participants < st.NumClients {
 				st.PartialRounds++
 			}
-		case kindWALUpdate:
+		case kindWALUpdate, kindWALSparseUpdate:
 			// In-flight partial of the re-opened round: discarded.
 		default:
 			// Unknown record kinds from a newer writer are skipped; the

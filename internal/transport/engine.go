@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"apf/internal/fl"
+	"apf/internal/quantize"
 )
 
 // event is a notification from the connection layer to the round engine:
@@ -17,7 +18,22 @@ type event struct {
 	id   int
 	name string
 	upd  *UpdateMsg // nil for a connection failure
-	err  error
+	// sp is the sparse original when the update arrived on a sparse codec
+	// (upd then holds its dense-equivalent conversion); nil for dense
+	// sessions. The engine cross-checks its mask generation and hands it to
+	// the sink so the WAL can log the frame that actually crossed the wire.
+	sp  *SparseUpdateMsg
+	err error
+}
+
+// roundMeta carries the mask agreement evidence of a committed round: the
+// hash every participant attested (0 when the round's manager reports no
+// mask) and the mask generation from the round's sparse updates (-1 when
+// none carried one). The server needs both to frame sparse globals — a
+// sparse broadcast is only sound when the round proved mask agreement.
+type roundMeta struct {
+	maskHash uint64
+	maskGen  int
 }
 
 // roundSink is the narrow surface the round engine drives its host
@@ -31,14 +47,15 @@ type roundSink interface {
 	markRound(round int)
 	// logUpdate durably records one admitted update before it counts
 	// toward the round; an error aborts the run (durability failures are
-	// never survivable).
-	logUpdate(id int, u *UpdateMsg) error
+	// never survivable). sp is the sparse original when one exists.
+	logUpdate(id int, u *UpdateMsg, sp *SparseUpdateMsg) error
 	// rejectUpdate records one refused update (fault-tolerant mode only;
 	// in strict mode a refused update aborts the run instead).
 	rejectUpdate(id, round int, err error)
-	// commitRound durably commits and distributes one aggregate. partial
-	// marks a round that aggregated fewer than the full cluster.
-	commitRound(g *GlobalMsg, partial bool) error
+	// commitRound durably commits and distributes one aggregate. meta is
+	// the round's mask agreement evidence; partial marks a round that
+	// aggregated fewer than the full cluster.
+	commitRound(g *GlobalMsg, meta roundMeta, partial bool) error
 }
 
 // roundEngine is the transport-agnostic round state machine: it owns
@@ -53,6 +70,12 @@ type roundEngine struct {
 	validator  *Validator // nil disables sanitization
 	events     <-chan event
 	sink       roundSink
+	// quantizeCommit rounds every committed aggregate through binary16
+	// (quantize.RoundTripSlice) before it is logged or distributed. Set when
+	// any session negotiated the sparse-q16 codec: the committed value then
+	// equals what a q16 client decodes from its sparse global, so mixed
+	// dense/q16 clusters and WAL replay stay bit-identical.
+	quantizeCommit bool
 	// metrics instruments update classification and phase timings; nil
 	// (the default for in-process engine tests) disables it entirely,
 	// including the clock reads.
@@ -93,7 +116,7 @@ func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, h
 			received[i] = nil
 		}
 		agg.Open(round, n)
-		count, err := e.collect(ctx, round, received, agg)
+		count, maskGen, err := e.collect(ctx, round, received, agg)
 		if err != nil {
 			agg.Discard()
 			return nil, err
@@ -106,10 +129,22 @@ func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, h
 		if err := checkUpdates(round, received); err != nil {
 			return nil, fmt.Errorf("transport: %w", err)
 		}
+		// checkUpdates proved every participant attested the same hash, so
+		// any one of them speaks for the round.
+		meta := roundMeta{maskGen: maskGen}
+		for _, u := range received {
+			if u != nil {
+				meta.maskHash = u.MaskHash
+				break
+			}
+		}
 
 		out := make([]float64, agg.Dim())
 		if _, ok := agg.Reduce(out); !ok {
 			return nil, protocolErrorf("round %d: all contributions withheld (total weight 0)", round)
+		}
+		if e.quantizeCommit {
+			quantize.RoundTripSlice(out)
 		}
 
 		var commitStart time.Time
@@ -118,7 +153,7 @@ func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, h
 			commitStart = time.Now()
 		}
 		msg := GlobalMsg{Round: round, Payload: out, Participants: count}
-		if err := e.sink.commitRound(&msg, count < n); err != nil {
+		if err := e.sink.commitRound(&msg, meta, count < n); err != nil {
 			return nil, err
 		}
 		if e.metrics != nil {
@@ -141,8 +176,9 @@ func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, h
 // updates. Quarantined clients are not waited for. Every accepted update
 // passes the sanitization hook (when configured) and the aggregator's
 // own finiteness guard, and is logged through the sink before it counts.
-// Returns the participant count.
-func (e *roundEngine) collect(ctx context.Context, round int, received []*UpdateMsg, agg *fl.Aggregator) (int, error) {
+// Returns the participant count and the round's sparse mask generation
+// (-1 when no admitted update carried one).
+func (e *roundEngine) collect(ctx context.Context, round int, received []*UpdateMsg, agg *fl.Aggregator) (int, int, error) {
 	var deadline <-chan time.Time
 	var timer *time.Timer
 	if e.faultTolerant() {
@@ -151,6 +187,14 @@ func (e *roundEngine) collect(ctx context.Context, round int, received []*Update
 		deadline = timer.C
 	}
 	count := 0
+	maskGen := -1
+	// expired records that the round deadline has already fired: from then
+	// on the round closes as soon as the floor is met, whether the meeting
+	// update arrived before the timer (checked in the select arm) or after
+	// it (checked at the loop head). Without the loop-head check a round
+	// that was below the floor at the deadline would silently revert to the
+	// full barrier and wait out stragglers it was meant to release.
+	expired := false
 	for {
 		// Quarantine can trip mid-round, so the target is re-derived each
 		// iteration: a poisoned client must not hold the barrier hostage.
@@ -159,22 +203,23 @@ func (e *roundEngine) collect(ctx context.Context, round int, received []*Update
 			needed -= e.validator.QuarantinedCount()
 		}
 		if needed <= 0 {
-			return 0, fmt.Errorf("transport: round %d: every client is quarantined: %w", round, ErrQuarantined)
-		}
-		if count >= needed {
-			return count, nil
+			return 0, 0, fmt.Errorf("transport: round %d: every client is quarantined: %w", round, ErrQuarantined)
 		}
 		floor := e.minClients
 		if floor > needed {
 			floor = needed
 		}
+		if count >= needed || (expired && count >= floor) {
+			return count, maskGen, nil
+		}
 		select {
 		case <-ctx.Done():
-			return 0, ctx.Err()
+			return 0, 0, ctx.Err()
 		case <-deadline:
 			deadline = nil
+			expired = true
 			if count >= floor {
-				return count, nil
+				return count, maskGen, nil
 			}
 			// Below the aggregation floor: keep waiting for stragglers
 			// or reconnecting clients; ctx bounds the overall run.
@@ -184,9 +229,9 @@ func (e *roundEngine) collect(ctx context.Context, round int, received []*Update
 					continue // the connection layer already detached the peer
 				}
 				if ctx.Err() != nil {
-					return 0, ctx.Err()
+					return 0, 0, ctx.Err()
 				}
-				return 0, fmt.Errorf("transport: round %d recv from client %d (%s): %w",
+				return 0, 0, fmt.Errorf("transport: round %d recv from client %d (%s): %w",
 					round, ev.id, ev.name, ev.err)
 			}
 			u := ev.upd
@@ -202,7 +247,7 @@ func (e *roundEngine) collect(ctx context.Context, round int, received []*Update
 				continue // stale re-send of an already-aggregated round
 			}
 			if u.Round > round {
-				return 0, protocolErrorf("client %d sent round %d during round %d",
+				return 0, 0, protocolErrorf("client %d sent round %d during round %d",
 					ev.id, u.Round, round)
 			}
 			if received[ev.id] != nil {
@@ -213,11 +258,21 @@ func (e *roundEngine) collect(ctx context.Context, round int, received []*Update
 				}
 				continue
 			}
+			// The mask hash proves the bitsets agree; the generation is the
+			// cheaper first tripwire, and the one echoed to clients so they
+			// can match a sparse global against their local mask history.
+			if ev.sp != nil && ev.sp.MaskGen >= 0 {
+				if maskGen >= 0 && ev.sp.MaskGen != maskGen {
+					return 0, 0, fmt.Errorf("%w: round %d: client %d mask generation %d, round generation %d",
+						ErrMaskDivergence, round, ev.id, ev.sp.MaskGen, maskGen)
+				}
+				maskGen = ev.sp.MaskGen
+			}
 			if err := e.admit(ev.id, round, u, agg); err != nil {
 				if !e.faultTolerant() {
 					// The strict barrier cannot complete without this
 					// client, so a poisoned update aborts the run.
-					return 0, fmt.Errorf("transport: round %d: %w", round, err)
+					return 0, 0, fmt.Errorf("transport: round %d: %w", round, err)
 				}
 				if e.metrics != nil {
 					e.metrics.rejected.Inc()
@@ -230,8 +285,8 @@ func (e *roundEngine) collect(ctx context.Context, round int, received []*Update
 			if e.metrics != nil {
 				e.metrics.accepted.Inc()
 			}
-			if err := e.sink.logUpdate(ev.id, u); err != nil {
-				return 0, err
+			if err := e.sink.logUpdate(ev.id, u, ev.sp); err != nil {
+				return 0, 0, err
 			}
 		}
 	}

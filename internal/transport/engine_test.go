@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"apf/internal/quantize"
+)
+
+// testSink records the engine's sink calls in-process, without sockets.
+type testSink struct {
+	mu       sync.Mutex
+	commits  []GlobalMsg
+	metas    []roundMeta
+	partials []bool
+	logged   int
+	sparse   int
+}
+
+func (s *testSink) markRound(int) {}
+
+func (s *testSink) logUpdate(id int, u *UpdateMsg, sp *SparseUpdateMsg) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logged++
+	if sp != nil {
+		s.sparse++
+	}
+	return nil
+}
+
+func (s *testSink) rejectUpdate(id, round int, err error) {}
+
+func (s *testSink) commitRound(g *GlobalMsg, meta roundMeta, partial bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commits = append(s.commits, *g)
+	s.metas = append(s.metas, meta)
+	s.partials = append(s.partials, partial)
+	return nil
+}
+
+// runEngine drives one engine to completion against a testSink.
+func runEngine(t *testing.T, e *roundEngine, feed func(chan<- event)) ([]float64, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	events := make(chan event, 64)
+	e.events = events
+	type result struct {
+		global []float64
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		g, err := e.run(ctx, 0, []float64{0, 0}, nil)
+		done <- result{g, err}
+	}()
+	feed(events)
+	r := <-done
+	if errors.Is(r.err, context.DeadlineExceeded) {
+		t.Fatal("engine hung: round never completed within the test budget")
+	}
+	return r.global, r.err
+}
+
+// TestDeadlineStragglerCommits is the regression test for the
+// missed-deadline barrier bug: when the round deadline fires below the
+// aggregation floor, the round must still commit as soon as a straggler
+// lifts the count to the floor — not silently revert to the full barrier
+// and wait for every client. On the pre-fix engine this test times out:
+// after the expired deadline the loop only returned at count == clients.
+func TestDeadlineStragglerCommits(t *testing.T) {
+	sink := &testSink{}
+	e := &roundEngine{
+		clients:    3,
+		rounds:     1,
+		deadline:   40 * time.Millisecond,
+		minClients: 2,
+		sink:       sink,
+	}
+	global, err := runEngine(t, e, func(events chan<- event) {
+		events <- event{id: 0, upd: &UpdateMsg{Round: 0, Payload: []float64{2, 4}, Weight: 1}}
+		// Let the deadline expire with one update — below the floor of 2.
+		time.Sleep(160 * time.Millisecond)
+		// The straggler reaches the floor; the round must commit now, with
+		// client 2 never reporting.
+		events <- event{id: 1, upd: &UpdateMsg{Round: 0, Payload: []float64{4, 6}, Weight: 1}}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(sink.commits) != 1 || sink.commits[0].Participants != 2 {
+		t.Fatalf("commits = %+v, want one round with 2 participants", sink.commits)
+	}
+	if !sink.partials[0] {
+		t.Error("a 2-of-3 round must commit as partial")
+	}
+	if global[0] != 3 || global[1] != 5 {
+		t.Errorf("global = %v, want the 2-client average [3 5]", global)
+	}
+}
+
+// TestDeadlineBeforeFloorStillWaits pins the other side of the deadline
+// contract: an expired deadline below minClients keeps collecting rather
+// than aggregating too few.
+func TestDeadlineBeforeFloorStillWaits(t *testing.T) {
+	sink := &testSink{}
+	e := &roundEngine{
+		clients:    2,
+		rounds:     1,
+		deadline:   30 * time.Millisecond,
+		minClients: 2,
+		sink:       sink,
+	}
+	_, err := runEngine(t, e, func(events chan<- event) {
+		time.Sleep(100 * time.Millisecond) // deadline expires with zero updates
+		events <- event{id: 0, upd: &UpdateMsg{Round: 0, Payload: []float64{2, 2}, Weight: 1}}
+		events <- event{id: 1, upd: &UpdateMsg{Round: 0, Payload: []float64{4, 4}, Weight: 1}}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if sink.commits[0].Participants != 2 {
+		t.Fatalf("participants = %d, want 2 (floor must hold through the expired deadline)",
+			sink.commits[0].Participants)
+	}
+}
+
+// TestEngineSparseMetaCommitted checks the round's mask evidence reaches
+// the sink: the agreed hash from the updates, the generation from the
+// sparse originals.
+func TestEngineSparseMetaCommitted(t *testing.T) {
+	sink := &testSink{}
+	e := &roundEngine{clients: 2, rounds: 1, sink: sink}
+	sp := func(gen int) *SparseUpdateMsg {
+		return &SparseUpdateMsg{Round: 0, Weight: 1, MaskHash: 0xfeed, MaskGen: gen, Dim: 2}
+	}
+	_, err := runEngine(t, e, func(events chan<- event) {
+		events <- event{id: 0, upd: &UpdateMsg{Round: 0, Payload: []float64{1, 1}, Weight: 1, MaskHash: 0xfeed}, sp: sp(3)}
+		events <- event{id: 1, upd: &UpdateMsg{Round: 0, Payload: []float64{3, 3}, Weight: 1, MaskHash: 0xfeed}, sp: sp(3)}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m := sink.metas[0]; m.maskHash != 0xfeed || m.maskGen != 3 {
+		t.Errorf("committed meta = %+v, want hash feed gen 3", m)
+	}
+	if sink.sparse != 2 {
+		t.Errorf("sparse originals logged = %d, want 2", sink.sparse)
+	}
+}
+
+// TestEngineMaskGenDivergence: sparse updates of one round disagreeing on
+// the mask generation abort with the typed divergence error before any
+// positional aggregation can mis-average.
+func TestEngineMaskGenDivergence(t *testing.T) {
+	e := &roundEngine{clients: 2, rounds: 1, sink: &testSink{}}
+	_, err := runEngine(t, e, func(events chan<- event) {
+		events <- event{id: 0, upd: &UpdateMsg{Round: 0, Payload: []float64{1, 1}, Weight: 1, MaskHash: 5},
+			sp: &SparseUpdateMsg{Round: 0, Weight: 1, MaskHash: 5, MaskGen: 1, Dim: 2}}
+		events <- event{id: 1, upd: &UpdateMsg{Round: 0, Payload: []float64{3, 3}, Weight: 1, MaskHash: 5},
+			sp: &SparseUpdateMsg{Round: 0, Weight: 1, MaskHash: 5, MaskGen: 2, Dim: 2}}
+	})
+	if !errors.Is(err, ErrMaskDivergence) {
+		t.Fatalf("got %v, want ErrMaskDivergence", err)
+	}
+}
+
+// TestEngineQuantizeCommit: with quantizeCommit set, every committed
+// aggregate is exactly binary16-representable, so a q16 client decoding a
+// sparse global holds the identical model the server committed.
+func TestEngineQuantizeCommit(t *testing.T) {
+	sink := &testSink{}
+	e := &roundEngine{clients: 1, rounds: 1, sink: sink, quantizeCommit: true}
+	_, err := runEngine(t, e, func(events chan<- event) {
+		events <- event{id: 0, upd: &UpdateMsg{Round: 0, Payload: []float64{0.1, 1.0 / 3.0}, Weight: 1}}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for j, v := range sink.commits[0].Payload {
+		if rt := quantize.RoundTrip(v); rt != v {
+			t.Errorf("committed scalar %d = %v is not binary16-representable (round trips to %v)", j, v, rt)
+		}
+	}
+	if sink.commits[0].Payload[0] == 0.1 {
+		t.Error("0.1 survived unrounded: quantizeCommit did nothing")
+	}
+}

@@ -23,7 +23,7 @@ const (
 
 // wireKinds is the number of entries in the per-kind tables (kinds are
 // 1-based, index 0 unused).
-const wireKinds = int(wire.KindGlobal) + 1
+const wireKinds = int(wire.KindSparseGlobal) + 1
 
 // wireMetrics counts frames and bytes crossing the socket per message
 // kind and direction, plus decode failures by type.
@@ -48,7 +48,7 @@ func newWireMetrics(reg *telemetry.Registry) *wireMetrics {
 		errsHelp   = "Inbound frames refused by the wire decoder, by failure type."
 	)
 	for d, dir := range [2]string{"in", "out"} {
-		for k := wire.KindJoin; k <= wire.KindGlobal; k++ {
+		for k := wire.KindJoin; k <= wire.KindSparseGlobal; k++ {
 			wm.frames[d][k] = reg.Counter("apf_wire_frames_total", framesHelp,
 				"kind", k.String(), "dir", dir)
 			wm.bytes[d][k] = reg.Counter("apf_wire_bytes_total", bytesHelp,
@@ -128,6 +128,13 @@ type serverMetrics struct {
 	rejNorm       *telemetry.Counter
 	rejQuarantine *telemetry.Counter
 	rejOther      *telemetry.Counter
+
+	// codecSessions counts negotiated sessions per payload codec (resumes
+	// renegotiate and count again); sparseSavedBytes accumulates the wire
+	// bytes sparse broadcast frames saved against the same round's dense
+	// frame, counted as frames are queued.
+	codecSessions    [int(wire.CodecSparseQ16) + 1]*telemetry.Counter
+	sparseSavedBytes *telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -135,7 +142,7 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		return nil
 	}
 	const rejHelp = "Updates refused by sanitization/aggregation guards, by reason."
-	return &serverMetrics{
+	m := &serverMetrics{
 		round: reg.Gauge("apf_round",
 			"Round the server is currently collecting."),
 		committedRounds: reg.Gauge("apf_committed_rounds",
@@ -167,7 +174,14 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		rejNorm:       reg.Counter("apf_update_rejections_total", rejHelp, "reason", "norm_outlier"),
 		rejQuarantine: reg.Counter("apf_update_rejections_total", rejHelp, "reason", "quarantined"),
 		rejOther:      reg.Counter("apf_update_rejections_total", rejHelp, "reason", "other"),
+		sparseSavedBytes: reg.Counter("apf_sparse_bytes_saved_total",
+			"Wire bytes sparse broadcast frames saved against the same round's dense frame."),
 	}
+	for c := wire.CodecDense; c <= wire.CodecSparseQ16; c++ {
+		m.codecSessions[c] = reg.Counter("apf_codec_sessions_total",
+			"Sessions negotiated, by payload codec.", "codec", c.String())
+	}
+	return m
 }
 
 // recordRejection classifies one refused update by its typed cause.

@@ -42,6 +42,13 @@ type ServerConfig struct {
 	// deadline may fire the aggregation (default 1). The deadline never
 	// aggregates fewer; the round keeps waiting instead.
 	MinClients int
+	// Codec is the strongest payload codec the server will negotiate per
+	// session (wire.NegotiateCodec caps it by each client's advertised
+	// capabilities). CodecDense — the zero value — keeps every session on
+	// the v1 dense kinds. CodecSparseQ16 additionally rounds every
+	// committed aggregate through binary16, so dense and quantized sessions
+	// of one cluster observe bit-identical models.
+	Codec wire.Codec
 	// CheckpointDir makes the coordinator durable: the server persists a
 	// snapshot plus write-ahead log under this directory and, when it
 	// finds a consistent checkpoint there at startup, resumes the run
@@ -108,9 +115,9 @@ type Server struct {
 	log     *telemetry.Logger
 
 	mu            sync.Mutex
-	round         int         // round currently being collected
-	history       []GlobalMsg // aggregates of completed rounds, by round
-	frames        [][]byte    // pre-encoded GlobalMsg frames, parallel to history
+	round         int            // round currently being collected
+	history       []GlobalMsg    // aggregates of completed rounds, by round
+	frames        []*roundFrames // per-codec encoded aggregates, parallel to history
 	sessions      []*session  // by client id, registration order
 	byKey         map[string]*session
 	conns         map[*countingConn]struct{} // live, un-absorbed connections
@@ -130,7 +137,10 @@ type session struct {
 	key  string
 	name string
 
-	mu   sync.Mutex
+	mu sync.Mutex
+	// codec is the payload codec negotiated at the session's latest join
+	// (wire.NegotiateCodec of the server's cap and the client's Caps).
+	codec wire.Codec
 	cond *sync.Cond    // signalled on queue/conn/inflight changes
 	conn *countingConn // nil while disconnected
 	gen  int           // bumps per attached connection; stale readers detach no-one
@@ -148,6 +158,55 @@ func newSession(id int, key, name string) *session {
 	sess := &session{id: id, key: key, name: name}
 	sess.cond = sync.NewCond(&sess.mu)
 	return sess
+}
+
+// roundFrames caches the encoded forms of one committed aggregate — at
+// most one immutable frame per codec, shared by every session writer, so
+// encode cost stays O(1) in client count per codec actually in use. The
+// dense frame is built eagerly at commit; sparse variants are built on the
+// first session that needs them.
+type roundFrames struct {
+	g    GlobalMsg
+	meta roundMeta
+	dim  int // dense model dimension (sparse frame metadata)
+
+	mu      sync.Mutex
+	encoded [int(wire.CodecSparseQ16) + 1][]byte
+}
+
+// newRoundFrames builds the cache for one committed aggregate with its
+// dense frame pre-encoded.
+func newRoundFrames(g *GlobalMsg, meta roundMeta, dim int) *roundFrames {
+	rf := &roundFrames{g: *g, meta: meta, dim: dim}
+	rf.encoded[wire.CodecDense] = wire.Encode(g)
+	return rf
+}
+
+// frame returns the round's frame for a session codec, encoding it on
+// first request. A sparse frame is only sound when the round proved mask
+// agreement (every participant attested the same non-zero hash, which the
+// receiver re-checks against its own mask before expanding); rounds
+// without that evidence fall back to the dense frame, which sparse
+// sessions accept as well.
+func (rf *roundFrames) frame(c wire.Codec) []byte {
+	if c <= wire.CodecDense || int(c) >= len(rf.encoded) || rf.meta.maskHash == 0 {
+		return rf.encoded[wire.CodecDense]
+	}
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	if rf.encoded[c] == nil {
+		sg := &SparseGlobalMsg{
+			Round:        rf.g.Round,
+			Participants: rf.g.Participants,
+			MaskHash:     rf.meta.maskHash,
+			MaskGen:      rf.meta.maskGen,
+			Dim:          rf.dim,
+			Enc:          c.Enc(),
+		}
+		sg.Values, sg.Q = wire.PackSparse(c.Enc(), rf.g.Payload)
+		rf.encoded[c] = wire.Encode(sg)
+	}
+	return rf.encoded[c]
 }
 
 // NewServer binds the listen socket. Call Run to serve.
@@ -251,9 +310,12 @@ func (s *Server) openStore() error {
 	}
 	s.history = st.History
 	// Re-frame the recovered history so the broadcast index stays aligned
-	// with it (frames[r] always carries history[r]).
+	// with it (frames[r] always carries history[r]). Mask evidence is not
+	// persisted, so recovered rounds serve dense frames to every codec —
+	// correct, and irrelevant in practice: resuming clients catch up via
+	// the Welcome's missed-payload replay, not the writer queues.
 	for i := range s.history {
-		s.frames = append(s.frames, wire.Encode(&s.history[i]))
+		s.frames = append(s.frames, newRoundFrames(&s.history[i], roundMeta{maskGen: -1}, len(s.cfg.Init)))
 	}
 	s.partialRounds = st.PartialRounds
 	s.startRound = len(st.History)
@@ -491,7 +553,12 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		validator:  s.validator,
 		events:     s.events,
 		sink:       s,
-		metrics:    newEngineMetrics(s.cfg.Metrics),
+		// Config-driven, not negotiation-driven: a q16-capable server
+		// quantizes commits whether or not any client negotiated q16, so
+		// the committed trajectory never depends on who happens to be
+		// connected (or on recovery timing).
+		quantizeCommit: s.cfg.Codec == wire.CodecSparseQ16,
+		metrics:        newEngineMetrics(s.cfg.Metrics),
 	}
 	s.mu.Lock()
 	history := append([]GlobalMsg(nil), s.history...)
@@ -530,10 +597,15 @@ func (s *Server) markRound(round int) {
 }
 
 // logUpdate implements roundSink: an admitted update reaches the WAL
-// before it counts toward the round.
-func (s *Server) logUpdate(id int, u *UpdateMsg) error {
+// before it counts toward the round. A sparse update is logged in the
+// frame that crossed the wire — smaller, and lossless to replay since the
+// dense form the engine aggregated was derived from it.
+func (s *Server) logUpdate(id int, u *UpdateMsg, sp *SparseUpdateMsg) error {
 	if s.store == nil {
 		return nil
+	}
+	if sp != nil {
+		return s.store.Append(kindWALSparseUpdate, encodeWALSparseUpdate(id, sp))
 	}
 	return s.store.Append(kindWALUpdate, encodeWALUpdate(id, u))
 }
@@ -558,16 +630,16 @@ func (s *Server) rejectUpdate(id, round int, err error) {
 // produced. The aggregate is encoded into a single frame shared by every
 // session's outbound queue, so serialization cost is O(1) in client count
 // and delivery never blocks the round loop.
-func (s *Server) commitRound(g *GlobalMsg, partial bool) error {
+func (s *Server) commitRound(g *GlobalMsg, meta roundMeta, partial bool) error {
 	if s.store != nil {
 		if err := s.store.Append(kindWALGlobal, encodeWALGlobal(g)); err != nil {
 			return err
 		}
 	}
-	frame := wire.Encode(g)
+	rf := newRoundFrames(g, meta, len(s.cfg.Init))
 	s.mu.Lock()
 	s.history = append(s.history, *g)
-	s.frames = append(s.frames, frame)
+	s.frames = append(s.frames, rf)
 	if partial {
 		s.partialRounds++
 	}
@@ -598,10 +670,11 @@ func (s *Server) commitRound(g *GlobalMsg, partial bool) error {
 // enqueueGlobals queues every not-yet-sent aggregate frame (up to round)
 // on a session's writer, keeping per-connection GlobalMsg delivery
 // strictly sequential. frames is an immutable prefix snapshot of s.frames
-// covering at least rounds 0…round. A queue overflow means the client
+// covering at least rounds 0…round; each entry serves the frame variant of
+// the session's negotiated codec. A queue overflow means the client
 // stopped draining: the session is detached (it catches up via resume in
 // fault-tolerant mode; in strict mode the posted failure aborts the run).
-func (s *Server) enqueueGlobals(sess *session, round int, frames [][]byte) {
+func (s *Server) enqueueGlobals(sess *session, round int, frames []*roundFrames) {
 	sess.mu.Lock()
 	if sess.conn == nil {
 		// Disconnected: a later resume replays the history instead.
@@ -609,6 +682,7 @@ func (s *Server) enqueueGlobals(sess *session, round int, frames [][]byte) {
 		return
 	}
 	gen := sess.gen
+	codec := sess.codec
 	for r := sess.sent; r <= round; r++ {
 		if len(sess.queue) >= maxQueuedFrames {
 			err := fmt.Errorf("client %d (%s) stopped draining: outbound queue full at %d frames",
@@ -622,10 +696,21 @@ func (s *Server) enqueueGlobals(sess *session, round int, frames [][]byte) {
 			s.post(event{id: sess.id, name: sess.name, err: err})
 			return
 		}
-		sess.queue = append(sess.queue, frames[r])
+		frame := frames[r].frame(codec)
+		sess.queue = append(sess.queue, frame)
 		sess.sent = r + 1
 		if s.metrics != nil {
 			s.metrics.queueFrames.Add(1)
+			if wire.FrameKind(frame) == wire.KindSparseGlobal {
+				// What this broadcast would have cost on a dense session of
+				// the same round. Lossless sparse frames usually cost a few
+				// metadata bytes MORE (the scalars are identical — dense
+				// payloads are already mask-compacted); the quantized codec
+				// is where the wire actually shrinks.
+				if saved := len(frames[r].frame(wire.CodecDense)) - len(frame); saved > 0 {
+					s.metrics.sparseSavedBytes.Add(int64(saved))
+				}
+			}
 		}
 	}
 	sess.cond.Broadcast()
@@ -654,7 +739,7 @@ func (s *Server) writer(sess *session, gen int) {
 			s.metrics.queueFrames.Add(-1)
 		}
 
-		err := writeFrame(cc, s.cfg.IOTimeout, frame, s.wireM, wire.KindGlobal)
+		err := writeFrame(cc, s.cfg.IOTimeout, frame, s.wireM, wire.FrameKind(frame))
 
 		sess.mu.Lock()
 		sess.inflight = false
@@ -763,6 +848,7 @@ func (s *Server) handleJoin(cc *countingConn, join *JoinMsg) {
 	sess := newSession(len(s.sessions), join.SessionKey, join.Name)
 	sess.conn = cc
 	sess.gen = 1
+	sess.codec = wire.NegotiateCodec(s.cfg.Codec, join.Caps)
 	s.sessions = append(s.sessions, sess)
 	if sess.key != "" {
 		s.byKey[sess.key] = sess
@@ -772,6 +858,11 @@ func (s *Server) handleJoin(cc *countingConn, join *JoinMsg) {
 		close(s.regReady)
 	}
 	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.codecSessions[sess.codec].Add(1)
+	}
+	s.log.Info("session negotiated", "client", sess.id, "name", sess.name,
+		"codec", sess.codec.String())
 
 	w := WelcomeMsg{
 		ClientID:   sess.id,
@@ -779,6 +870,7 @@ func (s *Server) handleJoin(cc *countingConn, join *JoinMsg) {
 		Rounds:     s.cfg.Rounds,
 		Dim:        len(s.cfg.Init),
 		Init:       s.cfg.Init,
+		Codec:      sess.codec,
 	}
 	// The welcome is written directly: the session's writer goroutine only
 	// starts afterwards, so queued aggregate frames cannot overtake it.
@@ -815,6 +907,10 @@ func (s *Server) resume(sess *session, cc *countingConn, join *JoinMsg) {
 		return
 	}
 	missed := s.history[join.HaveRound+1 : done]
+	// Renegotiate from the fresh Caps: the session's codec tracks what the
+	// currently attached client actually speaks. The missed replay above
+	// stays dense regardless, so resume reconstruction is codec-independent.
+	codec := wire.NegotiateCodec(s.cfg.Codec, join.Caps)
 	w := WelcomeMsg{
 		ClientID:   sess.id,
 		NumClients: s.cfg.NumClients,
@@ -824,6 +920,7 @@ func (s *Server) resume(sess *session, cc *countingConn, join *JoinMsg) {
 		Round:      round,
 		Resumed:    true,
 		Missed:     missed,
+		Codec:      codec,
 	}
 
 	sess.mu.Lock()
@@ -831,6 +928,7 @@ func (s *Server) resume(sess *session, cc *countingConn, join *JoinMsg) {
 	sess.gen++
 	gen := sess.gen
 	sess.conn = cc
+	sess.codec = codec
 	sess.sent = done
 	dropped := len(sess.queue)
 	sess.queue = nil
@@ -843,6 +941,7 @@ func (s *Server) resume(sess *session, cc *countingConn, join *JoinMsg) {
 		s.metrics.resumes.Inc()
 		s.metrics.replayedGlobals.Add(int64(len(missed)))
 		s.metrics.queueFrames.Add(float64(-dropped))
+		s.metrics.codecSessions[codec].Add(1)
 	}
 	s.log.Info("session resumed", "client", sess.id, "name", sess.name,
 		"have_round", join.HaveRound, "replayed", len(missed))
@@ -880,14 +979,52 @@ func (s *Server) reader(sess *session, gen int, cc *countingConn) {
 	for {
 		m, err := readMsg(cc, s.cfg.IOTimeout, limit, s.wireM)
 		if err == nil {
-			if u, ok := m.(*UpdateMsg); ok {
+			switch u := m.(type) {
+			case *UpdateMsg:
 				s.post(event{id: sess.id, name: sess.name, upd: u})
 				continue
+			case *SparseUpdateMsg:
+				if err = s.checkSparseUpdate(sess, u); err == nil {
+					// The engine aggregates the dense-expanded form; the
+					// sparse original rides along for the WAL and the
+					// round's mask-generation cross-check.
+					dense := &UpdateMsg{
+						Round:    u.Round,
+						Weight:   u.Weight,
+						MaskHash: u.MaskHash,
+						Payload:  u.Floats(nil),
+					}
+					s.post(event{id: sess.id, name: sess.name, upd: dense, sp: u})
+					continue
+				}
+			default:
+				err = protocolErrorf("expected an update frame, got %s", m.WireKind())
 			}
-			err = protocolErrorf("expected an update frame, got %s", m.WireKind())
 		}
 		s.detach(sess, gen)
 		s.post(event{id: sess.id, name: sess.name, err: err})
 		return
 	}
+}
+
+// checkSparseUpdate validates a sparse update against the session's
+// negotiated codec: the kind is only legal on sparse sessions, the scalar
+// encoding must be the negotiated one, and the declared dense dimension
+// must be the run's.
+func (s *Server) checkSparseUpdate(sess *session, u *SparseUpdateMsg) error {
+	sess.mu.Lock()
+	codec := sess.codec
+	sess.mu.Unlock()
+	if codec <= wire.CodecDense {
+		return protocolErrorf("client %d sent a sparse update on a %s session", sess.id, codec)
+	}
+	if u.Enc != codec.Enc() {
+		return protocolErrorf("client %d sparse update encoding %s, session negotiated %s",
+			sess.id, u.Enc, codec.Enc())
+	}
+	if u.Dim != len(s.cfg.Init) {
+		return protocolErrorf("client %d sparse update dimension %d, model has %d",
+			sess.id, u.Dim, len(s.cfg.Init))
+	}
+	return nil
 }

@@ -67,6 +67,10 @@ type (
 	UpdateMsg = wire.UpdateMsg
 	// GlobalMsg carries the aggregated model back to the clients.
 	GlobalMsg = wire.GlobalMsg
+	// SparseUpdateMsg is the v2 mask-aware form of UpdateMsg.
+	SparseUpdateMsg = wire.SparseUpdateMsg
+	// SparseGlobalMsg is the v2 mask-aware form of GlobalMsg.
+	SparseGlobalMsg = wire.SparseGlobalMsg
 )
 
 // HashMaskWords returns the FNV-1a hash of a freezing mask's backing words

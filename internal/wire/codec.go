@@ -9,20 +9,45 @@ import (
 	"apf/internal/checkpoint"
 )
 
+// wireVersion implements Msg: a Join advertising capabilities needs v2;
+// the zero-capability form is the v1 body.
+func (m *JoinMsg) wireVersion() uint8 {
+	if m.Caps != 0 {
+		return 2
+	}
+	return 1
+}
+
 // appendBody serializes a JoinMsg body.
-func (m *JoinMsg) appendBody(w *checkpoint.Writer) {
+func (m *JoinMsg) appendBody(w *checkpoint.Writer, version uint8) {
 	w.String(m.Name)
 	w.String(m.SessionKey)
 	w.Int(m.HaveRound)
+	if version >= 2 {
+		w.U64(m.Caps)
+	}
 }
 
 // readJoin decodes a JoinMsg body.
-func readJoin(r *checkpoint.Reader) *JoinMsg {
-	return &JoinMsg{Name: r.String(), SessionKey: r.String(), HaveRound: r.Int()}
+func readJoin(r *checkpoint.Reader, version uint8) *JoinMsg {
+	m := &JoinMsg{Name: r.String(), SessionKey: r.String(), HaveRound: r.Int()}
+	if version >= 2 {
+		m.Caps = r.U64()
+	}
+	return m
+}
+
+// wireVersion implements Msg: a Welcome selecting a non-dense codec needs
+// v2; the dense form is the v1 body.
+func (m *WelcomeMsg) wireVersion() uint8 {
+	if m.Codec != CodecDense {
+		return 2
+	}
+	return 1
 }
 
 // appendBody serializes a WelcomeMsg body.
-func (m *WelcomeMsg) appendBody(w *checkpoint.Writer) {
+func (m *WelcomeMsg) appendBody(w *checkpoint.Writer, version uint8) {
 	w.Int(m.ClientID)
 	w.Int(m.NumClients)
 	w.Int(m.Rounds)
@@ -34,6 +59,9 @@ func (m *WelcomeMsg) appendBody(w *checkpoint.Writer) {
 	for i := range m.Missed {
 		AppendGlobalBody(w, &m.Missed[i])
 	}
+	if version >= 2 {
+		w.U16(uint16(m.Codec))
+	}
 }
 
 // globalBodyMinLen is the encoded size of a GlobalMsg with an empty
@@ -42,7 +70,7 @@ func (m *WelcomeMsg) appendBody(w *checkpoint.Writer) {
 const globalBodyMinLen = 24
 
 // readWelcome decodes a WelcomeMsg body.
-func readWelcome(r *checkpoint.Reader) *WelcomeMsg {
+func readWelcome(r *checkpoint.Reader, version uint8) *WelcomeMsg {
 	m := &WelcomeMsg{
 		ClientID:   r.Int(),
 		NumClients: r.Int(),
@@ -63,6 +91,13 @@ func readWelcome(r *checkpoint.Reader) *WelcomeMsg {
 	for i := 0; i < n && r.Err() == nil; i++ {
 		m.Missed = append(m.Missed, ReadGlobalBody(r))
 	}
+	if version >= 2 {
+		c := r.U16()
+		if r.Err() == nil && c > uint16(CodecSparseQ16) {
+			r.Fail(fmt.Sprintf("unknown negotiated codec %d", c))
+		}
+		m.Codec = Codec(c)
+	}
 	return m
 }
 
@@ -81,8 +116,12 @@ func ReadUpdateBody(r *checkpoint.Reader) UpdateMsg {
 	return UpdateMsg{Round: r.Int(), Weight: r.F64(), MaskHash: r.U64(), Payload: r.F64s()}
 }
 
+// wireVersion implements Msg: the dense body is unchanged since v1 (the
+// WAL shares it, so its layout is frozen).
+func (m *UpdateMsg) wireVersion() uint8 { return 1 }
+
 // appendBody serializes an UpdateMsg body.
-func (m *UpdateMsg) appendBody(w *checkpoint.Writer) { AppendUpdateBody(w, m) }
+func (m *UpdateMsg) appendBody(w *checkpoint.Writer, _ uint8) { AppendUpdateBody(w, m) }
 
 // AppendGlobalBody serializes a GlobalMsg body without the frame — shared
 // by the socket codec, the WelcomeMsg missed-payload list, and the
@@ -98,15 +137,19 @@ func ReadGlobalBody(r *checkpoint.Reader) GlobalMsg {
 	return GlobalMsg{Round: r.Int(), Participants: r.Int(), Payload: r.F64s()}
 }
 
+// wireVersion implements Msg.
+func (m *GlobalMsg) wireVersion() uint8 { return 1 }
+
 // appendBody serializes a GlobalMsg body.
-func (m *GlobalMsg) appendBody(w *checkpoint.Writer) { AppendGlobalBody(w, m) }
+func (m *GlobalMsg) appendBody(w *checkpoint.Writer, _ uint8) { AppendGlobalBody(w, m) }
 
 // Append frames m and appends the frame to dst, returning the extended
 // slice. The result is self-contained and immutable once built: broadcast
 // paths encode a message once and hand the same frame to every connection.
 func Append(dst []byte, m Msg) []byte {
 	var w checkpoint.Writer
-	m.appendBody(&w)
+	version := m.wireVersion()
+	m.appendBody(&w, version)
 	payload := w.Bytes()
 	if len(payload) > MaxPayload {
 		panic(fmt.Sprintf("wire: message payload %d exceeds MaxPayload", len(payload)))
@@ -114,7 +157,7 @@ func Append(dst []byte, m Msg) []byte {
 	start := len(dst)
 	var hdr [headerLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
-	hdr[4] = Version
+	hdr[4] = version
 	hdr[5] = byte(m.WireKind())
 	binary.LittleEndian.PutUint32(hdr[6:], uint32(len(payload)))
 	dst = append(dst, hdr[:]...)
@@ -128,50 +171,71 @@ func Append(dst []byte, m Msg) []byte {
 // Encode frames m into a fresh buffer.
 func Encode(m Msg) []byte { return Append(nil, m) }
 
-// checkHeader validates a frame header against limit, returning the kind
-// and payload length.
-func checkHeader(hdr []byte, limit int) (Kind, int, error) {
+// checkHeader validates a frame header against limit, returning the kind,
+// frame version, and payload length.
+func checkHeader(hdr []byte, limit int) (Kind, uint8, int, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
-		return 0, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		return 0, 0, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if hdr[4] != Version {
-		return 0, 0, fmt.Errorf("%w: frame version %d, this build speaks %d", ErrVersion, hdr[4], Version)
+	version := hdr[4]
+	if version < MinVersion || version > Version {
+		return 0, 0, 0, fmt.Errorf("%w: frame version %d, this build speaks %d-%d",
+			ErrVersion, version, MinVersion, Version)
 	}
 	kind := Kind(hdr[5])
 	switch kind {
 	case KindJoin, KindWelcome, KindUpdate, KindGlobal:
+	case KindSparseUpdate, KindSparseGlobal:
+		if version < 2 {
+			return 0, 0, 0, fmt.Errorf("%w: kind %s requires version 2, frame stamped %d",
+				ErrVersion, kind, version)
+		}
 	default:
-		return 0, 0, fmt.Errorf("%w: kind %d", ErrUnknownKind, uint8(kind))
+		return 0, 0, 0, fmt.Errorf("%w: kind %d", ErrUnknownKind, uint8(kind))
 	}
 	if limit <= 0 || limit > MaxPayload {
 		limit = MaxPayload
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[6:]))
 	if n > limit {
-		return 0, 0, fmt.Errorf("%w: declared payload %d over limit %d", ErrTooLarge, n, limit)
+		return 0, 0, 0, fmt.Errorf("%w: declared payload %d over limit %d", ErrTooLarge, n, limit)
 	}
-	return kind, n, nil
+	return kind, version, n, nil
 }
 
 // decodeBody dispatches a validated payload to its body decoder and
-// requires it to consume the payload exactly.
-func decodeBody(kind Kind, payload []byte) (Msg, error) {
+// requires it to consume the payload exactly. The decoded message must
+// also need exactly the stamped frame version (canonical versioning): a
+// v2 frame whose body is expressible at v1 — a Join with zero Caps, a
+// Welcome selecting dense — re-encodes differently and is refused, so
+// decode∘encode stays the identity on accepted frames.
+func decodeBody(kind Kind, version uint8, payload []byte) (Msg, error) {
 	r := checkpoint.NewReader(payload)
 	var m Msg
 	switch kind {
 	case KindJoin:
-		m = readJoin(r)
+		m = readJoin(r, version)
 	case KindWelcome:
-		m = readWelcome(r)
+		m = readWelcome(r, version)
 	case KindUpdate:
 		u := ReadUpdateBody(r)
 		m = &u
 	case KindGlobal:
 		g := ReadGlobalBody(r)
 		m = &g
+	case KindSparseUpdate:
+		u := ReadSparseUpdateBody(r)
+		m = &u
+	case KindSparseGlobal:
+		g := ReadSparseGlobalBody(r)
+		m = &g
 	}
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("%w: %s body: %v", ErrCorrupt, kind, err)
+	}
+	if m.wireVersion() != version {
+		return nil, fmt.Errorf("%w: %s body is canonical at version %d, frame stamped %d",
+			ErrCorrupt, kind, m.wireVersion(), version)
 	}
 	return m, nil
 }
@@ -187,7 +251,7 @@ func Decode(buf []byte, limit int) (Msg, []byte, error) {
 	if len(buf) < headerLen+trailerLen {
 		return nil, nil, fmt.Errorf("%w: %d-byte tail shorter than a frame", ErrCorrupt, len(buf))
 	}
-	kind, n, err := checkHeader(buf[:headerLen], limit)
+	kind, version, n, err := checkHeader(buf[:headerLen], limit)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -199,7 +263,7 @@ func Decode(buf []byte, limit int) (Msg, []byte, error) {
 	if crc32.ChecksumIEEE(buf[:end]) != want {
 		return nil, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	m, err := decodeBody(kind, buf[headerLen:end])
+	m, err := decodeBody(kind, version, buf[headerLen:end])
 	if err != nil {
 		return nil, nil, err
 	}
@@ -228,7 +292,7 @@ func ReadMsg(r io.Reader, limit int) (Msg, error) {
 		}
 		return nil, err
 	}
-	kind, n, err := checkHeader(hdr[:], limit)
+	kind, version, n, err := checkHeader(hdr[:], limit)
 	if err != nil {
 		return nil, err
 	}
@@ -245,5 +309,5 @@ func ReadMsg(r io.Reader, limit int) (Msg, error) {
 	if sum != want {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	return decodeBody(kind, body[:n])
+	return decodeBody(kind, version, body[:n])
 }

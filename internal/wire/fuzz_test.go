@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"math"
 	"testing"
 )
 
@@ -21,6 +22,22 @@ func FuzzWireDecode(f *testing.F) {
 			Init: []float64{1, 2, 3}, Round: 5, Resumed: true,
 			Missed: []GlobalMsg{{Round: 4, Payload: []float64{7, 8, 9}, Participants: 2}},
 		},
+	} {
+		f.Add(Encode(m))
+	}
+	// v2 handshake and sparse forms: the canonical-versioning rule makes
+	// these the interesting mutation targets (version byte vs body shape).
+	for _, m := range []Msg{
+		&JoinMsg{Name: "shard-1", Caps: CapSparse | CapQuantized},
+		&WelcomeMsg{ClientID: 0, NumClients: 1, Rounds: 1, Dim: 2, Init: []float64{0, 0}, Codec: CodecSparseQ16},
+		&SparseUpdateMsg{Round: 2, Weight: 4, MaskHash: 0xabad1dea, MaskGen: 3, Dim: 6,
+			Enc: EncF64, Values: []float64{1.5, -2.25}},
+		&SparseUpdateMsg{Round: 2, Weight: 4, MaskHash: 1, MaskGen: -1, Dim: 6,
+			Enc: EncF16, Q: []uint16{0x3c00, 0xfc01, 0x7e33}},
+		&SparseGlobalMsg{Round: 9, Participants: 4, MaskHash: 7, MaskGen: 0, Dim: 4,
+			Enc: EncF64, Values: []float64{-0.5}},
+		&SparseGlobalMsg{Round: 9, Participants: 4, MaskHash: 7, MaskGen: 2, Dim: 4,
+			Enc: EncF16, Q: []uint16{0, 0x8000, 0x7bff}},
 	} {
 		f.Add(Encode(m))
 	}
@@ -53,6 +70,62 @@ func FuzzWireDecode(f *testing.F) {
 		}
 		if !bytes.Equal(Encode(m2), frame) {
 			t.Fatal("ReadMsg and Decode disagree")
+		}
+	})
+}
+
+// FuzzSparseDecode drives the sparse body decoders through structured
+// field space: any (round, weight, hash, generation, dimension, encoding,
+// payload bytes) combination must either decode to exactly the encoded
+// message or fail typed — hostile generation/dimension/length combos
+// included.
+func FuzzSparseDecode(f *testing.F) {
+	f.Add(int64(1), 2.5, uint64(9), int64(0), int64(4), byte(0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(int64(7), 1.0, uint64(0xfeedface), int64(-1), int64(2), byte(1), []byte{0x00, 0x3c, 0x01, 0xfc})
+	f.Add(int64(0), 0.0, uint64(0), int64(-2), int64(0), byte(2), []byte{})
+	f.Add(int64(3), 8.0, uint64(5), int64(10), int64(1), byte(1), []byte{1, 2, 3, 4, 5, 6})
+
+	f.Fuzz(func(t *testing.T, round int64, weight float64, hash uint64, gen, dim int64, encRaw byte, raw []byte) {
+		if len(raw) > 1<<16 {
+			t.Skip("oversized payload")
+		}
+		m := &SparseUpdateMsg{
+			Round: int(round), Weight: weight, MaskHash: hash,
+			MaskGen: int(gen), Dim: int(dim), Enc: Enc(encRaw % 2),
+		}
+		if m.Enc == EncF16 {
+			for i := 0; i+1 < len(raw); i += 2 {
+				m.Q = append(m.Q, uint16(raw[i])|uint16(raw[i+1])<<8)
+			}
+		} else {
+			for i := 0; i+7 < len(raw); i += 8 {
+				bits := uint64(0)
+				for b := 0; b < 8; b++ {
+					bits |= uint64(raw[i+b]) << (8 * b)
+				}
+				m.Values = append(m.Values, math.Float64frombits(bits))
+			}
+		}
+		frame := Encode(m)
+		got, rest, err := Decode(frame, 0)
+		if err != nil {
+			// The encoder accepts shapes the decoder's validation refuses
+			// (non-positive dim, scalars > dim, gen < -1); those must fail
+			// as corruption, not silently load.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("hostile sparse shape: got %v, want ErrCorrupt", err)
+			}
+			valid := m.Dim > 0 && m.Scalars() <= m.Dim && m.MaskGen >= -1
+			if valid {
+				t.Fatalf("decoder rejected a valid sparse message: %v", err)
+			}
+			return
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes after a single frame", len(rest))
+		}
+		if !bytes.Equal(Encode(got), frame) {
+			t.Fatal("sparse decode/encode not canonical")
 		}
 	})
 }

@@ -30,13 +30,23 @@
 //
 // # Versioning
 //
-// The version byte is stamped into every frame and checked on every
-// decode: a frame from a different protocol version fails with ErrVersion
-// before any of its payload is interpreted, so incompatible peers part
-// ways at the first message instead of mis-decoding each other. There is
-// no in-band negotiation at v1 — both directions must speak the same
-// version — but the byte reserves the space for a future server to accept
-// a range of client versions per kind.
+// The version byte is stamped per frame and checked on every decode: a
+// frame outside [MinVersion, Version] fails with ErrVersion before any of
+// its payload is interpreted, so incompatible peers part ways at the first
+// message instead of mis-decoding each other.
+//
+// Version 2 adds the mask-aware sparse message kinds (KindSparseUpdate,
+// KindSparseGlobal) and the codec-negotiation fields on the handshake
+// (JoinMsg.Caps, WelcomeMsg.Codec). Encoding is canonical per message, not
+// per build: a message whose v2 fields are zero — a Join advertising no
+// capabilities, a Welcome selecting the dense codec, and every dense
+// Update/Global — still encodes as a v1 frame, byte-identical to what a v1
+// build produces. A v1 peer therefore interoperates until (and unless) a
+// sparse codec is actually negotiated, and rejects a sparse frame cleanly
+// with ErrVersion from its own header check. The canonical rule also cuts
+// the other way: decoding re-derives the minimal version from the body and
+// refuses a frame whose stamped version disagrees (ErrCorrupt), so every
+// accepted frame re-encodes byte-identically — the fuzz oracle.
 package wire
 
 import (
@@ -46,8 +56,13 @@ import (
 	"apf/internal/checkpoint"
 )
 
-// Version is the protocol version stamped into every frame.
-const Version = 1
+// Version is the newest protocol version this build speaks; MinVersion is
+// the oldest it still decodes. Frames are stamped with the minimal version
+// their body needs (see the package comment on canonical versioning).
+const (
+	Version    = 2
+	MinVersion = 1
+)
 
 // Frame geometry.
 const (
@@ -74,6 +89,10 @@ const (
 	KindUpdate Kind = 3
 	// KindGlobal frames a GlobalMsg (server → client).
 	KindGlobal Kind = 4
+	// KindSparseUpdate frames a SparseUpdateMsg (client → server, v2).
+	KindSparseUpdate Kind = 5
+	// KindSparseGlobal frames a SparseGlobalMsg (server → client, v2).
+	KindSparseGlobal Kind = 6
 )
 
 // String names the kind for error messages.
@@ -87,6 +106,10 @@ func (k Kind) String() string {
 		return "update"
 	case KindGlobal:
 		return "global"
+	case KindSparseUpdate:
+		return "sparse-update"
+	case KindSparseGlobal:
+		return "sparse-global"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -107,14 +130,19 @@ var (
 	ErrTooLarge = errors.New("wire: frame exceeds payload limit")
 )
 
-// Msg is one protocol message. The four implementations are JoinMsg,
-// WelcomeMsg, UpdateMsg, and GlobalMsg.
+// Msg is one protocol message. The implementations are JoinMsg,
+// WelcomeMsg, UpdateMsg, GlobalMsg, SparseUpdateMsg, and SparseGlobalMsg.
 type Msg interface {
 	// WireKind returns the frame kind this message serializes under.
 	WireKind() Kind
-	// appendBody serializes the message body; the interface is sealed to
-	// this package so the kind↔type mapping stays closed.
-	appendBody(w *checkpoint.Writer)
+	// wireVersion returns the minimal protocol version whose frames can
+	// carry this message's body — the version stamped on encode and
+	// required on decode (canonical versioning).
+	wireVersion() uint8
+	// appendBody serializes the message body under the given frame
+	// version; the interface is sealed to this package so the kind↔type
+	// mapping stays closed.
+	appendBody(w *checkpoint.Writer, version uint8)
 }
 
 // JoinMsg registers a client with the server, or resumes a session.
@@ -129,6 +157,9 @@ type JoinMsg struct {
 	// none); on resume the server replies with the missed payloads
 	// (HaveRound+1 … current-1).
 	HaveRound int
+	// Caps advertises the client's codec capabilities (CapSparse,
+	// CapQuantized). 0 — the v1 form — requests the dense codec.
+	Caps uint64
 }
 
 // WelcomeMsg tells a client its identity and the run geometry.
@@ -146,7 +177,13 @@ type WelcomeMsg struct {
 	Resumed bool
 	// Missed carries the GlobalMsg payloads for rounds HaveRound+1 … Round-1
 	// so a resuming client can replay them and rebuild its mask state.
+	// Replay frames stay dense/lossless regardless of the negotiated
+	// codec, so resume reconstruction is bit-exact by construction.
 	Missed []GlobalMsg
+	// Codec is the server's pick for this session given the client's
+	// advertised Caps (never stronger than them). CodecDense — the v1
+	// form — keeps the session on the dense Update/Global kinds.
+	Codec Codec
 }
 
 // UpdateMsg carries one client's per-round push.

@@ -188,7 +188,7 @@ func TestHostileMissedCount(t *testing.T) {
 		body[i] = 0
 	}
 	body[len(body)-3] = 1 // little-endian byte 5 → 2^40
-	if _, err := decodeBody(KindWelcome, body); !errors.Is(err, ErrCorrupt) {
+	if _, err := decodeBody(KindWelcome, 1, body); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("hostile missed count: got %v, want ErrCorrupt", err)
 	}
 }
@@ -199,7 +199,7 @@ func TestTrailingGarbageInBody(t *testing.T) {
 	// body decoder must reject the leftovers.
 	body := append([]byte(nil), good[headerLen:len(good)-trailerLen]...)
 	body = append(body, 0)
-	if _, err := decodeBody(KindJoin, body); !errors.Is(err, ErrCorrupt) {
+	if _, err := decodeBody(KindJoin, 1, body); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("trailing byte in body: got %v, want ErrCorrupt", err)
 	}
 }
