@@ -9,6 +9,8 @@
 //	apfbench -hotpath BENCH_hotpath.json  # hot-path perf report
 //	apfbench -wire BENCH_wire.json        # gob vs wire broadcast report
 //	apfbench -telemetry BENCH_telemetry.json  # telemetry overhead report
+//	apfbench -scenarios BENCH_scenarios.json  # adversary × network × data matrix
+//	apfbench -scenarios smoke.json -matrix smoke  # CI smoke subset
 //
 // Output is a textual report per experiment: markdown tables for the
 // paper's tables and per-series digests (+ optional TSV dumps via -tsv)
@@ -46,6 +48,9 @@ func run(args []string) error {
 		hotpath = fs.String("hotpath", "", "measure the APF hot-path benchmarks and write the JSON report to this file")
 		wirerep = fs.String("wire", "", "measure gob vs wire-format broadcast cost and write the JSON report to this file")
 		telem   = fs.String("telemetry", "", "measure the telemetry observer's hot-path overhead and write the JSON report to this file")
+		scen    = fs.String("scenarios", "", "run the adversary × network × data scenario matrix and write the JSON report to this file")
+		matrix  = fs.String("matrix", "full", "scenario matrix: full | smoke (with -scenarios)")
+		trials  = fs.Int("trials", 2, "trials per scenario cell (with -scenarios, full matrix only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +64,9 @@ func run(args []string) error {
 	}
 	if *telem != "" {
 		return runTelemetrybench(*telem)
+	}
+	if *scen != "" {
+		return runScenarios(*scen, *matrix, *seed, *trials)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {

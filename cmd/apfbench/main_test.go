@@ -24,6 +24,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"no experiment", nil},
 		{"unknown experiment", []string{"-exp", "fig99"}},
 		{"unknown scale", []string{"-exp", "fig2", "-scale", "huge"}},
+		{"unknown scenario matrix", []string{"-scenarios", "out.json", "-matrix", "bogus"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

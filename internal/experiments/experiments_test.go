@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "table1", "table2", "table3", "table4",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21", "fig22",
-		"ext-ema", "ext-dp", "ext-baselines",
+		"ext-ema", "ext-dp", "ext-baselines", "ext-scenarios",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

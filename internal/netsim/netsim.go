@@ -132,14 +132,69 @@ func (d *DropoutSchedule) ActiveSet(round int) []bool {
 
 // draw returns the uniform [0,1) variate for one (round, client) cell.
 func (d *DropoutSchedule) draw(round, client int) float64 {
+	return cellRNG(d.seed, round, client).Float64()
+}
+
+// cellRNG derives the deterministic RNG of one (seed, round, client)
+// cell, so every schedule decision is a pure function of the seed and
+// simulator and testbed runs can share one schedule.
+func cellRNG(seed int64, round, client int) *rand.Rand {
 	h := fnv.New64a()
 	var buf [24]byte
-	binary.LittleEndian.PutUint64(buf[0:], uint64(d.seed))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(seed))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(round))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(client))
 	h.Write(buf[:])
-	return rand.New(rand.NewSource(int64(h.Sum64()))).Float64()
+	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
+
+// DelaySchedule deterministically decides which clients suffer an extra
+// network stall each round, and how long it lasts. Like DropoutSchedule,
+// every (round, client) decision is a pure function of the seed. Delay
+// durations are jittered uniformly in [Delay/2, Delay) so concurrent
+// stalls don't align on one magic duration.
+type DelaySchedule struct {
+	seed    int64
+	clients int
+	rate    float64
+	delay   time.Duration
+}
+
+// NewDelaySchedule builds a schedule where each client independently
+// stalls in a round with probability rate (clamped to [0, 1]) for a
+// jittered duration up to delay.
+func NewDelaySchedule(seed int64, clients int, rate float64, delay time.Duration) *DelaySchedule {
+	if clients <= 0 {
+		panic(fmt.Sprintf("netsim: invalid client count %d", clients))
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("netsim: invalid delay %v", delay))
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &DelaySchedule{seed: seed, clients: clients, rate: rate, delay: delay}
+}
+
+// DelayAt returns the extra stall for the client in the round: zero when
+// the draw spares it, otherwise a deterministic duration in
+// [delay/2, delay). The dropout and delay draws are decorrelated by
+// seeding the delay cells from a distinct stream.
+func (d *DelaySchedule) DelayAt(round, client int) time.Duration {
+	rng := cellRNG(d.seed^delayStream, round, client)
+	if rng.Float64() >= d.rate || d.delay == 0 {
+		return 0
+	}
+	half := float64(d.delay) / 2
+	return time.Duration(half + rng.Float64()*half)
+}
+
+// delayStream decorrelates DelaySchedule draws from DropoutSchedule draws
+// that share a seed.
+const delayStream = 0x64656c6179 // "delay"
 
 // PartialRoundTime is RoundTime for a fault-tolerant round: only active
 // clients are waited for, and whenever any client sits out the server

@@ -165,3 +165,118 @@ func TestPartialRoundTimeValidatesLengths(t *testing.T) {
 	PartialRoundTime(UniformProfiles(2, GlobalInternet()), UniformIters(2, 1),
 		[]int64{1, 2}, []int64{1, 2}, []bool{true}, time.Second)
 }
+
+// TestDropoutScheduleMarginalRate is the property test for the dropout
+// model: over many seeded rounds the empirical per-cell drop frequency
+// must converge on the configured rate. The fallback slot biases the
+// empirical rate low by at most rate^clients per round, negligible here.
+func TestDropoutScheduleMarginalRate(t *testing.T) {
+	t.Parallel()
+	const rounds, clients = 4000, 8
+	for _, rate := range []float64{0.1, 0.3, 0.5} {
+		d := NewDropoutSchedule(99, clients, rate)
+		dropped := 0
+		for r := 0; r < rounds; r++ {
+			for c := 0; c < clients; c++ {
+				if !d.Active(r, c) {
+					dropped++
+				}
+			}
+		}
+		got := float64(dropped) / float64(rounds*clients)
+		if diff := got - rate; diff > 0.02 || diff < -0.02 {
+			t.Errorf("rate %.2f: empirical drop rate %.4f (off by %.4f)", rate, got, diff)
+		}
+	}
+}
+
+// TestDropoutScheduleNeverEmpty: at any rate, every round keeps at least
+// one active client (the server's aggregation floor depends on it).
+func TestDropoutScheduleNeverEmpty(t *testing.T) {
+	t.Parallel()
+	for _, rate := range []float64{0.5, 0.9, 1.0} {
+		d := NewDropoutSchedule(3, 6, rate)
+		for r := 0; r < 500; r++ {
+			any := false
+			for _, on := range d.ActiveSet(r) {
+				any = any || on
+			}
+			if !any {
+				t.Fatalf("rate %.1f: round %d has no active client", rate, r)
+			}
+		}
+	}
+}
+
+// TestDelayScheduleMarginalRate is the property test for the delay model:
+// the fraction of delayed cells converges on the configured rate, and
+// every non-zero delay lands in [delay/2, delay).
+func TestDelayScheduleMarginalRate(t *testing.T) {
+	t.Parallel()
+	const rounds, clients = 4000, 8
+	base := 40 * time.Millisecond
+	for _, rate := range []float64{0.15, 0.4} {
+		d := NewDelaySchedule(17, clients, rate, base)
+		delayed := 0
+		for r := 0; r < rounds; r++ {
+			for c := 0; c < clients; c++ {
+				dl := d.DelayAt(r, c)
+				if dl == 0 {
+					continue
+				}
+				delayed++
+				if dl < base/2 || dl >= base {
+					t.Fatalf("rate %.2f: delay %v outside [%v, %v)", rate, dl, base/2, base)
+				}
+			}
+		}
+		got := float64(delayed) / float64(rounds*clients)
+		if diff := got - rate; diff > 0.02 || diff < -0.02 {
+			t.Errorf("rate %.2f: empirical delay rate %.4f (off by %.4f)", rate, got, diff)
+		}
+	}
+}
+
+// TestDelayScheduleDeterministicAndSeedSensitive mirrors the dropout
+// determinism contract for the delay model, and checks that sharing a
+// seed with a DropoutSchedule does not correlate the two draws.
+func TestDelayScheduleDeterministicAndSeedSensitive(t *testing.T) {
+	t.Parallel()
+	base := 20 * time.Millisecond
+	a := NewDelaySchedule(42, 5, 0.3, base)
+	b := NewDelaySchedule(42, 5, 0.3, base)
+	c := NewDelaySchedule(43, 5, 0.3, base)
+	same, diff := true, true
+	for r := 0; r < 40; r++ {
+		for cl := 0; cl < 5; cl++ {
+			if a.DelayAt(r, cl) != b.DelayAt(r, cl) {
+				same = false
+			}
+			if a.DelayAt(r, cl) != c.DelayAt(r, cl) {
+				diff = false
+			}
+		}
+	}
+	if !same {
+		t.Error("identical seeds produced different delay schedules")
+	}
+	if diff {
+		t.Error("different seeds produced identical delay schedules")
+	}
+
+	// Decorrelation from a same-seed dropout schedule: the delayed set and
+	// the dropped set must not coincide.
+	drop := NewDropoutSchedule(42, 5, 0.3)
+	agree, total := 0, 0
+	for r := 0; r < 200; r++ {
+		for cl := 0; cl < 5; cl++ {
+			total++
+			if (a.DelayAt(r, cl) > 0) == !drop.Active(r, cl) {
+				agree++
+			}
+		}
+	}
+	if agree == total {
+		t.Error("delay draws perfectly correlate with dropout draws sharing the seed")
+	}
+}

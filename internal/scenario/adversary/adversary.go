@@ -1,0 +1,253 @@
+// Package adversary wraps fl.SyncManagers with model-poisoning behavior
+// for the scenario harness: a compromised client trains honestly but
+// corrupts the contribution it uploads. Every attack decision is a pure
+// function of (seed, client, round), so adversarial trials replay
+// bit-identically across runs and across the TCP transport and the
+// in-process simulator.
+package adversary
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"apf/internal/fl"
+)
+
+// Strategy names one poisoning behavior.
+type Strategy string
+
+const (
+	// None leaves the client honest.
+	None Strategy = "none"
+	// Scale multiplies the contribution by Factor (a blatant magnitude
+	// attack — the norm gate's home turf).
+	Scale Strategy = "scale"
+	// SignFlip negates the contribution. Its L2 norm is unchanged, so a
+	// pure norm gate cannot see it; the harness keeps it in the matrix to
+	// measure that blind spot honestly.
+	SignFlip Strategy = "sign-flip"
+	// Noise adds Gaussian noise with per-scalar sigma
+	// Factor·‖contrib‖/√dim, inflating the norm by about √(1+Factor²).
+	Noise Strategy = "noise"
+)
+
+// Spec declares which clients attack, how, and when.
+type Spec struct {
+	// Strategy selects the poisoning behavior; None (or "") disables.
+	Strategy Strategy `json:"strategy"`
+	// Count is how many clients are adversarial. The harness assigns the
+	// highest client indices.
+	Count int `json:"count,omitempty"`
+	// AttackRate is the per-round probability an adversary attacks once
+	// past Onset (seeded draw; 0 means always).
+	AttackRate float64 `json:"attackRate,omitempty"`
+	// Onset is the first round eligible for attack. Leaving the earliest
+	// rounds honest lets the validator's norm history arm first, which is
+	// also what a stealthy adversary would do.
+	Onset int `json:"onset,omitempty"`
+	// Factor scales the attack magnitude (default 8 for Scale, 4 for
+	// Noise; unused by SignFlip).
+	Factor float64 `json:"factor,omitempty"`
+	// Evasion, when > 0, rescales every poisoned contribution's L2 norm to
+	// Evasion × the honest norm. An evasion factor under the validator's
+	// MaxNormMult slips beneath the gate while still steering the average.
+	Evasion float64 `json:"evasion,omitempty"`
+}
+
+// Active reports whether the spec poisons anyone at all.
+func (s Spec) Active() bool {
+	return s.Strategy != None && s.Strategy != "" && s.Count > 0
+}
+
+// factor returns the attack magnitude with per-strategy defaults.
+func (s Spec) factor() float64 {
+	if s.Factor > 0 {
+		return s.Factor
+	}
+	switch s.Strategy {
+	case Noise:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Validate rejects specs the harness cannot honor.
+func (s Spec) Validate() error {
+	switch s.Strategy {
+	case None, "", Scale, SignFlip, Noise:
+	default:
+		return fmt.Errorf("adversary: unknown strategy %q", s.Strategy)
+	}
+	if s.Count < 0 || s.AttackRate < 0 || s.AttackRate > 1 || s.Onset < 0 || s.Factor < 0 || s.Evasion < 0 {
+		return fmt.Errorf("adversary: invalid spec %+v", s)
+	}
+	return nil
+}
+
+// Attacks reports whether the adversary on client attacks in round: the
+// round is past onset and the seeded (seed, client, round) draw clears
+// the attack rate. Pure function, shared by the runner for ground truth
+// and by the wrapper for the attack itself.
+func (s Spec) Attacks(seed int64, client, round int) bool {
+	if !s.Active() || round < s.Onset {
+		return false
+	}
+	if s.AttackRate <= 0 || s.AttackRate >= 1 {
+		return true
+	}
+	return cellRNG(seed, client, round).Float64() < s.AttackRate
+}
+
+// cellRNG derives the deterministic RNG of one (seed, client, round)
+// attack cell (the netsim schedule idiom).
+func cellRNG(seed int64, client, round int) *rand.Rand {
+	h := fnv.New64a()
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(client))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(round))
+	h.Write(buf[:])
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Wrap returns inner with the spec's poisoning applied to every attacked
+// round's upload. client is the wrapped client's index (seeds the attack
+// draws). The wrapper forwards the compact-codec and mask interfaces, so
+// a poisoned APF client still negotiates sparse sessions; poisoning
+// happens on the dense contribution before compaction, exactly where a
+// compromised client would inject it.
+func Wrap(inner fl.SyncManager, spec Spec, seed int64, client int) fl.SyncManager {
+	if !spec.Active() {
+		return inner
+	}
+	return &manager{inner: inner, spec: spec, seed: seed, client: client}
+}
+
+// manager is the poisoning SyncManager wrapper.
+type manager struct {
+	inner  fl.SyncManager
+	spec   Spec
+	seed   int64
+	client int
+	buf    []float64
+}
+
+var _ fl.SyncManager = (*manager)(nil)
+
+// PostIterate trains honestly — the attack only touches the upload.
+func (m *manager) PostIterate(round int, x []float64) { m.inner.PostIterate(round, x) }
+
+// PrepareUpload poisons a copy of the inner contribution on attacked
+// rounds. The copy lives in the wrapper's own scratch: the inner
+// manager's contribution buffer is reused across rounds and must not be
+// mutated behind its back.
+func (m *manager) PrepareUpload(round int, x []float64) ([]float64, float64, int64) {
+	contrib, w, up := m.inner.PrepareUpload(round, x)
+	if !m.spec.Attacks(m.seed, m.client, round) {
+		return contrib, w, up
+	}
+	m.buf = append(m.buf[:0], contrib...)
+	m.poison(round, m.buf)
+	return m.buf, w, up
+}
+
+// ApplyDownload delegates; the adversary accepts globals like any client.
+func (m *manager) ApplyDownload(round int, x, global []float64) int64 {
+	return m.inner.ApplyDownload(round, x, global)
+}
+
+// poison corrupts one contribution in place per the spec.
+func (m *manager) poison(round int, v []float64) {
+	honest := norm2(v)
+	switch m.spec.Strategy {
+	case Scale:
+		f := m.spec.factor()
+		for i := range v {
+			v[i] *= f
+		}
+	case SignFlip:
+		for i := range v {
+			v[i] = -v[i]
+		}
+	case Noise:
+		sigma := m.spec.factor() * honest / math.Sqrt(float64(len(v)))
+		rng := cellRNG(m.seed^noiseStream, m.client, round)
+		for i := range v {
+			v[i] += sigma * rng.NormFloat64()
+		}
+	}
+	if m.spec.Evasion > 0 && honest > 0 {
+		if cur := norm2(v); cur > 0 {
+			f := m.spec.Evasion * honest / cur
+			for i := range v {
+				v[i] *= f
+			}
+		}
+	}
+}
+
+// noiseStream decorrelates the noise draws from the attack-rate draws.
+const noiseStream = 0x6e6f697365 // "noise"
+
+// norm2 returns the L2 norm of v.
+func norm2(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// CompactUpload delegates mask-elided extraction; it receives whatever
+// contribution PrepareUpload returned, so poisoned values flow through.
+func (m *manager) CompactUpload(round int, contrib []float64) []float64 {
+	if cc, ok := m.inner.(fl.CompactCodec); ok {
+		return cc.CompactUpload(round, contrib)
+	}
+	return append([]float64(nil), contrib...)
+}
+
+// ExpandDownload delegates compact-payload expansion.
+func (m *manager) ExpandDownload(round int, compact []float64) []float64 {
+	if cc, ok := m.inner.(fl.CompactCodec); ok {
+		return cc.ExpandDownload(round, compact)
+	}
+	return append([]float64(nil), compact...)
+}
+
+// CompactLen delegates the compact payload length; -1 means unknown.
+func (m *manager) CompactLen(round int) int {
+	if cl, ok := m.inner.(interface{ CompactLen(round int) int }); ok {
+		return cl.CompactLen(round)
+	}
+	return -1
+}
+
+// FrozenRatio delegates when the wrapped manager freezes parameters.
+func (m *manager) FrozenRatio() float64 {
+	if fr, ok := m.inner.(fl.FrozenRatioReporter); ok {
+		return fr.FrozenRatio()
+	}
+	return 0
+}
+
+// MaskWords delegates when the wrapped manager exposes a mask.
+func (m *manager) MaskWords() []uint64 {
+	if mr, ok := m.inner.(fl.MaskReporter); ok {
+		return mr.MaskWords()
+	}
+	return nil
+}
+
+// MaskGeneration delegates when the wrapped manager versions its mask;
+// -1 means none.
+func (m *manager) MaskGeneration() int {
+	if mg, ok := m.inner.(fl.MaskGenerationReporter); ok {
+		return mg.MaskGeneration()
+	}
+	return -1
+}

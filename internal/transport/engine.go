@@ -317,7 +317,7 @@ func (e *roundEngine) admit(id, round int, u *UpdateMsg, agg *fl.Aggregator) err
 			// Validator enabled but bypassed (e.g. gate raced a decode
 			// quirk): still charge the strike so repeat offenders
 			// quarantine.
-			e.validator.strike(id, err)
+			e.validator.strike(id, round, err)
 		}
 		return err
 	}

@@ -420,6 +420,15 @@ func (s *Server) CommittedRounds() int {
 	return len(s.history)
 }
 
+// Sessions returns how many client sessions have registered so far. Safe
+// to call while the server runs; harnesses use it to stagger client
+// launches so server-assigned ids follow a deterministic join order.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
 // track registers a live connection for byte accounting.
 func (s *Server) track(cc *countingConn) {
 	s.mu.Lock()
@@ -764,16 +773,38 @@ func (s *Server) writer(sess *session, gen int) {
 func (s *Server) flush(ctx context.Context) error {
 	s.mu.Lock()
 	sessions := append([]*session(nil), s.sessions...)
+	rounds := len(s.history)
 	s.mu.Unlock()
+	// In fault-tolerant mode, a session severed during the final
+	// broadcast gets a bounded window to resume: once Run returns the
+	// listener closes, so a straggler cut at the last round's mark could
+	// otherwise never fetch the final aggregates (its reconnects would be
+	// refused). Resume replays the missed rounds in the welcome, so
+	// "caught up" is sent == rounds with an empty, error-free queue. The
+	// window is shared across sessions and bounded by the round deadline.
+	var resumeDeadline time.Time
+	if s.faultTolerant() {
+		resumeDeadline = time.Now().Add(s.cfg.RoundDeadline)
+	}
 	var firstErr error
 	for _, sess := range sessions {
-		sess.mu.Lock()
-		for sess.conn != nil && sess.sendErr == nil && (len(sess.queue) > 0 || sess.inflight) {
-			sess.cond.Wait()
+		var err error
+		var undelivered int
+		for {
+			sess.mu.Lock()
+			for sess.conn != nil && sess.sendErr == nil && (len(sess.queue) > 0 || sess.inflight) {
+				sess.cond.Wait()
+			}
+			err = sess.sendErr
+			undelivered = len(sess.queue) + boolToInt(sess.inflight)
+			caughtUp := err == nil && undelivered == 0 && sess.sent >= rounds
+			sess.mu.Unlock()
+			if !s.faultTolerant() || caughtUp || ctx.Err() != nil ||
+				time.Now().After(resumeDeadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
-		err := sess.sendErr
-		undelivered := len(sess.queue) + boolToInt(sess.inflight)
-		sess.mu.Unlock()
 		if s.faultTolerant() {
 			continue
 		}

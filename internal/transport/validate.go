@@ -61,6 +61,10 @@ type Validator struct {
 	cfg     ValidatorConfig
 	strikes []int
 	quar    []bool
+	// quarRound records the round at which each client was quarantined
+	// (-1 while not quarantined, and after a checkpoint restore, where the
+	// snapshot carries the flag but not the round it was set in).
+	quarRound []int
 
 	norms  []float64 // rolling accepted L2 norms
 	next   int
@@ -82,13 +86,18 @@ func NewValidator(cfg ValidatorConfig) *Validator {
 	if cfg.MinHistory <= 0 {
 		cfg.MinHistory = 3
 	}
-	return &Validator{
-		cfg:     cfg,
-		strikes: make([]int, cfg.Clients),
-		quar:    make([]bool, cfg.Clients),
-		norms:   make([]float64, cfg.NormWindow),
-		sorted:  make([]float64, 0, cfg.NormWindow),
+	v := &Validator{
+		cfg:       cfg,
+		strikes:   make([]int, cfg.Clients),
+		quar:      make([]bool, cfg.Clients),
+		quarRound: make([]int, cfg.Clients),
+		norms:     make([]float64, cfg.NormWindow),
+		sorted:    make([]float64, 0, cfg.NormWindow),
 	}
+	for i := range v.quarRound {
+		v.quarRound[i] = -1
+	}
+	return v
 }
 
 // Check validates one update from client id without touching the norm
@@ -107,11 +116,11 @@ func (v *Validator) Check(id, round int, payload []float64, weight float64) (flo
 		return 0, fmt.Errorf("%w: round %d: client %d (%d strikes)", ErrQuarantined, round, id, v.strikes[id])
 	}
 	if len(payload) == 0 || (v.cfg.Dim > 0 && len(payload) > v.cfg.Dim) {
-		return 0, v.strike(id, fmt.Errorf("%w: round %d: client %d payload length %d outside (0,%d]",
+		return 0, v.strike(id, round, fmt.Errorf("%w: round %d: client %d payload length %d outside (0,%d]",
 			ErrDimMismatch, round, id, len(payload), v.cfg.Dim))
 	}
 	if math.IsNaN(weight) || math.IsInf(weight, 0) {
-		return 0, v.strike(id, fmt.Errorf("%w: round %d: client %d weight %v", ErrNonFiniteUpdate, round, id, weight))
+		return 0, v.strike(id, round, fmt.Errorf("%w: round %d: client %d weight %v", ErrNonFiniteUpdate, round, id, weight))
 	}
 	// One pass computes the norm and catches non-finite scalars (a NaN
 	// or Inf anywhere makes the running sum non-finite).
@@ -122,16 +131,16 @@ func (v *Validator) Check(id, round int, payload []float64, weight float64) (flo
 	if math.IsNaN(sum) || math.IsInf(sum, 0) {
 		for j, x := range payload {
 			if math.IsNaN(x) || math.IsInf(x, 0) {
-				return 0, v.strike(id, fmt.Errorf("%w: round %d: client %d scalar %d is %v",
+				return 0, v.strike(id, round, fmt.Errorf("%w: round %d: client %d scalar %d is %v",
 					ErrNonFiniteUpdate, round, id, j, x))
 			}
 		}
-		return 0, v.strike(id, fmt.Errorf("%w: round %d: client %d norm overflow", ErrNonFiniteUpdate, round, id))
+		return 0, v.strike(id, round, fmt.Errorf("%w: round %d: client %d norm overflow", ErrNonFiniteUpdate, round, id))
 	}
 	norm := math.Sqrt(sum)
 	if v.cfg.MaxNormMult > 0 && v.filled >= v.cfg.MinHistory {
 		if med := v.median(); med > 0 && norm > v.cfg.MaxNormMult*med {
-			return 0, v.strike(id, fmt.Errorf("%w: round %d: client %d norm %.6g exceeds %gx median %.6g",
+			return 0, v.strike(id, round, fmt.Errorf("%w: round %d: client %d norm %.6g exceeds %gx median %.6g",
 				ErrNormOutlier, round, id, norm, v.cfg.MaxNormMult, med))
 		}
 	}
@@ -151,11 +160,12 @@ func (v *Validator) Commit(norm float64) {
 }
 
 // strike charges one violation to the client and quarantines it at the
-// limit.
-func (v *Validator) strike(id int, err error) error {
+// limit, recording the round the quarantine tripped in.
+func (v *Validator) strike(id, round int, err error) error {
 	v.strikes[id]++
-	if v.strikes[id] >= v.cfg.StrikeLimit {
+	if v.strikes[id] >= v.cfg.StrikeLimit && !v.quar[id] {
 		v.quar[id] = true
+		v.quarRound[id] = round
 	}
 	return err
 }
@@ -214,6 +224,11 @@ func (v *Validator) Strikes(id int) int { return v.strikes[id] }
 
 // Quarantined reports whether client id is quarantined.
 func (v *Validator) Quarantined(id int) bool { return v.quar[id] }
+
+// QuarantineRound returns the round in which client id was quarantined,
+// or -1 if it is not quarantined (or was quarantined before a checkpoint
+// restore, which preserves the flag but not the round).
+func (v *Validator) QuarantineRound(id int) int { return v.quarRound[id] }
 
 // QuarantinedCount returns how many clients are quarantined.
 func (v *Validator) QuarantinedCount() int {

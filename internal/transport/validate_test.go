@@ -231,3 +231,50 @@ func TestValidatorStateRoundTrip(t *testing.T) {
 		t.Fatal("restore accepted a state for a different cluster size")
 	}
 }
+
+// TestValidatorQuarantineRound pins when the quarantine round is
+// recorded: -1 until the strike limit trips, then the round of the final
+// strike, immutable afterwards — and the sentinel returns after a state
+// restore, which carries the flag but not the round.
+func TestValidatorQuarantineRound(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Clients: 2, Dim: 2, StrikeLimit: 2})
+	poison := []float64{math.NaN(), 0}
+	if v.QuarantineRound(0) != -1 || v.QuarantineRound(1) != -1 {
+		t.Fatal("fresh validator should report -1 quarantine rounds")
+	}
+	if _, err := v.Check(0, 3, poison, 1); !errors.Is(err, ErrNonFiniteUpdate) {
+		t.Fatalf("strike 1: %v", err)
+	}
+	if v.QuarantineRound(0) != -1 {
+		t.Fatalf("quarantine round set before the limit: %d", v.QuarantineRound(0))
+	}
+	if _, err := v.Check(0, 5, poison, 1); !errors.Is(err, ErrNonFiniteUpdate) {
+		t.Fatalf("strike 2: %v", err)
+	}
+	if v.QuarantineRound(0) != 5 {
+		t.Fatalf("quarantine round = %d, want 5", v.QuarantineRound(0))
+	}
+	// Further rejections must not move the recorded round.
+	if _, err := v.Check(0, 7, poison, 1); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("post-quarantine err = %v", err)
+	}
+	if v.QuarantineRound(0) != 5 {
+		t.Fatalf("quarantine round drifted to %d", v.QuarantineRound(0))
+	}
+	if v.QuarantineRound(1) != -1 {
+		t.Fatal("unquarantined client grew a quarantine round")
+	}
+
+	// Snapshots persist the flag but not the round: the restored
+	// validator reports the honest -1 sentinel.
+	v2 := NewValidator(ValidatorConfig{Clients: 2, Dim: 2, StrikeLimit: 2})
+	if err := v2.restoreState(v.snapshotState()); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !v2.Quarantined(0) {
+		t.Fatal("quarantine flag lost across restore")
+	}
+	if v2.QuarantineRound(0) != -1 {
+		t.Fatalf("restored quarantine round = %d, want -1", v2.QuarantineRound(0))
+	}
+}
