@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"apf/internal/chaos"
+	"apf/internal/fl"
 	"apf/internal/metrics"
 	"apf/internal/preset"
 	"apf/internal/telemetry"
@@ -48,7 +49,11 @@ func run(args []string) error {
 		minClients = fs.Int("min-clients", 1, "minimum updates before a round deadline may aggregate")
 		ckptDir    = fs.String("checkpoint-dir", "", "directory for the durable snapshot + WAL; a restarted server resumes from it bit-exactly (empty = not durable)")
 		snapEvery  = fs.Int("snapshot-every", 5, "rotate the checkpoint snapshot every K committed rounds")
-		maxNorm    = fs.Float64("max-norm-mult", 0, "enable update sanitization, rejecting updates whose L2 norm exceeds this multiple of the recent median (0 = off)")
+		maxNorm    = fs.Float64("max-norm-mult", 0, "arm the update sanitization pipeline (non-finite and dimension checks plus the norm gate), striking updates whose L2 norm exceeds this multiple of the rolling median (0 = sanitization off)")
+		cosFloor   = fs.Float64("cosine-floor", 0, "with sanitization armed, also strike updates whose cosine against the decayed reference direction falls below this floor (0 = direction gate off; negative floors are meaningful)")
+		roundNorm  = fs.Float64("round-norm-mult", 0, "with sanitization armed, also strike accepted updates after the round when their norm exceeds this multiple of the round median (0 = post-round review off)")
+		aggregator = fs.String("aggregator", "mean", "aggregation reduction: mean | trimmed (coordinate-wise trimmed mean)")
+		trimFrac   = fs.Float64("trim-frac", 0, "per-side trim fraction for -aggregator trimmed, in [0, 0.5); 0 = default 0.25")
 		codec      = fs.String("codec", "dense", "strongest payload codec to offer sessions: dense | sparse | sparse-q16 (each client negotiates down to what it supports)")
 		chaosSpec  = fs.String("chaos", "", "fault-injection script, e.g. 'accept:1/sever-write@5;kill-server@7' (testing)")
 		chaosSeed  = fs.Int64("chaos-seed", 1, "seed for randomized chaos choices")
@@ -116,11 +121,24 @@ func run(args []string) error {
 
 	var validator *transport.ValidatorConfig
 	if *maxNorm > 0 {
-		validator = &transport.ValidatorConfig{MaxNormMult: *maxNorm}
+		validator = &transport.ValidatorConfig{
+			MaxNormMult:   *maxNorm,
+			CosineFloor:   *cosFloor,
+			RoundNormMult: *roundNorm,
+		}
+	} else if *cosFloor != 0 || *roundNorm != 0 {
+		return fmt.Errorf("-cosine-floor and -round-norm-mult need -max-norm-mult to arm sanitization")
 	}
 	maxCodec, err := wire.ParseCodec(*codec)
 	if err != nil {
 		return fmt.Errorf("-codec: %w", err)
+	}
+	reduction, err := fl.ParseReduction(*aggregator)
+	if err != nil {
+		return fmt.Errorf("-aggregator: %w", err)
+	}
+	if *trimFrac < 0 || *trimFrac >= 0.5 {
+		return fmt.Errorf("-trim-frac %g outside [0, 0.5)", *trimFrac)
 	}
 	srv, err := transport.NewServer(transport.ServerConfig{
 		Addr:          *addr,
@@ -135,6 +153,8 @@ func run(args []string) error {
 		SnapshotEvery: *snapEvery,
 		Validator:     validator,
 		Codec:         maxCodec,
+		Reduction:     reduction,
+		TrimFraction:  *trimFrac,
 		Metrics:       reg,
 		Log:           logger,
 	})

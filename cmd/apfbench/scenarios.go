@@ -15,7 +15,12 @@ func runScenarios(path, matrix string, seed int64, trials int) error {
 	var cells []scenario.Config
 	switch matrix {
 	case "full":
+		// The full benchmark is the defended matrix plus the defense
+		// ablation tiers (norm-only → +cosine/review → +trimmed), so the
+		// report both gates the defended TPRs and shows what each layer
+		// buys over the last.
 		cells = scenario.DefaultMatrix(seed, trials)
+		cells = append(cells, scenario.DefenseMatrix(seed, trials)...)
 	case "smoke":
 		cells = scenario.SmokeMatrix(seed)
 	default:

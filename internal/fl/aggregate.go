@@ -37,6 +37,18 @@ type Aggregator struct {
 
 	runFn func(int) // bound once so Do allocates nothing per call
 
+	// Reduction mode (SetReduction) plus the trimmed path's job state and
+	// per-chunk scratch columns — reused across rounds like the mean
+	// path's buffers, so the steady state stays allocation-free.
+	reduction            Reduction
+	trimFrac             float64
+	tContribs            [][]float64
+	tWeights             []float64
+	trimScratch          [][]trimPair
+	trimDepth            int
+	lastTrimK, lastTrimM int
+	runTrimFn            func(int)
+
 	// In-flight round state (Open/Add/Reduce).
 	open     bool
 	round    int
@@ -54,6 +66,7 @@ func NewAggregator(workers int) *Aggregator {
 func newAggregatorOn(pool *workerPool, own bool) *Aggregator {
 	a := &Aggregator{pool: pool, ownPool: own}
 	a.runFn = a.runChunk
+	a.runTrimFn = a.runTrimChunk
 	return a
 }
 
@@ -228,10 +241,13 @@ func (a *Aggregator) Dim() int {
 }
 
 // Reduce closes the open round and folds the stored contributions through
-// the ordered weighted mean into dst — bit-identical to a one-shot
-// WeightedMean over the same (contribs, weights) in client-id order. It
-// returns the participant count and false when nothing aggregates (no
-// contributions or zero total weight); the round is closed either way.
+// the configured reduction into dst. In ReduceMean mode the result is
+// bit-identical to a one-shot WeightedMean over the same
+// (contribs, weights) in client-id order; ReduceTrimmed applies the
+// coordinate-wise trimmed mean instead (which itself degrades bit-exactly
+// to the mean when fewer than 3 contributions arrive). Returns the
+// participant count and false when nothing aggregates (no contributions
+// or zero total weight); the round is closed either way.
 func (a *Aggregator) Reduce(dst []float64) (int, bool) {
 	if !a.open {
 		return 0, false
@@ -241,7 +257,13 @@ func (a *Aggregator) Reduce(dst []float64) (int, bool) {
 	if count == 0 {
 		return 0, false
 	}
-	ok := a.WeightedMean(dst, a.slots, a.slotW)
+	var ok bool
+	if a.reduction == ReduceTrimmed {
+		ok = a.TrimmedMean(dst, a.slots, a.slotW, a.trimFrac)
+	} else {
+		a.lastTrimK, a.lastTrimM = 0, count
+		ok = a.WeightedMean(dst, a.slots, a.slotW)
+	}
 	return count, ok
 }
 

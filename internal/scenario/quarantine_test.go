@@ -105,10 +105,10 @@ func TestQuarantineSurvivesKillRestart(t *testing.T) {
 	if kadv.Strikes != padv.Strikes {
 		t.Errorf("restored strikes = %d, want %d", kadv.Strikes, padv.Strikes)
 	}
-	// The restored validator knows the flag but not the round (snapshots
-	// don't carry it) — the sentinel documents that honestly.
-	if kadv.QuarantineRound != -1 {
-		t.Errorf("restored quarantine round = %d, want -1 sentinel", kadv.QuarantineRound)
+	// Snapshots carry the quarantine round since the validator state grew
+	// its optional tail; the restored record matches the uninterrupted one.
+	if kadv.QuarantineRound != padv.QuarantineRound {
+		t.Errorf("restored quarantine round = %d, want %d", kadv.QuarantineRound, padv.QuarantineRound)
 	}
 	if kres.RoundsCommitted != plain.RoundsCommitted {
 		t.Errorf("killed run committed %d rounds, uninterrupted %d", kres.RoundsCommitted, plain.RoundsCommitted)
@@ -118,5 +118,51 @@ func TestQuarantineSurvivesKillRestart(t *testing.T) {
 	}
 	if kres.Reconnects < len(kres.Clients) {
 		t.Errorf("expected every client to resume after the kill, got %d reconnects", kres.Reconnects)
+	}
+}
+
+// TestCosineQuarantineSurvivesKillRestart: a sign-flipper is caught by
+// the direction gate (the norm gate is blind to it), the coordinator is
+// killed after the quarantine is snapshotted, and the restored
+// validator — including the persisted reference direction and decay
+// bookkeeping — must still hold the quarantine rather than readmit the
+// flipper with a blank reference.
+func TestCosineQuarantineSurvivesKillRestart(t *testing.T) {
+	base := testCfg()
+	base.Rounds = 8
+	base.Adversary = adversary.Spec{Strategy: adversary.SignFlip, Count: 1, Onset: 2}
+	base.CosineFloor = matrixCosineFloor
+	base.RoundNormMult = matrixRoundNormMult
+	base.RoundDeadline = 600 * time.Millisecond
+
+	plain, err := RunTrial(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padv := plain.Clients[len(plain.Clients)-1]
+	if !padv.Quarantined {
+		t.Fatalf("uninterrupted sign-flip outcome = %+v, want cosine-gate quarantine", padv)
+	}
+
+	killed := base
+	killed.CheckpointDir = t.TempDir()
+	killed.Network.Kill = true
+	killed.Network.KillRound = padv.QuarantineRound + 2 // after the quarantine is snapshotted
+	if killed.Network.KillRound >= killed.Rounds {
+		t.Fatalf("quarantine round %d too late to kill after", padv.QuarantineRound)
+	}
+	kres, err := RunTrial(killed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kadv := kres.Clients[len(kres.Clients)-1]
+	if !kadv.Quarantined {
+		t.Error("cosine-gate quarantine did not survive the kill+restart")
+	}
+	if kadv.QuarantineRound != padv.QuarantineRound {
+		t.Errorf("restored quarantine round = %d, want %d", kadv.QuarantineRound, padv.QuarantineRound)
+	}
+	if kres.ModelHash != plain.ModelHash {
+		t.Errorf("final model diverged across kill+restart: %x vs %x", kres.ModelHash, plain.ModelHash)
 	}
 }

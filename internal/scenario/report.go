@@ -25,6 +25,16 @@ type CellKey struct {
 	Trials     int            `json:"trials"`
 	Seed       int64          `json:"seed"`
 	MinAcc     float64        `json:"minAcc,omitempty"`
+
+	// Defense knobs of the cell; zero values mean "off"/"mean" and are
+	// omitted so pre-defense reports stay readable.
+	CosineFloor   float64 `json:"cosineFloor,omitempty"`
+	RoundNormMult float64 `json:"roundNormMult,omitempty"`
+	Aggregator    string  `json:"aggregator,omitempty"`
+	TrimFraction  float64 `json:"trimFraction,omitempty"`
+	// MinTPR is the per-cell TPR floor override (> 0 floor, < 0 exempt,
+	// 0 defer to the matrix gates).
+	MinTPR float64 `json:"minTPR,omitempty"`
 }
 
 // networkKey flattens NetworkSpec with the delay in integer milliseconds
@@ -54,8 +64,12 @@ func (c Config) key() CellKey {
 			DelayRate: c.Network.DelayRate,
 			DelayMs:   int64(c.Network.Delay / time.Millisecond),
 		},
-		Trials: c.Trials,
-		Seed:   c.Seed,
+		Trials:        c.Trials,
+		Seed:          c.Seed,
+		CosineFloor:   c.CosineFloor,
+		RoundNormMult: c.RoundNormMult,
+		Aggregator:    c.Aggregator,
+		TrimFraction:  c.TrimFraction,
 	}
 }
 
@@ -152,14 +166,21 @@ type Gates struct {
 	AccFloor bool `json:"accFloor"`
 }
 
-// DefaultGates gates what the validator provably delivers today: blatant
-// magnitude attacks (scale, noise) must always quarantine, honest
-// clients never, and honest cells must keep learning.
+// DefaultGates gates what the defended validator delivers: blatant
+// magnitude attacks (scale, noise) must always quarantine, the two
+// former blind spots are floored now that the direction gate and the
+// post-round norm review are armed — sign-flip (cosine ≈ −1 against the
+// reference) at 0.9, the evasive scaler (caught only by the lagging
+// round review) at 0.5 — honest clients never strike, and honest cells
+// must keep learning. Cells carrying MinTPR < 0 (the norm-only ablation
+// tier) are exempt from the strategy floors.
 func DefaultGates() Gates {
 	return Gates{
 		TPRFloor: map[string]float64{
-			string(adversary.Scale): 1,
-			string(adversary.Noise): 1,
+			string(adversary.Scale):    1,
+			string(adversary.Noise):    1,
+			string(adversary.SignFlip): 0.9,
+			"scale-evade":              0.5,
 		},
 		FPRCeiling: 0,
 		AccFloor:   true,
@@ -187,7 +208,17 @@ func (rep *Report) Check() []string {
 		if cell.Cell.Adversary.Evasion > 0 {
 			strat += "-evade"
 		}
-		if floor, ok := rep.Gates.TPRFloor[strat]; ok && cell.Cell.Adversary.Count > 0 {
+		// Per-cell MinTPR overrides the strategy map: > 0 is the floor,
+		// < 0 exempts the cell (ablation tiers that measure a blind spot
+		// rather than gate it), 0 defers to the map.
+		floor, gated := rep.Gates.TPRFloor[strat]
+		switch {
+		case cell.Cell.MinTPR > 0:
+			floor, gated = cell.Cell.MinTPR, true
+		case cell.Cell.MinTPR < 0:
+			gated = false
+		}
+		if gated && cell.Cell.Adversary.Count > 0 {
 			if cell.TruePositiveRate < floor {
 				rep.Violations = append(rep.Violations,
 					fmt.Sprintf("%s: TPR %.3f below floor %.3f", cell.Cell.Name, cell.TruePositiveRate, floor))
@@ -216,10 +247,11 @@ func RunMatrix(matrixName string, cells []Config, seed int64, gates Gates, progr
 	}
 	for _, cfg := range cells {
 		cfg = cfg.withDefaults()
-		// Carry the builder's accuracy floor into the cell identity so the
+		// Carry the builder's gate overrides into the cell identity so the
 		// report is self-describing.
 		key := cfg.key()
 		key.MinAcc = cfg.MinAcc
+		key.MinTPR = cfg.MinTPR
 		if progress != nil {
 			progress(cfg.Name)
 		}

@@ -265,9 +265,13 @@ func RunTrial(cfgIn Config, trial int) (*TrialResult, error) {
 		RoundDeadline: cfg.RoundDeadline,
 		MinClients:    1,
 		Codec:         cfg.Codec,
+		Reduction:     cfg.reduction(),
+		TrimFraction:  cfg.TrimFraction,
 		Validator: &transport.ValidatorConfig{
-			MaxNormMult: cfg.MaxNormMult,
-			StrikeLimit: cfg.StrikeLimit,
+			MaxNormMult:   cfg.MaxNormMult,
+			StrikeLimit:   cfg.StrikeLimit,
+			CosineFloor:   cfg.CosineFloor,
+			RoundNormMult: cfg.RoundNormMult,
 		},
 	}
 	if cfg.CheckpointDir != "" {
@@ -505,14 +509,15 @@ func rebindServer(ctx context.Context, scfg transport.ServerConfig, addr string)
 }
 
 // oracleApplies reports whether the in-process simulator reproduces the
-// cell bit-exactly: honest clients, a quiet network, and a lossless
-// codec (q16 sessions quantize commits, which the simulator does not
-// model).
+// cell bit-exactly: honest clients, a quiet network, a lossless codec
+// (q16 sessions quantize commits, which the simulator does not model),
+// and mean reduction (the simulator has no trimmed-mean arm).
 func oracleApplies(cfg Config) bool {
 	return cfg.Oracle &&
 		!cfg.Adversary.Active() &&
 		cfg.Network.DropRate == 0 && cfg.Network.DelayRate == 0 && !cfg.Network.Kill &&
-		cfg.Codec != wire.CodecSparseQ16
+		cfg.Codec != wire.CodecSparseQ16 &&
+		cfg.reduction() == fl.ReduceMean
 }
 
 // runOracle replays the trial through the fl simulator and requires the

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"apf/internal/fl"
 	"apf/internal/scenario/adversary"
 	"apf/internal/stats"
 	"apf/internal/wire"
@@ -98,6 +99,27 @@ type Config struct {
 	// Validator knobs (defaults: 3× median norm gate, 2 strikes).
 	MaxNormMult float64 `json:"maxNormMult"`
 	StrikeLimit int     `json:"strikeLimit"`
+
+	// CosineFloor arms the validator's direction gate: updates whose
+	// cosine against the decayed reference direction falls below the
+	// floor are struck. 0 leaves the gate off (the pre-defense matrix).
+	CosineFloor float64 `json:"cosineFloor,omitempty"`
+	// RoundNormMult arms the post-round norm review: accepted updates
+	// whose norm exceeds RoundNormMult × the round median are struck
+	// after the round. 0 leaves the review off.
+	RoundNormMult float64 `json:"roundNormMult,omitempty"`
+
+	// Aggregator selects the server reduction ("", "mean", or "trimmed").
+	Aggregator string `json:"aggregator,omitempty"`
+	// TrimFraction is the per-side trim fraction when Aggregator is
+	// "trimmed"; 0 takes the fl default.
+	TrimFraction float64 `json:"trimFraction,omitempty"`
+
+	// MinTPR overrides the matrix-wide TPR floor for this cell: > 0 is
+	// the floor, < 0 exempts the cell from strategy floors (used by the
+	// norm-only defense tier, which documents its blind spots instead of
+	// gating them), 0 defers to the Gates.TPRFloor map.
+	MinTPR float64 `json:"minTPR,omitempty"`
 
 	// CheckpointDir persists coordinator state; required when Network.Kill.
 	CheckpointDir string `json:"-"`
@@ -180,7 +202,23 @@ func (c Config) validate() error {
 	if c.Codec < wire.CodecDense || c.Codec > wire.CodecSparseQ16 {
 		return fmt.Errorf("scenario %s: unknown codec %d", c.Name, c.Codec)
 	}
+	if _, err := fl.ParseReduction(c.Aggregator); err != nil {
+		return fmt.Errorf("scenario %s: %w", c.Name, err)
+	}
+	if c.TrimFraction < 0 || c.TrimFraction >= 0.5 {
+		return fmt.Errorf("scenario %s: trim fraction %g outside [0, 0.5)", c.Name, c.TrimFraction)
+	}
 	return nil
+}
+
+// reduction resolves the Aggregator string; validate() has already
+// rejected unknown names.
+func (c Config) reduction() fl.Reduction {
+	r, err := fl.ParseReduction(c.Aggregator)
+	if err != nil {
+		return fl.ReduceMean
+	}
+	return r
 }
 
 // TrialSeed derives the seed of one trial from the cell's base seed. It
@@ -234,6 +272,16 @@ func SmokeMatrix(seed int64) []Config {
 	)
 }
 
+// Matrix-wide defense calibration. The cosine floor sits well under the
+// ≥ 0.5 cosines honest tinyNet updates keep against the decayed
+// reference even at α = 0.3, while a sign-flip lands near −1; the round
+// review multiple sits between the honest round spread (within ~1.2× of
+// the round median on every matrix cell) and the 1.5× evasive scaler.
+const (
+	matrixCosineFloor   = 0.2
+	matrixRoundNormMult = 1.35
+)
+
 // buildMatrix crosses the axes into cell configs.
 func buildMatrix(seed int64, trials int, advs []adversary.Spec, nets []NetworkSpec, alphas []float64, codecs []wire.Codec) []Config {
 	var out []Config
@@ -248,6 +296,11 @@ func buildMatrix(seed int64, trials int, advs []adversary.Spec, nets []NetworkSp
 						Network:   n,
 						Trials:    trials,
 						Seed:      seed,
+						// The benchmark matrix runs with the direction gate
+						// and post-round norm review armed; the norm-only
+						// baseline lives in DefenseMatrix.
+						CosineFloor:   matrixCosineFloor,
+						RoundNormMult: matrixRoundNormMult,
 						// Clean honest cells must actually learn; the floor
 						// is far under the ~0.9 these cells reach, so it only
 						// trips on real convergence regressions.
@@ -256,6 +309,58 @@ func buildMatrix(seed int64, trials int, advs []adversary.Spec, nets []NetworkSp
 					out = append(out, cfg.withDefaults())
 				}
 			}
+		}
+	}
+	return out
+}
+
+// DefenseMatrix is the ablation appended to the benchmark matrix: the
+// three blind-spot-relevant adversaries under cumulative defense tiers —
+// norm gate only (the documented blind spots, TPR floors exempted),
+// + cosine gate and round review, + trimmed-mean aggregation. All cells
+// run clean network, α 0.3, dense codec so the only moving axis is the
+// defense; EXPERIMENTS.md reads its time-to-quarantine comparison off
+// these cells.
+func DefenseMatrix(seed int64, trials int) []Config {
+	advs := map[string]adversary.Spec{
+		"scale":       {Strategy: adversary.Scale, Count: 1, Onset: 3},
+		"scale-evade": {Strategy: adversary.Scale, Count: 1, Onset: 3, Evasion: 1.5},
+		"sign-flip":   {Strategy: adversary.SignFlip, Count: 1, Onset: 3},
+	}
+	tiers := []struct {
+		name string
+		arm  func(*Config)
+	}{
+		{"norm", func(c *Config) {
+			// Norm gate only: sign-flip and the evasive scaler slip
+			// through by construction, so exempt the cells from the
+			// strategy TPR floors — the measured TPR is the point.
+			c.MinTPR = -1
+		}},
+		{"cosine", func(c *Config) {
+			c.CosineFloor = matrixCosineFloor
+			c.RoundNormMult = matrixRoundNormMult
+		}},
+		{"trimmed", func(c *Config) {
+			c.CosineFloor = matrixCosineFloor
+			c.RoundNormMult = matrixRoundNormMult
+			c.Aggregator = "trimmed"
+		}},
+	}
+	var out []Config
+	for _, tier := range tiers {
+		for _, strat := range []string{"scale", "scale-evade", "sign-flip"} {
+			cfg := Config{
+				Name:      fmt.Sprintf("defense/%s/%s", tier.name, strat),
+				Alpha:     0.3,
+				Codec:     wire.CodecDense,
+				Adversary: advs[strat],
+				Network:   CleanNetwork(),
+				Trials:    trials,
+				Seed:      seed,
+			}
+			tier.arm(&cfg)
+			out = append(out, cfg.withDefaults())
 		}
 	}
 	return out

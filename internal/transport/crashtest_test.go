@@ -70,6 +70,11 @@ func TestCrashRealSIGKILL(t *testing.T) {
 			"-addr", addr, "-clients", fmt.Sprint(clients), "-rounds", fmt.Sprint(rounds),
 			"-model", model, "-seed", fmt.Sprint(seed),
 			"-deadline", "5s", "-checkpoint-dir", dir, "-snapshot-every", "3",
+			// Sanitization armed with the direction gate: the drill proves the
+			// recovered validator — including the persisted reference
+			// direction — neither strikes honest clients after the restart
+			// nor perturbs the bit-exact recovery.
+			"-max-norm-mult", "3", "-cosine-floor", "0.2",
 			"-metrics-addr", maddr, "-log-level", "info",
 		}
 		srvArgs := args

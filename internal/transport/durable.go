@@ -48,11 +48,19 @@ type serverState struct {
 
 // validatorState is the durable slice of a Validator: strike counters,
 // quarantine flags, and the rolling accepted-norm history (chronological,
-// oldest first).
+// oldest first). The cosine-gate fields (reference direction, its commit
+// count, quarantine rounds) ride as an optional tail so snapshots written
+// before the gate existed still decode: a legacy snapshot restores with
+// an empty reference (the gate re-arms from fresh commits) and -1
+// quarantine-round sentinels.
 type validatorState struct {
 	Strikes []int
 	Quar    []bool
 	Norms   []float64
+	// Optional tail (absent in legacy snapshots; QuarRound nil there).
+	Ref       []float64
+	RefCount  int
+	QuarRound []int
 }
 
 // encodeServerState frames the snapshot payload (without the outer frame;
@@ -80,6 +88,9 @@ func encodeServerState(s *serverState) []byte {
 			w.Bool(q)
 		}
 		w.F64s(v.Norms)
+		w.F64s(v.Ref)
+		w.Int(v.RefCount)
+		w.Ints(v.QuarRound)
 	}
 	return w.Bytes()
 }
@@ -117,6 +128,11 @@ func decodeServerState(payload []byte) (*serverState, error) {
 			v.Quar = append(v.Quar, r.Bool())
 		}
 		v.Norms = r.F64s()
+		if r.Err() == nil && r.Remaining() > 0 {
+			v.Ref = r.F64s()
+			v.RefCount = r.Int()
+			v.QuarRound = r.Ints()
+		}
 		s.Validator = v
 	}
 	if err := r.Done(); err != nil {

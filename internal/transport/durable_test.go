@@ -33,9 +33,12 @@ func TestServerStateCodecRoundTrip(t *testing.T) {
 			{Round: 1, Participants: 2, Payload: []float64{4, 5}},
 		},
 		Validator: &validatorState{
-			Strikes: []int{0, 2, 5},
-			Quar:    []bool{false, false, true},
-			Norms:   []float64{1.5, 0.25, 3},
+			Strikes:   []int{0, 2, 5},
+			Quar:      []bool{false, false, true},
+			Norms:     []float64{1.5, 0.25, 3},
+			Ref:       []float64{0.25, -0.5, 0.125},
+			RefCount:  7,
+			QuarRound: []int{-1, -1, 4},
 		},
 	}
 	got, err := decodeServerState(encodeServerState(st))
@@ -52,6 +55,29 @@ func TestServerStateCodecRoundTrip(t *testing.T) {
 	got, err = decodeServerState(encodeServerState(st))
 	if err != nil || got.Validator != nil {
 		t.Fatalf("nil-validator round trip: %+v err=%v", got.Validator, err)
+	}
+
+	// A legacy snapshot — written before the cosine gate — ends after the
+	// norm history. It must still decode, with the tail fields empty.
+	var w checkpoint.Writer
+	w.Int(1)             // NumClients
+	w.Int(2)             // Rounds
+	w.F64s(nil)          // Init
+	w.Int(0)             // sessions
+	w.Int(0)             // history
+	w.Int(0)             // PartialRounds
+	w.Bool(true)         // validator present
+	w.Ints([]int{3})     // Strikes
+	w.Int(1)             // quarantine flags
+	w.Bool(true)         //
+	w.F64s([]float64{2}) // Norms — legacy payload ends here
+	legacy, err := decodeServerState(w.Bytes())
+	if err != nil {
+		t.Fatalf("decode legacy server state: %v", err)
+	}
+	v := legacy.Validator
+	if v == nil || v.Ref != nil || v.RefCount != 0 || v.QuarRound != nil {
+		t.Fatalf("legacy validator state grew tail fields: %+v", v)
 	}
 
 	u := &UpdateMsg{Round: 7, Weight: 30, MaskHash: 0xdeadbeef, Payload: []float64{1, -2}}

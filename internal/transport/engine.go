@@ -52,6 +52,10 @@ type roundSink interface {
 	// rejectUpdate records one refused update (fault-tolerant mode only;
 	// in strict mode a refused update aborts the run instead).
 	rejectUpdate(id, round int, err error)
+	// strikeClient records one post-round review violation: the update was
+	// admitted and aggregated, but the round-relative norm review struck
+	// the client after the fact (possibly quarantining it).
+	strikeClient(id, round int, err error)
 	// commitRound durably commits and distributes one aggregate. meta is
 	// the round's mask agreement evidence; partial marks a round that
 	// aggregated fewer than the full cluster.
@@ -76,10 +80,19 @@ type roundEngine struct {
 	// equals what a q16 client decodes from its sparse global, so mixed
 	// dense/q16 clusters and WAL replay stay bit-identical.
 	quantizeCommit bool
+	// reduction selects the aggregator's fold (mean or trimmed) with
+	// trimFrac as the per-side trim fraction; see fl.SetReduction.
+	reduction fl.Reduction
+	trimFrac  float64
 	// metrics instruments update classification and phase timings; nil
 	// (the default for in-process engine tests) disables it entirely,
 	// including the clock reads.
 	metrics *engineMetrics
+
+	// Per-round accepted (id, norm) pairs feeding the validator's
+	// post-round norm review; reset when a round opens.
+	acceptedIDs   []int
+	acceptedNorms []float64
 }
 
 // faultTolerant reports whether partial aggregation is enabled.
@@ -91,6 +104,7 @@ func (e *roundEngine) faultTolerant() bool { return e.deadline > 0 }
 func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, history []GlobalMsg) ([]float64, error) {
 	agg := fl.NewAggregator(0)
 	defer agg.Close()
+	agg.SetReduction(e.reduction, e.trimFrac)
 
 	n := e.clients
 	received := make([]*UpdateMsg, n)
@@ -115,6 +129,8 @@ func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, h
 		for i := range received {
 			received[i] = nil
 		}
+		e.acceptedIDs = e.acceptedIDs[:0]
+		e.acceptedNorms = e.acceptedNorms[:0]
 		agg.Open(round, n)
 		count, maskGen, err := e.collect(ctx, round, received, agg)
 		if err != nil {
@@ -129,6 +145,19 @@ func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, h
 		if err := checkUpdates(round, received); err != nil {
 			return nil, fmt.Errorf("transport: %w", err)
 		}
+		// Post-round norm review: with every norm of the closed round on
+		// the table, strike participants that towered over the round's
+		// median — the round-relative comparison a rolling history cannot
+		// make while model norms drift. Running it before the commit means
+		// any quarantine it trips rides the same snapshot rotation.
+		if e.validator != nil {
+			for _, s := range e.validator.ReviewRound(round, e.acceptedIDs, e.acceptedNorms) {
+				if e.metrics != nil {
+					e.metrics.reviewStrikes.Inc()
+				}
+				e.sink.strikeClient(s.ID, round, s.Err)
+			}
+		}
 		// checkUpdates proved every participant attested the same hash, so
 		// any one of them speaks for the round.
 		meta := roundMeta{maskGen: maskGen}
@@ -142,6 +171,11 @@ func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, h
 		out := make([]float64, agg.Dim())
 		if _, ok := agg.Reduce(out); !ok {
 			return nil, protocolErrorf("round %d: all contributions withheld (total weight 0)", round)
+		}
+		if e.metrics != nil {
+			if k, m := agg.LastTrim(); m > 0 {
+				e.metrics.trimmedFraction.Set(float64(2*k) / float64(m))
+			}
 		}
 		if e.quantizeCommit {
 			quantize.RoundTripSlice(out)
@@ -303,6 +337,11 @@ func (e *roundEngine) admit(id, round int, u *UpdateMsg, agg *fl.Aggregator) err
 	if e.validator != nil {
 		var err error
 		norm, err = e.validator.Check(id, round, u.Payload, u.Weight)
+		if e.metrics != nil {
+			if cos, ok := e.validator.LastCosine(); ok {
+				e.metrics.cosine.Observe(cos)
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -321,11 +360,13 @@ func (e *roundEngine) admit(id, round int, u *UpdateMsg, agg *fl.Aggregator) err
 		}
 		return err
 	}
-	// The norm enters the median history only now, when every guard has
-	// accepted the update; an aggregator rejection above must not let a
-	// refused update skew the gate.
+	// The norm and direction enter the gate state only now, when every
+	// guard has accepted the update; an aggregator rejection above must
+	// not let a refused update skew the gates.
 	if e.validator != nil {
-		e.validator.Commit(norm)
+		e.validator.Commit(norm, u.Payload)
+		e.acceptedIDs = append(e.acceptedIDs, id)
+		e.acceptedNorms = append(e.acceptedNorms, norm)
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ type testSink struct {
 	partials []bool
 	logged   int
 	sparse   int
+	struck   []int // client ids struck by the post-round review, in order
 }
 
 func (s *testSink) markRound(int) {}
@@ -33,6 +34,12 @@ func (s *testSink) logUpdate(id int, u *UpdateMsg, sp *SparseUpdateMsg) error {
 }
 
 func (s *testSink) rejectUpdate(id, round int, err error) {}
+
+func (s *testSink) strikeClient(id, round int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.struck = append(s.struck, id)
+}
 
 func (s *testSink) commitRound(g *GlobalMsg, meta roundMeta, partial bool) error {
 	s.mu.Lock()

@@ -126,6 +126,7 @@ type serverMetrics struct {
 	rejNonFinite  *telemetry.Counter
 	rejDim        *telemetry.Counter
 	rejNorm       *telemetry.Counter
+	rejCosine     *telemetry.Counter
 	rejQuarantine *telemetry.Counter
 	rejOther      *telemetry.Counter
 
@@ -172,6 +173,7 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		rejNonFinite:  reg.Counter("apf_update_rejections_total", rejHelp, "reason", "non_finite"),
 		rejDim:        reg.Counter("apf_update_rejections_total", rejHelp, "reason", "dim_mismatch"),
 		rejNorm:       reg.Counter("apf_update_rejections_total", rejHelp, "reason", "norm_outlier"),
+		rejCosine:     reg.Counter("apf_update_rejections_total", rejHelp, "reason", "direction_outlier"),
 		rejQuarantine: reg.Counter("apf_update_rejections_total", rejHelp, "reason", "quarantined"),
 		rejOther:      reg.Counter("apf_update_rejections_total", rejHelp, "reason", "other"),
 		sparseSavedBytes: reg.Counter("apf_sparse_bytes_saved_total",
@@ -194,6 +196,8 @@ func (m *serverMetrics) recordRejection(err error) {
 		m.rejQuarantine.Inc()
 	case errors.Is(err, ErrNormOutlier):
 		m.rejNorm.Inc()
+	case errors.Is(err, ErrDirectionOutlier):
+		m.rejCosine.Inc()
 	case errors.Is(err, ErrNonFiniteUpdate):
 		m.rejNonFinite.Inc()
 	case errors.Is(err, ErrDimMismatch):
@@ -218,6 +222,15 @@ type engineMetrics struct {
 	collectSeconds *telemetry.Histogram
 	reduceSeconds  *telemetry.Histogram
 	commitSeconds  *telemetry.Histogram
+
+	// cosine distributes the similarity of every checked update against
+	// the reference direction (recorded whether or not the update passed);
+	// trimmedFraction tracks the share of contributions the trimmed
+	// reduction dropped per coordinate in the last committed round;
+	// reviewStrikes counts post-round norm-review violations.
+	cosine          *telemetry.Histogram
+	trimmedFraction *telemetry.Gauge
+	reviewStrikes   *telemetry.Counter
 }
 
 func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
@@ -242,6 +255,13 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 			"phase", "reduce"),
 		commitSeconds: reg.Histogram("apf_round_phase_seconds", phaseHelp, nil,
 			"phase", "commit"),
+		cosine: reg.Histogram("apf_update_cosine",
+			"Cosine similarity of checked updates against the decayed reference direction.",
+			[]float64{-1, -0.75, -0.5, -0.25, 0, 0.25, 0.5, 0.75, 0.9}),
+		trimmedFraction: reg.Gauge("apf_trimmed_fraction",
+			"Fraction of contributions dropped per coordinate by the trimmed reduction in the last committed round."),
+		reviewStrikes: reg.Counter("apf_review_strikes_total",
+			"Strikes charged by the post-round norm review."),
 	}
 }
 

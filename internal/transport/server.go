@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"apf/internal/checkpoint"
+	"apf/internal/fl"
 	"apf/internal/telemetry"
 	"apf/internal/telemetry/hooks"
 	"apf/internal/wire"
@@ -62,10 +63,22 @@ type ServerConfig struct {
 	// (default 5); between snapshots only the WAL grows.
 	SnapshotEvery int
 	// Validator, when non-nil, enables inbound update sanitization:
-	// non-finite values, impossible dimensions, and median-gated norm
-	// outliers are rejected with typed errors, repeat offenders are
-	// quarantined. Clients and Dim are filled from the server config.
+	// non-finite values, impossible dimensions, median-gated norm
+	// outliers, and direction outliers (when CosineFloor is set) are
+	// rejected with typed errors, repeat offenders are quarantined, and
+	// the post-round norm review (when RoundNormMult is set) strikes
+	// norm-evasive scalers. Clients and Dim are filled from the server
+	// config.
 	Validator *ValidatorConfig
+	// Reduction selects how accepted contributions fold into the committed
+	// aggregate: fl.ReduceMean (the zero value) is classic weighted
+	// FedAvg; fl.ReduceTrimmed is the coordinate-wise trimmed mean, which
+	// bounds the influence of any single contribution on any coordinate —
+	// including attacks no inbound gate rejects. TrimFraction is its
+	// per-side trim fraction (0 takes fl.DefaultTrimFraction; must stay
+	// below 0.5).
+	Reduction    fl.Reduction
+	TrimFraction float64
 	// Metrics, when non-nil, receives runtime metrics from every layer of
 	// the server (rounds, updates, wire traffic, durability, validation).
 	// Nil keeps the server metric-free at the cost of one branch per
@@ -118,7 +131,7 @@ type Server struct {
 	round         int            // round currently being collected
 	history       []GlobalMsg    // aggregates of completed rounds, by round
 	frames        []*roundFrames // per-codec encoded aggregates, parallel to history
-	sessions      []*session  // by client id, registration order
+	sessions      []*session     // by client id, registration order
 	byKey         map[string]*session
 	conns         map[*countingConn]struct{} // live, un-absorbed connections
 	regDone       bool
@@ -141,10 +154,10 @@ type session struct {
 	// codec is the payload codec negotiated at the session's latest join
 	// (wire.NegotiateCodec of the server's cap and the client's Caps).
 	codec wire.Codec
-	cond *sync.Cond    // signalled on queue/conn/inflight changes
-	conn *countingConn // nil while disconnected
-	gen  int           // bumps per attached connection; stale readers detach no-one
-	sent int           // next round whose GlobalMsg this connection needs
+	cond  *sync.Cond    // signalled on queue/conn/inflight changes
+	conn  *countingConn // nil while disconnected
+	gen   int           // bumps per attached connection; stale readers detach no-one
+	sent  int           // next round whose GlobalMsg this connection needs
 	// queue holds encoded frames awaiting the writer goroutine; inflight
 	// marks a frame popped but not yet written; sendErr is the sticky
 	// write failure of the current connection.
@@ -239,6 +252,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		closeQuietly(ln)
 		return nil, fmt.Errorf("transport: validator clients %d conflicts with cluster size %d",
 			cfg.Validator.Clients, cfg.NumClients)
+	}
+	if cfg.Reduction == fl.ReduceTrimmed && cfg.TrimFraction >= 0.5 {
+		closeQuietly(ln)
+		return nil, fmt.Errorf("transport: trim fraction %v leaves no survivors (must be < 0.5)", cfg.TrimFraction)
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -567,6 +584,8 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		// the committed trajectory never depends on who happens to be
 		// connected (or on recovery timing).
 		quantizeCommit: s.cfg.Codec == wire.CodecSparseQ16,
+		reduction:      s.cfg.Reduction,
+		trimFrac:       s.cfg.TrimFraction,
 		metrics:        newEngineMetrics(s.cfg.Metrics),
 	}
 	s.mu.Lock()
@@ -631,6 +650,16 @@ func (s *Server) rejectUpdate(id, round int, err error) {
 		s.metrics.quarantined.Set(float64(s.validator.QuarantinedCount()))
 	}
 	s.log.Warn("update rejected", "client", id, "round", round, "err", err)
+}
+
+// strikeClient implements roundSink: the post-round norm review charged a
+// strike against an already-aggregated update. No rejection is counted —
+// the update did fold into the round — but the quarantine gauge may move.
+func (s *Server) strikeClient(id, round int, err error) {
+	if s.metrics != nil && s.validator != nil {
+		s.metrics.quarantined.Set(float64(s.validator.QuarantinedCount()))
+	}
+	s.log.Warn("post-round review strike", "client", id, "round", round, "err", err)
 }
 
 // commitRound implements roundSink. Commit before broadcast: once any

@@ -18,6 +18,11 @@ var (
 	// ErrNormOutlier marks an update whose L2 norm exceeds the median-based
 	// gate (an exploding or maliciously scaled contribution).
 	ErrNormOutlier = errors.New("transport: update norm outlier")
+	// ErrDirectionOutlier marks an update pointing away from the decayed
+	// reference direction of recently committed updates — the signature of
+	// a sign-flipper or other direction-inverting poisoner that a pure
+	// magnitude gate cannot see.
+	ErrDirectionOutlier = errors.New("transport: update direction outlier")
 	// ErrQuarantined marks an update from a client already quarantined for
 	// repeated violations.
 	ErrQuarantined = errors.New("transport: client quarantined")
@@ -45,6 +50,31 @@ type ValidatorConfig struct {
 	// MinHistory is the minimum number of accepted norms before the norm
 	// gate arms (default 3).
 	MinHistory int
+	// CosineFloor rejects an update whose cosine similarity against the
+	// decayed reference direction falls below this value (0 disables the
+	// gate; negative floors are meaningful — e.g. -0.5 rejects only
+	// strongly inverted updates). The reference is built from committed
+	// updates' unit directions over the unfrozen coordinates, so the gate
+	// composes with mask-compacted payloads; it resets whenever the
+	// payload geometry changes (mask refresh) and stays silent until
+	// CosineMinHistory commits rebuild it.
+	CosineFloor float64
+	// CosineDecay is the exponential decay applied to the reference
+	// direction per committed update (default 0.9). Smaller values track
+	// model drift faster but average fewer honest directions.
+	CosineDecay float64
+	// CosineMinHistory is the minimum number of committed updates folded
+	// into the reference (at its current geometry) before the cosine gate
+	// arms (default 3).
+	CosineMinHistory int
+	// RoundNormMult arms the post-round norm review: after a round
+	// closes, any accepted update whose norm exceeded this multiple of
+	// the round's median norm earns a strike (0 disables; requires at
+	// least 3 participants). Unlike MaxNormMult's rolling history — which
+	// lags when the model's update norms grow round over round — the
+	// round-relative review catches norm-evasive scalers that stay just
+	// above their honest peers every round.
+	RoundNormMult float64
 }
 
 // Validator sanitizes inbound UpdateMsgs before they reach the
@@ -70,6 +100,18 @@ type Validator struct {
 	next   int
 	filled int
 	sorted []float64 // scratch for the median
+
+	// Cosine-gate state: the decayed sum of committed updates' unit
+	// directions, its cached L2 norm, and how many commits are folded in
+	// at the current geometry.
+	ref      []float64
+	refNorm  float64
+	refCount int
+	// lastCos records the cosine computed by the most recent Check (valid
+	// only when lastCosOK; reset at the top of every Check) so the engine
+	// can feed the telemetry histogram without recomputing the dot.
+	lastCos   float64
+	lastCosOK bool
 }
 
 // NewValidator builds a validator; zero-value knobs take defaults.
@@ -85,6 +127,12 @@ func NewValidator(cfg ValidatorConfig) *Validator {
 	}
 	if cfg.MinHistory <= 0 {
 		cfg.MinHistory = 3
+	}
+	if cfg.CosineDecay <= 0 || cfg.CosineDecay >= 1 {
+		cfg.CosineDecay = 0.9
+	}
+	if cfg.CosineMinHistory <= 0 {
+		cfg.CosineMinHistory = 3
 	}
 	v := &Validator{
 		cfg:       cfg,
@@ -109,6 +157,7 @@ func NewValidator(cfg ValidatorConfig) *Validator {
 // other than ErrQuarantined costs the client a strike; reaching the
 // strike limit quarantines it permanently for the run.
 func (v *Validator) Check(id, round int, payload []float64, weight float64) (float64, error) {
+	v.lastCosOK = false
 	if id < 0 || id >= v.cfg.Clients {
 		return 0, fmt.Errorf("%w: round %d: client id %d out of range", ErrDimMismatch, round, id)
 	}
@@ -144,19 +193,104 @@ func (v *Validator) Check(id, round int, payload []float64, weight float64) (flo
 				ErrNormOutlier, round, id, norm, v.cfg.MaxNormMult, med))
 		}
 	}
+	if v.cfg.CosineFloor != 0 && v.refCount >= v.cfg.CosineMinHistory &&
+		len(payload) == len(v.ref) && norm > 0 && v.refNorm > 0 {
+		dot := 0.0
+		for j, x := range payload {
+			dot += x * v.ref[j]
+		}
+		cos := dot / (norm * v.refNorm)
+		v.lastCos, v.lastCosOK = cos, true
+		if cos < v.cfg.CosineFloor {
+			return 0, v.strike(id, round, fmt.Errorf("%w: round %d: client %d cosine %.4f below floor %g",
+				ErrDirectionOutlier, round, id, cos, v.cfg.CosineFloor))
+		}
+	}
 	return norm, nil
 }
 
-// Commit records the norm of a fully accepted update into the rolling
-// history feeding the median gate. Call it with the norm Check returned,
-// only after every later guard (the aggregator's) also accepted the
-// update.
-func (v *Validator) Commit(norm float64) {
+// LastCosine returns the cosine similarity the most recent Check computed
+// against the reference direction, and whether one was computed at all
+// (the gate may be disabled, unarmed, or the geometries mismatched).
+func (v *Validator) LastCosine() (float64, bool) { return v.lastCos, v.lastCosOK }
+
+// Commit records a fully accepted update into the gate state: its norm
+// into the rolling history feeding the median gate, and its unit
+// direction into the decayed reference the cosine gate judges against.
+// Call it with the norm Check returned and the same payload, only after
+// every later guard (the aggregator's) also accepted the update. A
+// payload length different from the reference's signals a mask refresh:
+// the reference restarts at the new geometry and the cosine gate holds
+// fire until CosineMinHistory fresh commits rebuild it.
+func (v *Validator) Commit(norm float64, payload []float64) {
 	v.norms[v.next] = norm
 	v.next = (v.next + 1) % len(v.norms)
 	if v.filled < len(v.norms) {
 		v.filled++
 	}
+	if v.cfg.CosineFloor == 0 || norm <= 0 {
+		return
+	}
+	if len(v.ref) != len(payload) {
+		if cap(v.ref) < len(payload) {
+			v.ref = make([]float64, len(payload))
+		}
+		v.ref = v.ref[:len(payload)]
+		for j := range v.ref {
+			v.ref[j] = 0
+		}
+		v.refCount = 0
+	}
+	decay, inv := v.cfg.CosineDecay, 1/norm
+	sum := 0.0
+	for j, x := range payload {
+		r := decay*v.ref[j] + x*inv
+		v.ref[j] = r
+		sum += r * r
+	}
+	v.refNorm = math.Sqrt(sum)
+	v.refCount++
+}
+
+// reviewStrike names one post-round review violation: the struck client
+// and the (ErrNormOutlier-wrapping) cause.
+type reviewStrike struct {
+	ID  int
+	Err error
+}
+
+// ReviewRound runs the post-round norm review over one committed round:
+// ids and norms (parallel slices) are the accepted participants and the
+// norms Check returned for them. Any participant whose norm exceeded
+// RoundNormMult times the round's median is struck — the returned
+// strikes (one per offender, each wrapping ErrNormOutlier) let the
+// caller log and count them. Nil when the review is disabled or fewer
+// than 3 updates committed; the round-relative comparison is meaningless
+// below that.
+func (v *Validator) ReviewRound(round int, ids []int, norms []float64) []reviewStrike {
+	if v.cfg.RoundNormMult <= 0 || len(ids) < 3 || len(ids) != len(norms) {
+		return nil
+	}
+	v.sorted = append(v.sorted[:0], norms...)
+	sort.Float64s(v.sorted)
+	var med float64
+	if n := len(v.sorted); n%2 == 1 {
+		med = v.sorted[n/2]
+	} else {
+		med = (v.sorted[n/2-1] + v.sorted[n/2]) / 2
+	}
+	if med <= 0 {
+		return nil
+	}
+	var strikes []reviewStrike
+	for i, id := range ids {
+		if norms[i] > v.cfg.RoundNormMult*med {
+			strikes = append(strikes, reviewStrike{ID: id, Err: v.strike(id, round, fmt.Errorf(
+				"%w: round %d: client %d norm %.6g exceeds %gx round median %.6g",
+				ErrNormOutlier, round, id, norms[i], v.cfg.RoundNormMult, med))})
+		}
+	}
+	return strikes
 }
 
 // strike charges one violation to the client and quarantines it at the
@@ -182,14 +316,18 @@ func (v *Validator) median() float64 {
 }
 
 // snapshotState captures the validator's durable state — per-client
-// strikes and quarantine flags plus the accepted-norm history in
-// chronological order — for inclusion in the server snapshot, so a
-// restarted coordinator neither readmits a quarantined poisoner nor
-// disarms the norm gate until fresh history accumulates.
+// strikes, quarantine flags and rounds, the accepted-norm history in
+// chronological order, and the cosine gate's reference direction — for
+// inclusion in the server snapshot, so a restarted coordinator neither
+// readmits a quarantined poisoner nor disarms any gate until fresh
+// history accumulates.
 func (v *Validator) snapshotState() *validatorState {
 	st := &validatorState{
-		Strikes: append([]int(nil), v.strikes...),
-		Quar:    append([]bool(nil), v.quar...),
+		Strikes:   append([]int(nil), v.strikes...),
+		Quar:      append([]bool(nil), v.quar...),
+		QuarRound: append([]int(nil), v.quarRound...),
+		Ref:       append([]float64(nil), v.ref...),
+		RefCount:  v.refCount,
 	}
 	if v.filled < len(v.norms) {
 		st.Norms = append(st.Norms, v.norms[:v.filled]...)
@@ -202,20 +340,42 @@ func (v *Validator) snapshotState() *validatorState {
 
 // restoreState loads a snapshotState capture. The norm history replays
 // oldest-first; if the configured window shrank across the restart, only
-// the newest norms are kept.
+// the newest norms are kept. Snapshots from before the cosine gate carry
+// no reference direction or quarantine rounds: the gate re-arms after
+// CosineMinHistory fresh commits, and quarantined clients restore with
+// the -1 round sentinel (the flag survives, the round it tripped in does
+// not).
 func (v *Validator) restoreState(st *validatorState) error {
 	if len(st.Strikes) != v.cfg.Clients || len(st.Quar) != v.cfg.Clients {
 		return fmt.Errorf("transport: checkpoint validator state covers %d/%d clients, cluster has %d",
 			len(st.Strikes), len(st.Quar), v.cfg.Clients)
 	}
+	if st.QuarRound != nil && len(st.QuarRound) != v.cfg.Clients {
+		return fmt.Errorf("transport: checkpoint quarantine rounds cover %d clients, cluster has %d",
+			len(st.QuarRound), v.cfg.Clients)
+	}
 	copy(v.strikes, st.Strikes)
 	copy(v.quar, st.Quar)
+	if st.QuarRound != nil {
+		copy(v.quarRound, st.QuarRound)
+	} else {
+		for i := range v.quarRound {
+			v.quarRound[i] = -1
+		}
+	}
 	norms := st.Norms
 	if len(norms) > len(v.norms) {
 		norms = norms[len(norms)-len(v.norms):]
 	}
 	v.filled = copy(v.norms, norms)
 	v.next = v.filled % len(v.norms)
+	v.ref = append(v.ref[:0], st.Ref...)
+	v.refCount = st.RefCount
+	sum := 0.0
+	for _, x := range v.ref {
+		sum += x * x
+	}
+	v.refNorm = math.Sqrt(sum)
 	return nil
 }
 
@@ -226,8 +386,8 @@ func (v *Validator) Strikes(id int) int { return v.strikes[id] }
 func (v *Validator) Quarantined(id int) bool { return v.quar[id] }
 
 // QuarantineRound returns the round in which client id was quarantined,
-// or -1 if it is not quarantined (or was quarantined before a checkpoint
-// restore, which preserves the flag but not the round).
+// or -1 if it is not quarantined (or the quarantine was restored from a
+// legacy checkpoint that carried the flag but not the round).
 func (v *Validator) QuarantineRound(id int) int { return v.quarRound[id] }
 
 // QuarantinedCount returns how many clients are quarantined.

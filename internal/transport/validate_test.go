@@ -14,7 +14,7 @@ func accept(t *testing.T, v *Validator, id, round int, payload []float64, weight
 	if err != nil {
 		return err
 	}
-	v.Commit(norm)
+	v.Commit(norm, payload)
 	return nil
 }
 
@@ -265,8 +265,7 @@ func TestValidatorQuarantineRound(t *testing.T) {
 		t.Fatal("unquarantined client grew a quarantine round")
 	}
 
-	// Snapshots persist the flag but not the round: the restored
-	// validator reports the honest -1 sentinel.
+	// Snapshots persist the round alongside the flag.
 	v2 := NewValidator(ValidatorConfig{Clients: 2, Dim: 2, StrikeLimit: 2})
 	if err := v2.restoreState(v.snapshotState()); err != nil {
 		t.Fatalf("restore: %v", err)
@@ -274,7 +273,161 @@ func TestValidatorQuarantineRound(t *testing.T) {
 	if !v2.Quarantined(0) {
 		t.Fatal("quarantine flag lost across restore")
 	}
-	if v2.QuarantineRound(0) != -1 {
-		t.Fatalf("restored quarantine round = %d, want -1", v2.QuarantineRound(0))
+	if v2.QuarantineRound(0) != 5 {
+		t.Fatalf("restored quarantine round = %d, want 5", v2.QuarantineRound(0))
+	}
+	if v2.QuarantineRound(1) != -1 {
+		t.Fatal("unquarantined client grew a quarantine round across restore")
+	}
+
+	// A legacy snapshot (written before quarantine rounds were durable)
+	// carries the flag but not the round: the restored validator reports
+	// the honest -1 sentinel.
+	legacy := v.snapshotState()
+	legacy.QuarRound = nil
+	v3 := NewValidator(ValidatorConfig{Clients: 2, Dim: 2, StrikeLimit: 2})
+	if err := v3.restoreState(legacy); err != nil {
+		t.Fatalf("legacy restore: %v", err)
+	}
+	if !v3.Quarantined(0) {
+		t.Fatal("quarantine flag lost across legacy restore")
+	}
+	if v3.QuarantineRound(0) != -1 {
+		t.Fatalf("legacy restored quarantine round = %d, want -1", v3.QuarantineRound(0))
+	}
+}
+
+// TestCosineGate arms the direction gate with a stable honest direction
+// and checks that an inverted update is rejected with
+// ErrDirectionOutlier while an aligned one passes.
+func TestCosineGate(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Clients: 3, Dim: 4, CosineFloor: 0.2, StrikeLimit: 100})
+	honest := []float64{1, 2, 0, -1}
+	flipped := []float64{-1, -2, 0, 1}
+
+	// Unarmed (fewer than CosineMinHistory commits): even an inverted
+	// update passes — there is no reference to judge against yet.
+	for i := 0; i < 3; i++ {
+		if err := accept(t, v, 0, i, honest, 1); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if _, ok := v.LastCosine(); ok {
+		t.Fatal("cosine computed before the gate armed")
+	}
+	if _, err := v.Check(1, 3, flipped, 1); !errors.Is(err, ErrDirectionOutlier) {
+		t.Fatalf("inverted update: err = %v, want ErrDirectionOutlier", err)
+	}
+	if cos, ok := v.LastCosine(); !ok || cos > -0.99 {
+		t.Fatalf("LastCosine = (%v, %v), want ~-1", cos, ok)
+	}
+	if v.Strikes(1) != 1 {
+		t.Fatalf("strikes = %d, want 1", v.Strikes(1))
+	}
+	if err := accept(t, v, 2, 3, honest, 1); err != nil {
+		t.Fatalf("aligned update rejected: %v", err)
+	}
+	if cos, ok := v.LastCosine(); !ok || cos < 0.99 {
+		t.Fatalf("LastCosine = (%v, %v), want ~1", cos, ok)
+	}
+}
+
+// TestCosineGateGeometryReset: a payload-length change (mask refresh)
+// restarts the reference — the gate holds fire at the new geometry until
+// CosineMinHistory fresh commits rebuild it, then arms again.
+func TestCosineGateGeometryReset(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Clients: 2, Dim: 8, CosineFloor: 0.2, StrikeLimit: 100})
+	wide := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	for i := 0; i < 3; i++ {
+		if err := accept(t, v, 0, i, wide, 1); err != nil {
+			t.Fatalf("wide commit %d: %v", i, err)
+		}
+	}
+	if _, err := v.Check(1, 3, []float64{-1, -1, -1, -1, -1, -1, -1, -1}, 1); !errors.Is(err, ErrDirectionOutlier) {
+		t.Fatalf("gate should be armed at the wide geometry: %v", err)
+	}
+
+	// Mask refresh: compact payloads are shorter. The first commits at the
+	// new geometry pass unjudged (no reference), including inverted ones.
+	narrow := []float64{2, -1}
+	for i := 0; i < 3; i++ {
+		if err := accept(t, v, 0, 4+i, narrow, 1); err != nil {
+			t.Fatalf("narrow commit %d: %v", i, err)
+		}
+	}
+	if _, err := v.Check(1, 7, []float64{-2, 1}, 1); !errors.Is(err, ErrDirectionOutlier) {
+		t.Fatalf("gate should re-arm after the reset: %v", err)
+	}
+}
+
+// TestCosineStateRoundTrip: the reference direction survives
+// snapshot/restore — a restarted validator rejects a flipper on its
+// first post-restore update, with no re-arming window. A legacy snapshot
+// (no reference) restores with the gate disarmed until fresh commits.
+func TestCosineStateRoundTrip(t *testing.T) {
+	cfg := ValidatorConfig{Clients: 2, Dim: 4, CosineFloor: 0.2, StrikeLimit: 100}
+	v := NewValidator(cfg)
+	honest := []float64{3, 0, -1, 2}
+	flipped := []float64{-3, 0, 1, -2}
+	for i := 0; i < 4; i++ {
+		if err := accept(t, v, 0, i, honest, 1); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+
+	v2 := NewValidator(cfg)
+	if err := v2.restoreState(v.snapshotState()); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if _, err := v2.Check(1, 4, flipped, 1); !errors.Is(err, ErrDirectionOutlier) {
+		t.Fatalf("restored gate disarmed: %v", err)
+	}
+	if err := accept(t, v2, 0, 4, honest, 1); err != nil {
+		t.Fatalf("restored gate rejects honest update: %v", err)
+	}
+
+	legacy := v.snapshotState()
+	legacy.Ref, legacy.RefCount = nil, 0
+	v3 := NewValidator(cfg)
+	if err := v3.restoreState(legacy); err != nil {
+		t.Fatalf("legacy restore: %v", err)
+	}
+	if _, err := v3.Check(1, 4, flipped, 1); err != nil {
+		t.Fatalf("legacy restore should disarm the cosine gate: %v", err)
+	}
+}
+
+// TestReviewRound: the post-round norm review strikes participants whose
+// norm towers over the round median, accumulating to quarantine, and
+// stays silent below 3 participants.
+func TestReviewRound(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Clients: 4, Dim: 8, RoundNormMult: 1.5, StrikeLimit: 2})
+
+	if s := v.ReviewRound(0, []int{0, 1}, []float64{1, 100}); s != nil {
+		t.Fatalf("review of 2 participants struck %v", s)
+	}
+	strikes := v.ReviewRound(1, []int{0, 1, 2, 3}, []float64{1, 1.1, 0.9, 1.6})
+	if len(strikes) != 1 || strikes[0].ID != 3 {
+		t.Fatalf("round 1 strikes = %+v, want client 3 only", strikes)
+	}
+	if !errors.Is(strikes[0].Err, ErrNormOutlier) {
+		t.Fatalf("strike error = %v, want ErrNormOutlier", strikes[0].Err)
+	}
+	if v.Quarantined(3) {
+		t.Fatal("quarantined after one strike with limit 2")
+	}
+	strikes = v.ReviewRound(2, []int{0, 1, 2, 3}, []float64{1, 1, 1, 1.9})
+	if len(strikes) != 1 || strikes[0].ID != 3 {
+		t.Fatalf("round 2 strikes = %+v, want client 3 only", strikes)
+	}
+	if !v.Quarantined(3) || v.QuarantineRound(3) != 2 {
+		t.Fatalf("client 3 quarantine = (%v, round %d), want (true, 2)",
+			v.Quarantined(3), v.QuarantineRound(3))
+	}
+
+	// Disabled review never strikes.
+	off := NewValidator(ValidatorConfig{Clients: 4, Dim: 8})
+	if s := off.ReviewRound(0, []int{0, 1, 2}, []float64{1, 1, 50}); s != nil {
+		t.Fatalf("disabled review struck %v", s)
 	}
 }
