@@ -4,16 +4,17 @@ import (
 	"testing"
 )
 
-func TestServerRejectsBadFlags(t *testing.T) {
+func TestRelayRejectsBadFlags(t *testing.T) {
 	tests := []struct {
 		name string
 		args []string
 	}{
-		{"bad model", []string{"-model", "nope"}},
 		{"zero clients", []string{"-clients", "0"}},
+		{"empty upstream", []string{"-upstream", ""}},
 		{"bad address", []string{"-addr", "256.256.256.256:99999"}},
 		{"zero io timeout", []string{"-io-timeout", "0s"}},
-		{"negative io timeout", []string{"-io-timeout", "-5s"}},
+		{"bad codec", []string{"-codec", "zip"}},
+		{"orphan cosine floor", []string{"-cosine-floor", "0.5"}},
 		{"bad log level", []string{"-log-level", "loud"}},
 		{"bad log format", []string{"-log-format", "xml"}},
 		{"bad metrics address", []string{"-addr", "127.0.0.1:0", "-metrics-addr", "256.256.256.256:99999"}},
@@ -27,19 +28,8 @@ func TestServerRejectsBadFlags(t *testing.T) {
 	}
 }
 
-func TestServerVersionFlag(t *testing.T) {
+func TestRelayVersionFlag(t *testing.T) {
 	if err := run([]string{"-version"}); err != nil {
 		t.Fatalf("-version: %v", err)
-	}
-}
-
-func TestServerRootTierFlagGuards(t *testing.T) {
-	// The root tier never sees per-client payloads: the trimmed reduction
-	// and inbound sanitization must be refused up front.
-	if err := run([]string{"-addr", "127.0.0.1:0", "-relays", "2", "-aggregator", "trimmed"}); err == nil {
-		t.Error("-relays with -aggregator trimmed was accepted")
-	}
-	if err := run([]string{"-addr", "127.0.0.1:0", "-relays", "2", "-max-norm-mult", "4"}); err == nil {
-		t.Error("-relays with sanitization armed was accepted")
 	}
 }

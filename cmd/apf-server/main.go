@@ -41,6 +41,7 @@ func run(args []string) error {
 	var (
 		addr       = fs.String("addr", ":7070", "listen address")
 		clients    = fs.Int("clients", 3, "number of clients to wait for")
+		relays     = fs.Int("relays", 0, "run as the hierarchy's root tier over this many apf-relay edge pre-aggregators instead of direct clients (0 = flat coordinator; incompatible with -aggregator trimmed and sanitization, which need per-client payloads)")
 		rounds     = fs.Int("rounds", 50, "aggregation rounds")
 		model      = fs.String("model", "lenet", "workload preset: lenet | lstm | mlp")
 		seed       = fs.Int64("seed", 42, "shared seed (must match the clients)")
@@ -144,6 +145,7 @@ func run(args []string) error {
 		Addr:          *addr,
 		Listener:      ln,
 		NumClients:    *clients,
+		Relays:        *relays,
 		Rounds:        *rounds,
 		Init:          init,
 		IOTimeout:     *ioTimeout,
@@ -186,8 +188,13 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("apf-server: %s on %s — waiting for %d client(s), %d rounds, model dim %d\n",
-		*model, srv.Addr(), *clients, *rounds, len(init))
+	if *relays > 0 {
+		fmt.Printf("apf-server: %s root tier on %s — waiting for %d relay(s), %d rounds, model dim %d\n",
+			*model, srv.Addr(), *relays, *rounds, len(init))
+	} else {
+		fmt.Printf("apf-server: %s on %s — waiting for %d client(s), %d rounds, model dim %d\n",
+			*model, srv.Addr(), *clients, *rounds, len(init))
+	}
 	if _, err := srv.Run(ctx); err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@
 //	apfbench -telemetry BENCH_telemetry.json  # telemetry overhead report
 //	apfbench -scenarios BENCH_scenarios.json  # adversary × network × data matrix
 //	apfbench -scenarios smoke.json -matrix smoke  # CI smoke subset
+//	apfbench -scaling BENCH_scale.json        # two-tier topology at 100k–1M clients
 //
 // Output is a textual report per experiment: markdown tables for the
 // paper's tables and per-series digests (+ optional TSV dumps via -tsv)
@@ -49,6 +50,7 @@ func run(args []string) error {
 		wirerep = fs.String("wire", "", "measure gob vs wire-format broadcast cost and write the JSON report to this file")
 		telem   = fs.String("telemetry", "", "measure the telemetry observer's hot-path overhead and write the JSON report to this file")
 		scen    = fs.String("scenarios", "", "run the adversary × network × data scenario matrix and write the JSON report to this file")
+		scaling = fs.String("scaling", "", "simulate the two-tier topology at 100k and 1M clients and write the JSON scaling report to this file (fails unless root work stays flat)")
 		matrix  = fs.String("matrix", "full", "scenario matrix: full | smoke (with -scenarios)")
 		trials  = fs.Int("trials", 2, "trials per scenario cell (with -scenarios, full matrix only)")
 	)
@@ -67,6 +69,9 @@ func run(args []string) error {
 	}
 	if *scen != "" {
 		return runScenarios(*scen, *matrix, *seed, *trials)
+	}
+	if *scaling != "" {
+		return runScalebench(*scaling)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -54,6 +54,9 @@ const DefaultTrimFraction = 0.25
 // from each side would leave no survivors.
 func (a *Aggregator) SetReduction(r Reduction, trimFrac float64) {
 	if r == ReduceTrimmed {
+		if a.stream {
+			panic("fl: streaming aggregation cannot apply a trimmed reduction")
+		}
 		if trimFrac <= 0 {
 			trimFrac = DefaultTrimFraction
 		}

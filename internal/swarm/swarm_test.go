@@ -1,0 +1,116 @@
+package swarm
+
+import (
+	"os"
+	"testing"
+)
+
+// TestSwarmOracleBitExact runs a population through the simulated
+// two-tier topology with the flat oracle armed: every committed round
+// must match a flat aggregation over all clients bit for bit, across a
+// trajectory where each round's contributions depend on the previous
+// commit.
+func TestSwarmOracleBitExact(t *testing.T) {
+	res, err := Run(Config{Clients: 2000, Relays: 8, Dim: 32, Rounds: 3, Seed: 7, Oracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OracleChecked || !res.OracleMatch {
+		t.Fatalf("oracle: checked=%v match=%v", res.OracleChecked, res.OracleMatch)
+	}
+	if res.Events != int64(3*(2000+2*8)) {
+		t.Errorf("events = %d, want %d", res.Events, 3*(2000+2*8))
+	}
+	if res.RootFramesIn != 3*8 {
+		t.Errorf("root frames = %d, want %d", res.RootFramesIn, 3*8)
+	}
+	if res.VirtualSeconds <= 0 || res.FinalChecksum == 0 {
+		t.Errorf("degenerate result: virtual=%v checksum=%d", res.VirtualSeconds, res.FinalChecksum)
+	}
+}
+
+// TestSwarmDeterministic pins that the simulation is a pure function of
+// its config: same seed, same trajectory, same event schedule.
+func TestSwarmDeterministic(t *testing.T) {
+	cfg := Config{Clients: 500, Relays: 5, Dim: 16, Rounds: 2, Seed: 11}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalChecksum != b.FinalChecksum || a.Events != b.Events || a.VirtualSeconds != b.VirtualSeconds {
+		t.Fatalf("two runs diverged: %+v vs %+v", a, b)
+	}
+	if a.RootBytesIn != b.RootBytesIn || a.RootBytesOut != b.RootBytesOut {
+		t.Fatalf("byte accounting diverged: %d/%d vs %d/%d",
+			a.RootBytesIn, a.RootBytesOut, b.RootBytesIn, b.RootBytesOut)
+	}
+}
+
+// TestSwarmRootWorkFlat is the scaling property at test sizes: growing
+// the client population 10x with the relay count fixed must leave the
+// root's deterministic per-round work (frames and bytes on the
+// relay↔root boundary) essentially unchanged — within the 1.5x bound the
+// scale benchmark enforces at 100k→1M.
+func TestSwarmRootWorkFlat(t *testing.T) {
+	small, err := Run(Config{Clients: 1_000, Relays: 32, Dim: 64, Rounds: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(Config{Clients: 10_000, Relays: 32, Dim: 64, Rounds: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.RootFramesIn != large.RootFramesIn {
+		t.Errorf("root frames changed with population: %d vs %d", small.RootFramesIn, large.RootFramesIn)
+	}
+	ratio := large.RootBytesPerRound / small.RootBytesPerRound
+	if ratio > 1.5 {
+		t.Errorf("root bytes/round grew %.2fx across 10x clients (%.0f → %.0f)",
+			ratio, small.RootBytesPerRound, large.RootBytesPerRound)
+	}
+}
+
+func TestSwarmConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Clients: 10, Relays: 0, Dim: 4, Rounds: 1},
+		{Clients: 10, Relays: 2, Dim: 0, Rounds: 1},
+		{Clients: 10, Relays: 2, Dim: 4, Rounds: 0},
+		{Clients: 3, Relays: 8, Dim: 4, Rounds: 1}, // fewer clients than relays
+	} {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestScaleSmoke100k is the race-enabled scalebench smoke: 100k simulated
+// clients through the full two-tier round logic with the oracle armed.
+// Heavier than a unit test, so it only runs when make scalebench sets
+// APF_SCALEBENCH (the race detector is the point: it sweeps the
+// aggregator pool and the event loop at real scale).
+func TestScaleSmoke100k(t *testing.T) {
+	if os.Getenv("APF_SCALEBENCH") == "" {
+		t.Skip("set APF_SCALEBENCH=1 (make scalebench) to run the 100k smoke")
+	}
+	small, err := Run(Config{Clients: 10_000, Relays: 32, Dim: 64, Rounds: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(Config{Clients: 100_000, Relays: 32, Dim: 64, Rounds: 2, Seed: 9, Oracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !large.OracleMatch {
+		t.Fatal("100k two-tier trajectory diverged from the flat oracle")
+	}
+	if ratio := large.RootBytesPerRound / small.RootBytesPerRound; ratio > 1.5 {
+		t.Errorf("root bytes/round grew %.2fx across 10x clients", ratio)
+	}
+	t.Logf("100k smoke: %d events, root %.0f B/round, %.2f ms root CPU/round, edge %.2f s, wall %.2f s",
+		large.Events, large.RootBytesPerRound, 1e3*large.RootCPUPerRound, large.EdgeCPUSeconds, large.WallSeconds)
+}

@@ -24,6 +24,10 @@ const (
 // shorter).
 func modelPayloadLimit(dim int) int { return dim*8 + modelPayloadSlack }
 
+// partialPayloadLimit bounds a frame carrying a relay's exact partial sum:
+// two accumulator words (16 bytes) per model coordinate.
+func partialPayloadLimit(dim int) int { return dim*16 + modelPayloadSlack }
+
 // readMsg reads one framed message with the connection's I/O deadline and
 // the given payload limit, accounting the frame (or the decode failure)
 // to wm when instrumentation is attached.

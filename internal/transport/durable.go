@@ -23,6 +23,10 @@ const (
 	// kindWALUpdate records it belongs to the round left open by a crash
 	// and is discarded at recovery.
 	kindWALSparseUpdate
+	// kindWALPartial records one accepted relay PartialUpdateMsg (relay id +
+	// message) on the hierarchy's root tier. In-flight like kindWALUpdate:
+	// discarded at recovery, repopulated by the relays' idempotent re-sends.
+	kindWALPartial
 )
 
 // serverState is the decoded form of a server snapshot: everything a
@@ -30,6 +34,8 @@ const (
 // table keeps client ids stable across the restart; the history feeds
 // both resume replay and the round counter).
 type serverState struct {
+	// NumClients is the size of the tier this server terminates: clients
+	// on a flat coordinator, relays on the hierarchy's root.
 	NumClients int
 	Rounds     int
 	Init       []float64
@@ -185,6 +191,27 @@ func decodeWALSparseUpdate(payload []byte) (clientID int, u *SparseUpdateMsg, er
 	return clientID, &msg, nil
 }
 
+// encodeWALPartial frames one accepted relay partial sum for the WAL, in
+// the same body encoding the socket uses (relay id first, mirroring the
+// update records).
+func encodeWALPartial(relayID int, p *PartialUpdateMsg) []byte {
+	var w checkpoint.Writer
+	w.Int(relayID)
+	wire.AppendPartialUpdateBody(&w, p)
+	return w.Bytes()
+}
+
+// decodeWALPartial reads a partial record back.
+func decodeWALPartial(payload []byte) (relayID int, p *PartialUpdateMsg, err error) {
+	r := checkpoint.NewReader(payload)
+	relayID = r.Int()
+	msg := wire.ReadPartialUpdateBody(r)
+	if err := r.Done(); err != nil {
+		return 0, nil, err
+	}
+	return relayID, &msg, nil
+}
+
 // encodeWALGlobal frames one emitted aggregate for the WAL, in the same
 // body encoding the socket uses.
 func encodeWALGlobal(g *GlobalMsg) []byte {
@@ -205,10 +232,14 @@ func decodeWALGlobal(payload []byte) (*GlobalMsg, error) {
 
 // recoverState loads the newest consistent snapshot from the store and
 // rolls its WAL forward: global records extend the aggregate history in
-// round order; update records belong to the round left open by the crash
-// and are discarded — the round re-opens and the idempotent client
-// re-send repopulates it. Returns nil state when the store is empty.
-func recoverState(store *checkpoint.Store) (*serverState, error) {
+// round order; update and partial records belong to the round left open by
+// the crash and are discarded — the round re-opens and the idempotent
+// client (or relay) re-send repopulates it. Returns nil state when the
+// store is empty. rootTier disables the partial-round re-derivation for
+// rolled-forward globals: on the root tier Participants counts underlying
+// clients while NumClients counts relays, so the comparison is meaningless
+// there (the live commit path records the flag correctly either way).
+func recoverState(store *checkpoint.Store, rootTier bool) (*serverState, error) {
 	_, kind, payload, wal, found, err := store.Load()
 	if err != nil {
 		return nil, err
@@ -237,11 +268,11 @@ func recoverState(store *checkpoint.Store) (*serverState, error) {
 				continue
 			}
 			st.History = append(st.History, *g)
-			if g.Participants < st.NumClients {
+			if !rootTier && g.Participants < st.NumClients {
 				st.PartialRounds++
 			}
-		case kindWALUpdate, kindWALSparseUpdate:
-			// In-flight partial of the re-opened round: discarded.
+		case kindWALUpdate, kindWALSparseUpdate, kindWALPartial:
+			// In-flight contribution of the re-opened round: discarded.
 		default:
 			// Unknown record kinds from a newer writer are skipped; the
 			// commit records above are self-contained.
@@ -254,9 +285,9 @@ func recoverState(store *checkpoint.Store) (*serverState, error) {
 // a checkpoint from a different geometry (cluster size, round count,
 // model) must never silently resume.
 func verifyRecovered(st *serverState, cfg ServerConfig) error {
-	if st.NumClients != cfg.NumClients || st.Rounds != cfg.Rounds || len(st.Init) != len(cfg.Init) {
-		return fmt.Errorf("transport: checkpoint geometry clients=%d rounds=%d dim=%d does not match config clients=%d rounds=%d dim=%d",
-			st.NumClients, st.Rounds, len(st.Init), cfg.NumClients, cfg.Rounds, len(cfg.Init))
+	if st.NumClients != cfg.peers() || st.Rounds != cfg.Rounds || len(st.Init) != len(cfg.Init) {
+		return fmt.Errorf("transport: checkpoint geometry peers=%d rounds=%d dim=%d does not match config peers=%d rounds=%d dim=%d",
+			st.NumClients, st.Rounds, len(st.Init), cfg.peers(), cfg.Rounds, len(cfg.Init))
 	}
 	for j := range st.Init {
 		if st.Init[j] != cfg.Init[j] {

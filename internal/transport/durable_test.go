@@ -132,7 +132,7 @@ func TestRecoverStateReplaysWAL(t *testing.T) {
 	// Round 2 was in flight at the crash: one update, no commit.
 	append_(kindWALUpdate, encodeWALUpdate(0, &UpdateMsg{Round: 2, Weight: 1, Payload: []float64{9, 9}}))
 
-	st, err := recoverState(store)
+	st, err := recoverState(store, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,6 +162,67 @@ func TestRecoverStateReplaysWAL(t *testing.T) {
 		if err := verifyRecovered(st, cfg); err == nil {
 			t.Fatalf("verifyRecovered accepted mismatched config %+v", cfg)
 		}
+	}
+}
+
+// TestWALPartialRecords pins the root tier's WAL semantics: relay partial
+// records round-trip through the shared body encoding, at recovery they
+// are in-flight state (discarded, repopulated by the relays' idempotent
+// re-sends), and the partial-round re-derivation stays off on the root
+// tier, where Participants counts underlying clients while NumClients
+// counts relays.
+func TestWALPartialRecords(t *testing.T) {
+	p := &PartialUpdateMsg{Round: 3, Count: 17, WeightLo: 21, WeightHi: 1,
+		MaskHash: 0xfeedface, Cols: []uint64{1, 2, 3, 4}}
+	id, got, err := decodeWALPartial(encodeWALPartial(1, p))
+	if err != nil || id != 1 || !reflect.DeepEqual(got, p) {
+		t.Fatalf("wal partial round trip: id=%d p=%+v err=%v", id, got, err)
+	}
+	if _, _, err := decodeWALPartial(encodeWALPartial(1, p)[:8]); err == nil {
+		t.Fatal("truncated partial record decoded without error")
+	}
+
+	store, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	base := &serverState{
+		NumClients: 2, // relays on the root tier
+		Rounds:     5,
+		Init:       []float64{1, 2},
+		Keys:       []string{"edge-a", "edge-b"},
+		Names:      []string{"edge-a", "edge-b"},
+	}
+	if err := store.WriteSnapshot(0, kindServerSnap, encodeServerState(base)); err != nil {
+		t.Fatal(err)
+	}
+	append_ := func(kind uint16, payload []byte) {
+		t.Helper()
+		if err := store.Append(kind, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round 0 committed with one of two relays reporting: Participants
+	// carries the client count (1 here), which must NOT feed the
+	// partial-round counter on the root tier.
+	append_(kindWALPartial, encodeWALPartial(0, &PartialUpdateMsg{Round: 0, Count: 1, WeightLo: 1, Cols: []uint64{1, 0, 2, 0}}))
+	append_(kindWALGlobal, encodeWALGlobal(&GlobalMsg{Round: 0, Participants: 1, Payload: []float64{1, 2}}))
+	// Round 1 was in flight at the crash: one partial, no commit.
+	append_(kindWALPartial, encodeWALPartial(1, &PartialUpdateMsg{Round: 1, Count: 3, WeightLo: 3, Cols: []uint64{5, 0, 6, 0}}))
+
+	st, err := recoverState(store, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("no state recovered")
+	}
+	if len(st.History) != 1 || st.History[0].Round != 0 {
+		t.Fatalf("recovered history %+v, want exactly the committed round 0", st.History)
+	}
+	if st.PartialRounds != 0 {
+		t.Fatalf("partialRounds = %d, want 0 (root tier disables the re-derivation)", st.PartialRounds)
 	}
 }
 

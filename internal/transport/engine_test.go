@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"apf/internal/fl"
 	"apf/internal/quantize"
 )
 
@@ -30,6 +31,13 @@ func (s *testSink) logUpdate(id int, u *UpdateMsg, sp *SparseUpdateMsg) error {
 	if sp != nil {
 		s.sparse++
 	}
+	return nil
+}
+
+func (s *testSink) logPartial(id int, p *PartialUpdateMsg) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logged++
 	return nil
 }
 
@@ -137,6 +145,82 @@ func TestDeadlineBeforeFloorStillWaits(t *testing.T) {
 	}
 }
 
+// TestQuarantineResponseBarrier is the regression test for the wire-byte
+// determinism race (EXPERIMENTS.md): with a quarantined client excluded
+// from the round target, the old close rule returned the instant every
+// other client accepted — racing the quarantined client's own (reconnect
+// re-send) push, so whether that frame landed before or after the commit
+// was a scheduling accident and replay byte counts wobbled. The fixed rule
+// holds the round open until every slot responded — accepted or rejected —
+// so the close point is a deterministic position in every client's stream.
+func TestQuarantineResponseBarrier(t *testing.T) {
+	sink := &testSink{}
+	v := NewValidator(ValidatorConfig{Clients: 3, Dim: 2, StrikeLimit: 1})
+	v.strike(2, 0, errProtocol) // client 2 pre-quarantined
+	if !v.Quarantined(2) {
+		t.Fatal("setup: client 2 not quarantined")
+	}
+	e := &roundEngine{
+		clients:    3,
+		rounds:     1,
+		deadline:   5 * time.Second, // far beyond the test budget: never fires
+		minClients: 1,
+		validator:  v,
+		sink:       sink,
+	}
+	committedEarly := false
+	_, err := runEngine(t, e, func(events chan<- event) {
+		events <- event{id: 0, upd: &UpdateMsg{Round: 0, Payload: []float64{2, 2}, Weight: 1}}
+		events <- event{id: 1, upd: &UpdateMsg{Round: 0, Payload: []float64{4, 4}, Weight: 1}}
+		// Both non-quarantined clients accepted; the pre-fix engine commits
+		// here. Give it every chance to misbehave before the third event.
+		time.Sleep(120 * time.Millisecond)
+		sink.mu.Lock()
+		committedEarly = len(sink.commits) > 0
+		sink.mu.Unlock()
+		// The quarantined client's push is rejected — and that rejection is
+		// the response the barrier was waiting for.
+		events <- event{id: 2, upd: &UpdateMsg{Round: 0, Payload: []float64{9, 9}, Weight: 1}}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if committedEarly {
+		t.Fatal("round committed before the quarantined client responded: close timing races its re-send")
+	}
+	if len(sink.commits) != 1 || sink.commits[0].Participants != 2 {
+		t.Fatalf("commits = %+v, want one round with 2 participants", sink.commits)
+	}
+}
+
+// TestQuarantineBarrierDeadlineStillTrumps pins the barrier's bound: a
+// quarantined client that never speaks (severed for good) cannot hold the
+// round past the deadline — the same budget any honest straggler gets.
+func TestQuarantineBarrierDeadlineStillTrumps(t *testing.T) {
+	sink := &testSink{}
+	v := NewValidator(ValidatorConfig{Clients: 3, Dim: 2, StrikeLimit: 1})
+	v.strike(2, 0, errProtocol)
+	e := &roundEngine{
+		clients:    3,
+		rounds:     1,
+		deadline:   60 * time.Millisecond,
+		minClients: 1,
+		validator:  v,
+		sink:       sink,
+	}
+	_, err := runEngine(t, e, func(events chan<- event) {
+		events <- event{id: 0, upd: &UpdateMsg{Round: 0, Payload: []float64{2, 2}, Weight: 1}}
+		events <- event{id: 1, upd: &UpdateMsg{Round: 0, Payload: []float64{4, 4}, Weight: 1}}
+		// Client 2 stays mute; only the deadline can close the round.
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(sink.commits) != 1 || sink.commits[0].Participants != 2 {
+		t.Fatalf("commits = %+v, want one deadline-closed round with 2 participants", sink.commits)
+	}
+}
+
 // TestEngineSparseMetaCommitted checks the round's mask evidence reaches
 // the sink: the agreed hash from the updates, the generation from the
 // sparse originals.
@@ -171,6 +255,81 @@ func TestEngineMaskGenDivergence(t *testing.T) {
 			sp: &SparseUpdateMsg{Round: 0, Weight: 1, MaskHash: 5, MaskGen: 1, Dim: 2}}
 		events <- event{id: 1, upd: &UpdateMsg{Round: 0, Payload: []float64{3, 3}, Weight: 1, MaskHash: 5},
 			sp: &SparseUpdateMsg{Round: 0, Weight: 1, MaskHash: 5, MaskGen: 2, Dim: 2}}
+	})
+	if !errors.Is(err, ErrMaskDivergence) {
+		t.Fatalf("got %v, want ErrMaskDivergence", err)
+	}
+}
+
+// partialOf folds weighted contributions into a PartialUpdateMsg the way
+// a relay would.
+func partialOf(t *testing.T, round int, maskHash uint64, contribs [][]float64, weights []float64) *PartialUpdateMsg {
+	t.Helper()
+	var p fl.Partial
+	for i := range contribs {
+		if err := p.Fold(contribs[i], weights[i]); err != nil {
+			t.Fatalf("fold: %v", err)
+		}
+	}
+	return &PartialUpdateMsg{
+		Round: round, Count: p.Count,
+		WeightLo: p.WeightLo, WeightHi: p.WeightHi,
+		MaskHash: maskHash, Cols: p.Cols,
+	}
+}
+
+// TestEnginePartialTier drives the root face directly: two relay partials
+// merge into the weighted mean a flat aggregator would produce over the
+// same four clients, Participants counts underlying clients (not relays),
+// and a duplicate partial is dropped as stale.
+func TestEnginePartialTier(t *testing.T) {
+	sink := &testSink{}
+	e := &roundEngine{clients: 2, rounds: 1, sink: sink, partialTier: true}
+	contribs := [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	weights := []float64{1, 2, 3, 4}
+	pa := partialOf(t, 0, 0xabc, contribs[:2], weights[:2])
+	pb := partialOf(t, 0, 0xabc, contribs[2:], weights[2:])
+	global, err := runEngine(t, e, func(events chan<- event) {
+		events <- event{id: 0, part: pa}
+		events <- event{id: 0, part: pa} // reconnect re-send: stale, dropped
+		events <- event{id: 1, part: pb}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(sink.commits) != 1 || sink.commits[0].Participants != 4 {
+		t.Fatalf("commits = %+v, want one round with 4 underlying clients", sink.commits)
+	}
+	// The flat oracle over the same contributions, same exact arithmetic.
+	flat := fl.NewAggregator(0)
+	defer flat.Close()
+	flat.Open(0, 4)
+	for i := range contribs {
+		if err := flat.Add(i, contribs[i], weights[i]); err != nil {
+			t.Fatalf("flat add: %v", err)
+		}
+	}
+	want := make([]float64, 2)
+	if _, ok := flat.Reduce(want); !ok {
+		t.Fatal("flat reduce failed")
+	}
+	for j := range want {
+		if global[j] != want[j] {
+			t.Fatalf("global[%d] = %v, want flat oracle %v (bit-exact)", j, global[j], want[j])
+		}
+	}
+	if sink.metas[0].maskHash != 0xabc {
+		t.Errorf("committed mask hash %x, want abc", sink.metas[0].maskHash)
+	}
+}
+
+// TestEnginePartialTierMaskDivergence: relays carrying different mask
+// hashes abort the round, exactly as divergent clients do on the flat tier.
+func TestEnginePartialTierMaskDivergence(t *testing.T) {
+	e := &roundEngine{clients: 2, rounds: 1, sink: &testSink{}, partialTier: true}
+	_, err := runEngine(t, e, func(events chan<- event) {
+		events <- event{id: 0, part: partialOf(t, 0, 0x111, [][]float64{{1, 1}}, []float64{1})}
+		events <- event{id: 1, part: partialOf(t, 0, 0x222, [][]float64{{2, 2}}, []float64{1})}
 	})
 	if !errors.Is(err, ErrMaskDivergence) {
 		t.Fatalf("got %v, want ErrMaskDivergence", err)

@@ -228,3 +228,43 @@ func TestServerContextCancelDuringRegistration(t *testing.T) {
 		t.Fatal("server did not honour cancellation")
 	}
 }
+
+// TestFlushWaitsOutInflightAfterDetach pins the shutdown accounting race
+// the relay tier made routine: a peer that reads the final aggregate and
+// closes immediately can EOF-detach the session (conn = nil) in the gap
+// between the writer's write succeeding and it clearing inflight. flush
+// must wait out that in-flight frame — judged at detach time it would be
+// miscounted as undelivered and fail a strict-mode run that actually
+// delivered everything. A frame still queued at detach, by contrast, was
+// genuinely never written and must keep failing the run.
+func TestFlushWaitsOutInflightAfterDetach(t *testing.T) {
+	t.Parallel()
+	s := &Server{}
+	s.history = make([]GlobalMsg, 1)
+
+	// Delivered-but-unbookkept: conn gone, inflight still set; the writer
+	// clears it a moment later, as after a successful write.
+	sess := newSession(0, "k", "peer")
+	sess.sent = 1
+	sess.inflight = true
+	s.sessions = []*session{sess}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		sess.mu.Lock()
+		sess.inflight = false
+		sess.cond.Broadcast()
+		sess.mu.Unlock()
+	}()
+	if err := s.flush(context.Background()); err != nil {
+		t.Errorf("flush failed on a delivered in-flight frame: %v", err)
+	}
+
+	// Genuinely undelivered: a frame the writer never started.
+	stuck := newSession(1, "k2", "peer2")
+	stuck.sent = 1
+	stuck.queue = [][]byte{{0}}
+	s.sessions = []*session{stuck}
+	if err := s.flush(context.Background()); err == nil {
+		t.Error("flush forgave a frame that was never written")
+	}
+}

@@ -23,7 +23,7 @@ const (
 
 // wireKinds is the number of entries in the per-kind tables (kinds are
 // 1-based, index 0 unused).
-const wireKinds = int(wire.KindSparseGlobal) + 1
+const wireKinds = int(wire.KindPartialUpdate) + 1
 
 // wireMetrics counts frames and bytes crossing the socket per message
 // kind and direction, plus decode failures by type.
@@ -48,7 +48,7 @@ func newWireMetrics(reg *telemetry.Registry) *wireMetrics {
 		errsHelp   = "Inbound frames refused by the wire decoder, by failure type."
 	)
 	for d, dir := range [2]string{"in", "out"} {
-		for k := wire.KindJoin; k <= wire.KindSparseGlobal; k++ {
+		for k := wire.KindJoin; k <= wire.KindPartialUpdate; k++ {
 			wm.frames[d][k] = reg.Counter("apf_wire_frames_total", framesHelp,
 				"kind", k.String(), "dir", dir)
 			wm.bytes[d][k] = reg.Counter("apf_wire_bytes_total", bytesHelp,
@@ -262,6 +262,34 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 			"Fraction of contributions dropped per coordinate by the trimmed reduction in the last committed round."),
 		reviewStrikes: reg.Counter("apf_review_strikes_total",
 			"Strikes charged by the post-round norm review."),
+	}
+}
+
+// relayMetrics are the edge relay's upstream-face handles. The relay's
+// downward face (the client-terminating server it embeds) carries the full
+// serverMetrics/engineMetrics set on the same registry; these cover only
+// what is new at the relay: partials shipped, the upstream round trip, and
+// the session gauge operators watch to see how load spreads across relays.
+type relayMetrics struct {
+	partials        *telemetry.Counter
+	upstreamSeconds *telemetry.Histogram
+	sessions        *telemetry.Gauge
+	reconnects      *telemetry.Counter
+}
+
+func newRelayMetrics(reg *telemetry.Registry) *relayMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &relayMetrics{
+		partials: reg.Counter("apf_relay_partials_total",
+			"Partial sums shipped to the root coordinator."),
+		upstreamSeconds: reg.Histogram("apf_relay_upstream_seconds",
+			"Upstream round trip: partial pushed until the root's aggregate arrives.", nil),
+		sessions: reg.Gauge("apf_relay_sessions",
+			"Client sessions this relay terminates."),
+		reconnects: reg.Counter("apf_relay_upstream_reconnects_total",
+			"Upstream session re-attachments after connection failures."),
 	}
 }
 

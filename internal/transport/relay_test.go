@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"apf/internal/data"
+	"apf/internal/fl"
+	"apf/internal/nn"
+	"apf/internal/stats"
+	"apf/internal/telemetry"
+)
+
+// singleSampleSetup builds a dataset and per-client single-sample
+// partitions. With one sample per client the batcher's shuffle is a no-op,
+// so a client's training trajectory depends only on its partition — not on
+// the server-assigned client ID, which differs between a flat cluster and
+// a relay's local numbering. That isolation is what lets the flat and
+// two-tier runs below be compared bitwise.
+func singleSampleSetup(clients int) (*data.Dataset, [][]int, []float64) {
+	ds := data.SynthImages(data.ImageConfig{Classes: 3, Channels: 1, Size: 6,
+		Samples: clients, NoiseStd: 0.5, Seed: 5})
+	parts := make([][]int, clients)
+	for i := range parts {
+		parts[i] = []int{i}
+	}
+	init := nn.FlattenParams(tinyModel(stats.SplitRNG(5, 99)).Params(), nil)
+	return ds, parts, init
+}
+
+// runClientsAgainst drives one RunClient per partition slice against addr
+// and returns the results, failing the test on any client error.
+func runClientsAgainst(ctx context.Context, t *testing.T, addr string, ds *data.Dataset, parts [][]int) []*ClientResult {
+	t.Helper()
+	results := make([]*ClientResult, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunClient(ctx, ClientConfig{
+				Addr:       addr,
+				Name:       "client",
+				Model:      tinyModel,
+				Optimizer:  tinySGD,
+				Manager:    func(clientID, dim int) fl.SyncManager { return fl.NewPassthroughManager(4) },
+				Data:       ds,
+				Indices:    parts[i],
+				LocalIters: 3,
+				BatchSize:  1,
+				Seed:       5,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	return results
+}
+
+// TestTwoTierBitExactVsFlat is the topology-refactor acceptance test: the
+// same four clients run once against a flat coordinator and once split
+// across two real-TCP relays under a root, and every committed artifact —
+// root global, both relay globals, and all client models — must match the
+// flat run bit for bit. It also pins the two-tier telemetry identity
+// (accepted + rejected + stale == received on every engine) and the
+// relay-specific handles.
+func TestTwoTierBitExactVsFlat(t *testing.T) {
+	const (
+		clients  = 4
+		perRelay = 2
+		rounds   = 4
+	)
+	ds, parts, init := singleSampleSetup(clients)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Flat reference run.
+	flatSrv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: clients, Rounds: rounds, Init: init,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flatGlobal []float64
+	flatErr := make(chan error, 1)
+	go func() {
+		g, err := flatSrv.Run(ctx)
+		flatGlobal = g
+		flatErr <- err
+	}()
+	flatResults := runClientsAgainst(ctx, t, flatSrv.Addr().String(), ds, parts)
+	if err := <-flatErr; err != nil {
+		t.Fatalf("flat server: %v", err)
+	}
+
+	// Two-tier run: root over two relays, two clients each.
+	rootReg := telemetry.New()
+	root, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", Relays: 2, Rounds: rounds, Init: init, Metrics: rootReg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rootGlobal []float64
+	rootErr := make(chan error, 1)
+	go func() {
+		g, err := root.Run(ctx)
+		rootGlobal = g
+		rootErr <- err
+	}()
+
+	relayRegs := [2]*telemetry.Registry{telemetry.New(), telemetry.New()}
+	relays := make([]*Relay, 2)
+	relayGlobals := make([][]float64, 2)
+	relayErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		rel, err := NewRelay(RelayConfig{
+			Addr:       "127.0.0.1:0",
+			Upstream:   root.Addr().String(),
+			Name:       []string{"edge-a", "edge-b"}[i],
+			SessionKey: []string{"edge-a", "edge-b"}[i],
+			NumClients: perRelay,
+			Seed:       5,
+			Metrics:    relayRegs[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relays[i] = rel
+		go func(i int) {
+			g, err := rel.Run(ctx)
+			relayGlobals[i] = g
+			relayErrs <- err
+		}(i)
+	}
+
+	var wg sync.WaitGroup
+	tierResults := make([][]*ClientResult, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tierResults[i] = runClientsAgainst(ctx, t, relays[i].Addr().String(), ds, parts[i*perRelay:(i+1)*perRelay])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-relayErrs; err != nil {
+			t.Fatalf("relay %d: %v", i, err)
+		}
+	}
+	if err := <-rootErr; err != nil {
+		t.Fatalf("root: %v", err)
+	}
+
+	// Bit-exactness across the whole hierarchy.
+	if len(rootGlobal) != len(flatGlobal) {
+		t.Fatalf("root global dim %d, flat %d", len(rootGlobal), len(flatGlobal))
+	}
+	for j := range flatGlobal {
+		if rootGlobal[j] != flatGlobal[j] {
+			t.Fatalf("root global differs from flat at %d: %v vs %v", j, rootGlobal[j], flatGlobal[j])
+		}
+	}
+	for i, g := range relayGlobals {
+		for j := range flatGlobal {
+			if g[j] != flatGlobal[j] {
+				t.Fatalf("relay %d global differs from flat at %d", i, j)
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for c, res := range tierResults[i] {
+			flat := flatResults[i*perRelay+c]
+			for j := range flat.FinalModel {
+				if res.FinalModel[j] != flat.FinalModel[j] {
+					t.Fatalf("relay %d client %d model differs from flat client at %d", i, c, j)
+				}
+			}
+			if res.Rounds != rounds {
+				t.Errorf("relay %d client %d rounds = %d, want %d", i, c, res.Rounds, rounds)
+			}
+		}
+	}
+
+	// Relay upstream traffic actually happened and was accounted.
+	for i, rel := range relays {
+		read, written := rel.UpstreamBytes()
+		if read <= 0 || written <= 0 {
+			t.Errorf("relay %d upstream bytes r=%d w=%d, want both > 0", i, read, written)
+		}
+	}
+
+	// Engine telemetry identity holds on every tier, and the relay handles
+	// carry the expected counts.
+	checkIdentity := func(name string, snap map[string]float64, wantAccepted float64) {
+		recv := snap["apf_updates_received_total"]
+		acc := snap[`apf_updates_total{result="accepted"}`]
+		rej := snap[`apf_updates_total{result="rejected"}`]
+		stale := snap[`apf_updates_total{result="stale"}`]
+		if acc+rej+stale != recv {
+			t.Errorf("%s: accepted %v + rejected %v + stale %v != received %v", name, acc, rej, stale, recv)
+		}
+		if acc != wantAccepted {
+			t.Errorf("%s: accepted = %v, want %v", name, acc, wantAccepted)
+		}
+	}
+	checkIdentity("root", rootReg.Snapshot(), 2*rounds) // one partial per relay per round
+	for i, reg := range relayRegs {
+		snap := reg.Snapshot()
+		checkIdentity([]string{"relay 0", "relay 1"}[i], snap, perRelay*rounds)
+		if got := snap["apf_relay_partials_total"]; got != rounds {
+			t.Errorf("relay %d partials = %v, want %d", i, got, rounds)
+		}
+		if got := snap["apf_relay_sessions"]; got != perRelay {
+			t.Errorf("relay %d session gauge = %v, want %d", i, got, perRelay)
+		}
+		if got := snap["apf_relay_upstream_seconds"]; got != rounds {
+			t.Errorf("relay %d upstream RTT observations = %v, want %d", i, got, rounds)
+		}
+	}
+}
+
+// TestRootRejectsTrimmedReduction pins the documented non-decomposability:
+// a trimmed reduction needs every per-client value per coordinate, which a
+// pre-aggregated partial sum has already folded away.
+func TestRootRejectsTrimmedReduction(t *testing.T) {
+	_, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", Relays: 2, Rounds: 1, Init: []float64{0, 0},
+		Reduction: fl.ReduceTrimmed,
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not decompose") {
+		t.Fatalf("trimmed reduction on the root tier: err = %v, want non-decomposability rejection", err)
+	}
+}
+
+// TestRootRejectsValidator pins that inbound sanitization must live on the
+// relays, the only tier that sees per-client payloads.
+func TestRootRejectsValidator(t *testing.T) {
+	_, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", Relays: 2, Rounds: 1, Init: []float64{0, 0},
+		Validator: &ValidatorConfig{},
+	})
+	if err == nil || !strings.Contains(err.Error(), "per-client payloads") {
+		t.Fatalf("validator on the root tier: err = %v, want per-client-payload rejection", err)
+	}
+}
+
+func TestNewRelayValidation(t *testing.T) {
+	if _, err := NewRelay(RelayConfig{Upstream: "127.0.0.1:1", NumClients: 0}); err == nil {
+		t.Error("NewRelay accepted zero clients")
+	}
+	if _, err := NewRelay(RelayConfig{NumClients: 2}); err == nil {
+		t.Error("NewRelay accepted an empty upstream address")
+	}
+	if _, err := NewRelay(RelayConfig{Upstream: "127.0.0.1:1", NumClients: 2}); err == nil {
+		t.Error("NewRelay accepted an empty session key")
+	}
+}

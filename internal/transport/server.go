@@ -22,8 +22,23 @@ type ServerConfig struct {
 	// for fault-injecting wrappers (package chaos).
 	Listener net.Listener
 	// NumClients is the cluster size; the server waits for exactly this
-	// many registrations before round 0.
+	// many registrations before round 0. Ignored when Relays > 0 (the root
+	// tier registers relays, not clients).
 	NumClients int
+	// Relays switches the server into the hierarchy's root tier: it
+	// registers exactly this many edge relays (RelayJoinMsg) instead of
+	// clients, collects one exact pre-aggregated PartialUpdateMsg per relay
+	// per round, and broadcasts the committed aggregate back to the relays
+	// — per-round root traffic and work are O(Relays), independent of how
+	// many clients the edges terminate. Because the partial sums are exact
+	// integer accumulators, the committed trajectory is bit-identical to a
+	// flat coordinator over the same clients under any client→relay
+	// partitioning. The trimmed reduction does not decompose over partial
+	// sums (it needs every per-client value) and inbound sanitization runs
+	// where the per-client payloads are (the relays), so NewServer rejects
+	// Relays > 0 combined with fl.ReduceTrimmed or a Validator. 0 keeps the
+	// flat coordinator.
+	Relays int
 	// Rounds is the number of aggregation rounds to run.
 	Rounds int
 	// Init is the initial global model distributed to every client.
@@ -89,6 +104,18 @@ type ServerConfig struct {
 	Log *telemetry.Logger
 }
 
+// peers returns the size of the tier the server terminates: relays on the
+// hierarchy's root, clients on a flat coordinator.
+func (cfg *ServerConfig) peers() int {
+	if cfg.Relays > 0 {
+		return cfg.Relays
+	}
+	return cfg.NumClients
+}
+
+// root reports whether the server is the hierarchy's root tier.
+func (cfg *ServerConfig) root() bool { return cfg.Relays > 0 }
+
 // maxQueuedFrames bounds a session's outbound frame queue. A client that
 // stops draining its connection is detached once the queue fills, instead
 // of growing server memory without bound; after resuming it catches up
@@ -120,6 +147,12 @@ type Server struct {
 	startRound int
 	recovered  bool
 	validator  *Validator
+
+	// reducer and streaming configure the engine's relay face: the relay
+	// installs its upstream partial-sum exchange (and streaming collection)
+	// between NewServer and Run, never concurrently with either.
+	reducer   roundReducer
+	streaming bool
 
 	// metrics/wireM/log are nil-safe instrumentation handles (no-ops
 	// unless ServerConfig injected a registry or logger).
@@ -224,9 +257,22 @@ func (rf *roundFrames) frame(c wire.Codec) []byte {
 
 // NewServer binds the listen socket. Call Run to serve.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.NumClients <= 0 || cfg.Rounds <= 0 || len(cfg.Init) == 0 {
-		return nil, fmt.Errorf("transport: invalid server config clients=%d rounds=%d dim=%d",
-			cfg.NumClients, cfg.Rounds, len(cfg.Init))
+	if cfg.peers() <= 0 || cfg.Rounds <= 0 || len(cfg.Init) == 0 {
+		return nil, fmt.Errorf("transport: invalid server config peers=%d rounds=%d dim=%d",
+			cfg.peers(), cfg.Rounds, len(cfg.Init))
+	}
+	if cfg.root() {
+		// The trimmed reduction inspects every per-client value per
+		// coordinate, which an exact partial sum has already folded away;
+		// inbound sanitization likewise needs the per-client payloads, which
+		// only the relays see. Both belong on a flat topology (or, for
+		// sanitization, on the relays themselves).
+		if cfg.Reduction == fl.ReduceTrimmed {
+			return nil, fmt.Errorf("transport: the trimmed reduction does not decompose over relay partial sums; run it on a flat topology")
+		}
+		if cfg.Validator != nil {
+			return nil, fmt.Errorf("transport: inbound sanitization needs per-client payloads, which the root tier never sees; configure the validator on the relays")
+		}
 	}
 	if cfg.IOTimeout <= 0 {
 		cfg.IOTimeout = defaultIOTimeout
@@ -234,8 +280,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MinClients <= 0 {
 		cfg.MinClients = 1
 	}
-	if cfg.MinClients > cfg.NumClients {
-		cfg.MinClients = cfg.NumClients
+	if cfg.MinClients > cfg.peers() {
+		cfg.MinClients = cfg.peers()
 	}
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 5
@@ -261,7 +307,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:      cfg,
 		ln:       ln,
 		done:     make(chan struct{}),
-		events:   make(chan event, cfg.NumClients*4),
+		events:   make(chan event, cfg.peers()*4),
 		regErr:   make(chan error, 1),
 		regReady: make(chan struct{}),
 		byKey:    make(map[string]*session),
@@ -299,7 +345,7 @@ func (s *Server) openStore() error {
 	// Attach durability instrumentation before recovery so the recovery
 	// Load itself is observed.
 	store.SetObserver(hooks.Store(s.cfg.Metrics, s.cfg.Log))
-	st, err := recoverState(store)
+	st, err := recoverState(store, s.cfg.root())
 	if err != nil {
 		store.Close()
 		return fmt.Errorf("transport: recover checkpoint: %w", err)
@@ -356,7 +402,7 @@ func (s *Server) snapshotState() *serverState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := &serverState{
-		NumClients:    s.cfg.NumClients,
+		NumClients:    s.cfg.peers(),
 		Rounds:        s.cfg.Rounds,
 		Init:          s.cfg.Init,
 		History:       append([]GlobalMsg(nil), s.history...),
@@ -572,13 +618,20 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 	}
 
 	engine := &roundEngine{
-		clients:    s.cfg.NumClients,
+		clients:    s.cfg.peers(),
 		rounds:     s.cfg.Rounds,
 		deadline:   s.cfg.RoundDeadline,
 		minClients: s.cfg.MinClients,
 		validator:  s.validator,
 		events:     s.events,
 		sink:       s,
+		// On the root tier the peers are relays and each event carries one
+		// exact pre-aggregated partial sum; partialTier switches the engine
+		// to the streaming merge. On a relay the installed reducer replaces
+		// the local reduction with the upstream exchange.
+		partialTier: s.cfg.root(),
+		reducer:     s.reducer,
+		streaming:   s.streaming,
 		// Config-driven, not negotiation-driven: a q16-capable server
 		// quantizes commits whether or not any client negotiated q16, so
 		// the committed trajectory never depends on who happens to be
@@ -636,6 +689,16 @@ func (s *Server) logUpdate(id int, u *UpdateMsg, sp *SparseUpdateMsg) error {
 		return s.store.Append(kindWALSparseUpdate, encodeWALSparseUpdate(id, sp))
 	}
 	return s.store.Append(kindWALUpdate, encodeWALUpdate(id, u))
+}
+
+// logPartial implements roundSink: an admitted relay partial reaches the
+// WAL before it counts toward the round, exactly as a client update does
+// on the flat tier.
+func (s *Server) logPartial(id int, p *PartialUpdateMsg) error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Append(kindWALPartial, encodeWALPartial(id, p))
 }
 
 // rejectUpdate implements roundSink (fault-tolerant accounting).
@@ -821,7 +884,15 @@ func (s *Server) flush(ctx context.Context) error {
 		var undelivered int
 		for {
 			sess.mu.Lock()
-			for sess.conn != nil && sess.sendErr == nil && (len(sess.queue) > 0 || sess.inflight) {
+			// An in-flight frame is waited out even after the connection is
+			// gone: a peer that reads the final aggregate and closes
+			// immediately can EOF-detach the session (conn = nil) in the gap
+			// between its write succeeding and the writer clearing inflight,
+			// and judging that window would miscount a delivered frame as
+			// undelivered. The writer always clears inflight — the write
+			// carries the I/O deadline — so the wait terminates; a genuine
+			// write failure surfaces through sendErr instead.
+			for sess.sendErr == nil && (sess.inflight || (sess.conn != nil && len(sess.queue) > 0)) {
 				sess.cond.Wait()
 			}
 			err = sess.sendErr
@@ -869,9 +940,30 @@ func (s *Server) acceptLoop() {
 		cc := &countingConn{Conn: conn}
 		s.track(cc)
 		m, err := readMsg(cc, s.cfg.IOTimeout, joinPayloadLimit, s.wireM)
-		join, ok := m.(*JoinMsg)
-		if err == nil && !ok {
-			err = protocolErrorf("expected a join frame, got %s", m.WireKind())
+		var join *JoinMsg
+		if err == nil {
+			switch j := m.(type) {
+			case *JoinMsg:
+				if s.cfg.root() {
+					err = protocolErrorf("expected a relay join on the root tier, got %s", m.WireKind())
+				} else {
+					join = j
+				}
+			case *RelayJoinMsg:
+				if !s.cfg.root() {
+					err = protocolErrorf("relay join on a flat coordinator")
+				} else {
+					// A relay session is a join with no codec capabilities:
+					// the upstream leg is always dense (the relay folds
+					// whatever its clients negotiated into exact fixed-point
+					// columns), so the shared registration, resume, and
+					// replay machinery applies unchanged.
+					join = &JoinMsg{Name: j.Name, SessionKey: j.SessionKey, HaveRound: j.HaveRound}
+					s.log.Info("relay joining", "relay", j.Name, "clients", j.Clients)
+				}
+			default:
+				err = protocolErrorf("expected a join frame, got %s", m.WireKind())
+			}
 		}
 		if err != nil {
 			s.mu.Lock()
@@ -899,7 +991,7 @@ func (s *Server) handleJoin(cc *countingConn, join *JoinMsg) {
 		s.resume(sess, cc, join)
 		return // resume unlocks
 	}
-	if s.regDone || len(s.sessions) >= s.cfg.NumClients {
+	if s.regDone || len(s.sessions) >= s.cfg.peers() {
 		// Unknown sessions cannot join a running cluster.
 		s.mu.Unlock()
 		s.absorb(cc)
@@ -913,7 +1005,7 @@ func (s *Server) handleJoin(cc *countingConn, join *JoinMsg) {
 	if sess.key != "" {
 		s.byKey[sess.key] = sess
 	}
-	if len(s.sessions) == s.cfg.NumClients {
+	if len(s.sessions) == s.cfg.peers() {
 		s.regDone = true
 		close(s.regReady)
 	}
@@ -926,7 +1018,7 @@ func (s *Server) handleJoin(cc *countingConn, join *JoinMsg) {
 
 	w := WelcomeMsg{
 		ClientID:   sess.id,
-		NumClients: s.cfg.NumClients,
+		NumClients: s.cfg.peers(),
 		Rounds:     s.cfg.Rounds,
 		Dim:        len(s.cfg.Init),
 		Init:       s.cfg.Init,
@@ -973,7 +1065,7 @@ func (s *Server) resume(sess *session, cc *countingConn, join *JoinMsg) {
 	codec := wire.NegotiateCodec(s.cfg.Codec, join.Caps)
 	w := WelcomeMsg{
 		ClientID:   sess.id,
-		NumClients: s.cfg.NumClients,
+		NumClients: s.cfg.peers(),
 		Rounds:     s.cfg.Rounds,
 		Dim:        len(s.cfg.Init),
 		Init:       s.cfg.Init,
@@ -1035,6 +1127,10 @@ func (s *Server) sendWelcome(sess *session, gen int, w *WelcomeMsg) error {
 // connection fails; then it detaches the session (a resumed connection has
 // a newer generation and is left alone).
 func (s *Server) reader(sess *session, gen int, cc *countingConn) {
+	if s.cfg.root() {
+		s.relayReader(sess, gen, cc)
+		return
+	}
 	limit := modelPayloadLimit(len(s.cfg.Init))
 	for {
 		m, err := readMsg(cc, s.cfg.IOTimeout, limit, s.wireM)
@@ -1059,6 +1155,33 @@ func (s *Server) reader(sess *session, gen int, cc *countingConn) {
 				}
 			default:
 				err = protocolErrorf("expected an update frame, got %s", m.WireKind())
+			}
+		}
+		s.detach(sess, gen)
+		s.post(event{id: sess.id, name: sess.name, err: err})
+		return
+	}
+}
+
+// relayReader is reader's root-tier counterpart: it decodes one relay
+// connection's partial sums into the event stream. The payload limit
+// admits the 16-bytes-per-coordinate exact accumulator; a declared column
+// count that disagrees with the model is refused here, before the frame
+// reaches the engine.
+func (s *Server) relayReader(sess *session, gen int, cc *countingConn) {
+	limit := partialPayloadLimit(len(s.cfg.Init))
+	for {
+		m, err := readMsg(cc, s.cfg.IOTimeout, limit, s.wireM)
+		if err == nil {
+			if p, ok := m.(*PartialUpdateMsg); ok {
+				if len(p.Cols) == 2*len(s.cfg.Init) {
+					s.post(event{id: sess.id, name: sess.name, part: p})
+					continue
+				}
+				err = protocolErrorf("relay %d partial carries %d accumulator words, model needs %d",
+					sess.id, len(p.Cols), 2*len(s.cfg.Init))
+			} else {
+				err = protocolErrorf("expected a partial-update frame, got %s", m.WireKind())
 			}
 		}
 		s.detach(sess, gen)

@@ -71,6 +71,11 @@ type (
 	SparseUpdateMsg = wire.SparseUpdateMsg
 	// SparseGlobalMsg is the v2 mask-aware form of GlobalMsg.
 	SparseGlobalMsg = wire.SparseGlobalMsg
+	// RelayJoinMsg registers an edge relay with the root (v3).
+	RelayJoinMsg = wire.RelayJoinMsg
+	// PartialUpdateMsg carries a relay's exact pre-aggregated partial sum
+	// upstream (v3).
+	PartialUpdateMsg = wire.PartialUpdateMsg
 )
 
 // HashMaskWords returns the FNV-1a hash of a freezing mask's backing words

@@ -190,6 +190,11 @@ func checkHeader(hdr []byte, limit int) (Kind, uint8, int, error) {
 			return 0, 0, 0, fmt.Errorf("%w: kind %s requires version 2, frame stamped %d",
 				ErrVersion, kind, version)
 		}
+	case KindRelayJoin, KindPartialUpdate:
+		if version < 3 {
+			return 0, 0, 0, fmt.Errorf("%w: kind %s requires version 3, frame stamped %d",
+				ErrVersion, kind, version)
+		}
 	default:
 		return 0, 0, 0, fmt.Errorf("%w: kind %d", ErrUnknownKind, uint8(kind))
 	}
@@ -229,6 +234,11 @@ func decodeBody(kind Kind, version uint8, payload []byte) (Msg, error) {
 	case KindSparseGlobal:
 		g := ReadSparseGlobalBody(r)
 		m = &g
+	case KindRelayJoin:
+		m = readRelayJoin(r)
+	case KindPartialUpdate:
+		u := ReadPartialUpdateBody(r)
+		m = &u
 	}
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("%w: %s body: %v", ErrCorrupt, kind, err)

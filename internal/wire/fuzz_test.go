@@ -41,6 +41,15 @@ func FuzzWireDecode(f *testing.F) {
 	} {
 		f.Add(Encode(m))
 	}
+	// v3 relay forms: the kind↔version gate and the bounded accumulator
+	// length are the mutation targets.
+	for _, m := range []Msg{
+		&RelayJoinMsg{Name: "edge-0", SessionKey: "edge-0", HaveRound: -1, Clients: 128},
+		&PartialUpdateMsg{Round: 4, Count: 3, WeightLo: 1, WeightHi: 2,
+			MaskHash: 0xabad1dea, Cols: []uint64{0, 1, ^uint64(0), 5}},
+	} {
+		f.Add(Encode(m))
+	}
 	// Two frames back to back: Decode must return the remainder intact.
 	f.Add(append(Encode(&JoinMsg{Name: "a"}), Encode(&GlobalMsg{Round: 0})...))
 	f.Add([]byte("not a frame at all"))

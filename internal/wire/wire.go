@@ -47,6 +47,14 @@
 // the other way: decoding re-derives the minimal version from the body and
 // refuses a frame whose stamped version disagrees (ErrCorrupt), so every
 // accepted frame re-encodes byte-identically — the fuzz oracle.
+//
+// Version 3 adds the hierarchical relay kinds (KindRelayJoin,
+// KindPartialUpdate): a relay registers with the root as an edge
+// pre-aggregator and streams one exact fixed-point partial sum per round
+// instead of per-client updates. Both kinds exist only at v3, so their
+// bodies carry no version branches; the canonical rule is unchanged — a
+// pre-v3 peer rejects them from its own header check, and every other
+// message keeps encoding exactly as before.
 package wire
 
 import (
@@ -60,7 +68,7 @@ import (
 // the oldest it still decodes. Frames are stamped with the minimal version
 // their body needs (see the package comment on canonical versioning).
 const (
-	Version    = 2
+	Version    = 3
 	MinVersion = 1
 )
 
@@ -93,6 +101,10 @@ const (
 	KindSparseUpdate Kind = 5
 	// KindSparseGlobal frames a SparseGlobalMsg (server → client, v2).
 	KindSparseGlobal Kind = 6
+	// KindRelayJoin frames a RelayJoinMsg (relay → root, v3).
+	KindRelayJoin Kind = 7
+	// KindPartialUpdate frames a PartialUpdateMsg (relay → root, v3).
+	KindPartialUpdate Kind = 8
 )
 
 // String names the kind for error messages.
@@ -110,6 +122,10 @@ func (k Kind) String() string {
 		return "sparse-update"
 	case KindSparseGlobal:
 		return "sparse-global"
+	case KindRelayJoin:
+		return "relay-join"
+	case KindPartialUpdate:
+		return "partial-update"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -131,7 +147,8 @@ var (
 )
 
 // Msg is one protocol message. The implementations are JoinMsg,
-// WelcomeMsg, UpdateMsg, GlobalMsg, SparseUpdateMsg, and SparseGlobalMsg.
+// WelcomeMsg, UpdateMsg, GlobalMsg, SparseUpdateMsg, SparseGlobalMsg,
+// RelayJoinMsg, and PartialUpdateMsg.
 type Msg interface {
 	// WireKind returns the frame kind this message serializes under.
 	WireKind() Kind
