@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"apf/internal/core"
 	"apf/internal/metrics"
 	"apf/internal/telemetry"
 	"apf/internal/transport"
@@ -54,6 +55,8 @@ func run(args []string) error {
 		minClients = fs.Int("min-clients", 1, "minimum updates before a round deadline may aggregate")
 		ckptDir    = fs.String("checkpoint-dir", "", "directory for the downward face's durable snapshot + WAL (empty = not durable)")
 		snapEvery  = fs.Int("snapshot-every", 5, "rotate the checkpoint snapshot every K committed rounds")
+		histRounds = fs.Int("history-rounds", 0, "cap the downward face's aggregate replay history to this many rounds, bounding relay memory; clients absent past the cap catch up via sketch reconciliation or a snapshot instead of replay (0 = unbounded)")
+		shadow     = fs.Bool("shadow", false, "maintain a shadow APF replica of the client trajectory (requires clients with -scheme apf and the same -seed), enabling stateful O(diff) sketch catch-up for clients absent past -history-rounds")
 		maxNorm    = fs.Float64("max-norm-mult", 0, "arm this edge's update sanitization pipeline, striking updates whose L2 norm exceeds this multiple of the rolling median (0 = off); in a hierarchy per-client defenses live on the relays, never the root")
 		cosFloor   = fs.Float64("cosine-floor", 0, "with sanitization armed, also strike updates whose cosine against the decayed reference direction falls below this floor (0 = direction gate off)")
 		roundNorm  = fs.Float64("round-norm-mult", 0, "with sanitization armed, also strike accepted updates after the round when their norm exceeds this multiple of the round median (0 = off)")
@@ -108,6 +111,16 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-codec: %w", err)
 	}
+	if *histRounds < 0 {
+		return fmt.Errorf("-history-rounds must be non-negative, got %d", *histRounds)
+	}
+	var shadowCfg *core.Config
+	if *shadow {
+		// Mirror apf-client's -scheme apf manager exactly: the shadow is a
+		// deterministic replica of the client trajectory, so the configs
+		// (and the shared seed) must match bit for bit.
+		shadowCfg = &core.Config{CheckEveryRounds: 2, Threshold: 0.1, EMAAlpha: 0.85, Seed: *seed}
+	}
 
 	rel, err := transport.NewRelay(transport.RelayConfig{
 		Addr:          *addr,
@@ -121,6 +134,8 @@ func run(args []string) error {
 		Codec:         maxCodec,
 		CheckpointDir: *ckptDir,
 		SnapshotEvery: *snapEvery,
+		HistoryRounds: *histRounds,
+		Shadow:        shadowCfg,
 		Validator:     validator,
 		MaxRetries:    *retries,
 		Seed:          *seed,

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"apf/internal/chaos"
+	"apf/internal/core"
 	"apf/internal/fl"
 	"apf/internal/metrics"
 	"apf/internal/preset"
@@ -50,6 +51,8 @@ func run(args []string) error {
 		minClients = fs.Int("min-clients", 1, "minimum updates before a round deadline may aggregate")
 		ckptDir    = fs.String("checkpoint-dir", "", "directory for the durable snapshot + WAL; a restarted server resumes from it bit-exactly (empty = not durable)")
 		snapEvery  = fs.Int("snapshot-every", 5, "rotate the checkpoint snapshot every K committed rounds")
+		histRounds = fs.Int("history-rounds", 0, "cap the aggregate replay history to this many rounds, bounding server memory; clients absent past the cap catch up via sketch reconciliation or a snapshot instead of replay (0 = unbounded)")
+		shadow     = fs.Bool("shadow", false, "maintain a shadow APF replica of the client trajectory (requires clients with -scheme apf and the same -seed), enabling stateful O(diff) sketch catch-up for clients absent past -history-rounds")
 		maxNorm    = fs.Float64("max-norm-mult", 0, "arm the update sanitization pipeline (non-finite and dimension checks plus the norm gate), striking updates whose L2 norm exceeds this multiple of the rolling median (0 = sanitization off)")
 		cosFloor   = fs.Float64("cosine-floor", 0, "with sanitization armed, also strike updates whose cosine against the decayed reference direction falls below this floor (0 = direction gate off; negative floors are meaningful)")
 		roundNorm  = fs.Float64("round-norm-mult", 0, "with sanitization armed, also strike accepted updates after the round when their norm exceeds this multiple of the round median (0 = post-round review off)")
@@ -141,6 +144,16 @@ func run(args []string) error {
 	if *trimFrac < 0 || *trimFrac >= 0.5 {
 		return fmt.Errorf("-trim-frac %g outside [0, 0.5)", *trimFrac)
 	}
+	if *histRounds < 0 {
+		return fmt.Errorf("-history-rounds must be non-negative, got %d", *histRounds)
+	}
+	var shadowCfg *core.Config
+	if *shadow {
+		// Mirror apf-client's -scheme apf manager exactly: the shadow is a
+		// deterministic replica of the client trajectory, so the configs
+		// (and the shared seed) must match bit for bit.
+		shadowCfg = &core.Config{CheckEveryRounds: 2, Threshold: 0.1, EMAAlpha: 0.85, Seed: *seed}
+	}
 	srv, err := transport.NewServer(transport.ServerConfig{
 		Addr:          *addr,
 		Listener:      ln,
@@ -153,6 +166,8 @@ func run(args []string) error {
 		MinClients:    *minClients,
 		CheckpointDir: *ckptDir,
 		SnapshotEvery: *snapEvery,
+		HistoryRounds: *histRounds,
+		Shadow:        shadowCfg,
 		Validator:     validator,
 		Codec:         maxCodec,
 		Reduction:     reduction,

@@ -12,6 +12,7 @@
 //	apfbench -scenarios BENCH_scenarios.json  # adversary × network × data matrix
 //	apfbench -scenarios smoke.json -matrix smoke  # CI smoke subset
 //	apfbench -scaling BENCH_scale.json        # two-tier topology at 100k–1M clients
+//	apfbench -resume BENCH_resume.json        # snapshot vs sketch catch-up cost
 //
 // Output is a textual report per experiment: markdown tables for the
 // paper's tables and per-series digests (+ optional TSV dumps via -tsv)
@@ -51,6 +52,7 @@ func run(args []string) error {
 		telem   = fs.String("telemetry", "", "measure the telemetry observer's hot-path overhead and write the JSON report to this file")
 		scen    = fs.String("scenarios", "", "run the adversary × network × data scenario matrix and write the JSON report to this file")
 		scaling = fs.String("scaling", "", "simulate the two-tier topology at 100k and 1M clients and write the JSON scaling report to this file (fails unless root work stays flat)")
+		resume  = fs.String("resume", "", "measure snapshot vs sketch catch-up cost for resuming clients and write the JSON report to this file (fails unless snapshot is flat in absence and sketch beats it)")
 		matrix  = fs.String("matrix", "full", "scenario matrix: full | smoke (with -scenarios)")
 		trials  = fs.Int("trials", 2, "trials per scenario cell (with -scenarios, full matrix only)")
 	)
@@ -72,6 +74,9 @@ func run(args []string) error {
 	}
 	if *scaling != "" {
 		return runScalebench(*scaling)
+	}
+	if *resume != "" {
+		return runResumebench(*resume)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {

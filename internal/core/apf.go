@@ -164,6 +164,12 @@ type Manager struct {
 	// O(Dim) rebuild entirely.
 	maskValidUntil int
 
+	// wordGen tracks, per 64-scalar word, round+1 of the last round
+	// that mutated any synchronized state in it (0 = never). See
+	// recon.go for the touch-site inventory and the replica-identity
+	// invariant it maintains.
+	wordGen []uint32
+
 	threshold   float64
 	checkCount  int
 	initialized bool
@@ -200,6 +206,7 @@ func NewManager(cfg Config) *Manager {
 		unfreezeAt:     make([]int, cfg.Dim),
 		randomUntil:    make([]int, cfg.Dim),
 		mask:           bitset.New(cfg.Dim),
+		wordGen:        make([]uint32, (cfg.Dim+63)/64),
 		maskRound:      -1,
 		maskValidUntil: -1,
 		threshold:      cfg.Threshold,
@@ -308,6 +315,16 @@ func (m *Manager) ApplyDownload(round int, x, global []float64) int64 {
 		m.initialized = true
 		m.initRound = round
 	}
+	if round == m.initRound {
+		// The initializing download seeds x, ref, and the check
+		// baseline everywhere: every word is touched.
+		g := uint32(round + 1)
+		for w := range m.wordGen {
+			m.wordGen[w] = g
+		}
+	} else {
+		m.touchUnfrozenWords(round)
+	}
 	// Run the stability check on check boundaries — but never on the
 	// round that seeded the baseline, whose accumulated delta would be
 	// degenerate and misread as stability.
@@ -349,7 +366,18 @@ func (m *Manager) stabilityCheck(round int, x []float64) {
 	})
 
 	m.applyRandomFreezing(round)
-	copy(m.lastCheck, x)
+	// Refresh the check baseline, tracking which words it actually
+	// changes bit-wise: frozen rollback can move lastCheck inside words
+	// that are fully frozen this round (a randomly-frozen scalar whose
+	// x rolled back to ref since the last check), which the unfrozen
+	// touch above cannot see.
+	gen := uint32(round + 1)
+	for j := range x {
+		if math.Float64bits(m.lastCheck[j]) != math.Float64bits(x[j]) {
+			m.lastCheck[j] = x[j]
+			m.wordGen[j>>6] = gen
+		}
+	}
 
 	// Threshold decay (§6.1): halve once most parameters are frozen by
 	// *stability*. Randomly frozen scalars (APF#/APF++) say nothing about
@@ -415,6 +443,8 @@ func (m *Manager) applyRandomFreezing(round int) {
 			length = 1 + int(rng.Float64()*math.Max(0, maxLen-1))
 		}
 		m.randomUntil[j] = round + 1 + length
+		// Random freezing can hit otherwise fully-frozen words.
+		m.wordGen[j>>6] = uint32(round + 1)
 	}
 }
 

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the manager's reconciliation surface: exact per-word
+// generation tracking plus word-granular state export/import. A "word"
+// is 64 consecutive scalars (the freezing bitmap's word layout); the
+// generation of a word is round+1 of the last round that mutated any
+// synchronized state inside it (0 = never touched). Two deterministic
+// replicas of the same trajectory hold bit-identical word state
+// whenever their generations agree, so a returning client and the
+// server can reconcile (word, generation) pairs in O(symmetric
+// difference) and then ship only the differing words' state.
+//
+// The tracked state per word is everything a word block carries:
+// x (the canonical post-ApplyDownload model), ref, lastCheck, the
+// tracker's per-scalar averages/seeded bits, period, unfreezeAt, and
+// randomUntil. Manager-global scalars (threshold, check count, the
+// tracker's observation count, init/last round) ride in the SyncHeader
+// instead. Touch sites:
+//
+//   - ApplyDownload touches every word with at least one unfrozen
+//     scalar (x and ref absorb the aggregate there), and every word on
+//     the initializing download (the check baseline seeds everywhere).
+//   - stabilityCheck's re-assessment writes (tracker averages, period,
+//     unfreezeAt, ref) hit only scalars unfrozen in the same round, so
+//     the ApplyDownload touch already covers them; the baseline
+//     refresh (lastCheck ← x) is tracked bit-exactly per word because
+//     it can silently change words that are fully frozen (a
+//     randomly-frozen scalar's x rolls back to ref between checks).
+//   - applyRandomFreezing touches the word of every randomUntil write,
+//     which may land in otherwise fully-frozen words.
+
+// WordBlock is the full synchronized state of one 64-scalar word. The
+// slices are wordWidth(w) long (64, or Dim%64 for a trailing partial
+// word).
+type WordBlock struct {
+	Word        int
+	Gen         uint32
+	Seeded      uint64 // tracker seeded bits, bit k = scalar Word*64+k
+	X           []float64
+	Ref         []float64
+	LastCheck   []float64
+	E           []float64
+	A           []float64
+	Period      []float64
+	UnfreezeAt  []int
+	RandomUntil []int
+}
+
+// SyncHeader carries the manager-global scalars that word blocks
+// cannot: the delta import applies it once alongside the blocks.
+type SyncHeader struct {
+	Threshold   float64
+	CheckCount  int
+	Seen        int
+	Initialized bool
+	InitRound   int
+	LastRound   int
+}
+
+// Words returns the mask-word count of the model.
+func (m *Manager) Words() int { return len(m.wordGen) }
+
+// wordWidth returns how many scalars word w actually holds.
+func (m *Manager) wordWidth(w int) int {
+	n := m.cfg.Dim - w*64
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// fullWordBits returns the frozen-bitmap value meaning "every scalar
+// of word w is frozen" (trailing partial words keep their invalid high
+// bits zero).
+func (m *Manager) fullWordBits(w int) uint64 {
+	if n := m.wordWidth(w); n < 64 {
+		return 1<<uint(n) - 1
+	}
+	return ^uint64(0)
+}
+
+// touchUnfrozenWords stamps round's generation on every word with at
+// least one unfrozen scalar under the current mask (which the caller
+// has refreshed for round).
+func (m *Manager) touchUnfrozenWords(round int) {
+	g := uint32(round + 1)
+	for w, bits := range m.mask.Words() {
+		if bits != m.fullWordBits(w) {
+			m.wordGen[w] = g
+		}
+	}
+}
+
+// WordGens returns a copy of the per-word generation vector.
+func (m *Manager) WordGens() []uint32 {
+	return append([]uint32(nil), m.wordGen...)
+}
+
+// ExportWordBlock copies word w's full synchronized state out of the
+// manager and the caller's canonical model vector x (which must be the
+// post-ApplyDownload model this manager last observed).
+func (m *Manager) ExportWordBlock(w int, x []float64) WordBlock {
+	m.checkDim(x)
+	if w < 0 || w >= len(m.wordGen) {
+		panic(fmt.Sprintf("core: word %d out of %d", w, len(m.wordGen)))
+	}
+	lo := w * 64
+	n := m.wordWidth(w)
+	b := WordBlock{
+		Word:        w,
+		Gen:         m.wordGen[w],
+		X:           append([]float64(nil), x[lo:lo+n]...),
+		Ref:         append([]float64(nil), m.ref[lo:lo+n]...),
+		LastCheck:   append([]float64(nil), m.lastCheck[lo:lo+n]...),
+		E:           make([]float64, n),
+		A:           make([]float64, n),
+		Period:      append([]float64(nil), m.period[lo:lo+n]...),
+		UnfreezeAt:  append([]int(nil), m.unfreezeAt[lo:lo+n]...),
+		RandomUntil: append([]int(nil), m.randomUntil[lo:lo+n]...),
+	}
+	for k := 0; k < n; k++ {
+		e, a, seeded := m.tracker.ScalarState(lo + k)
+		b.E[k], b.A[k] = e, a
+		if seeded {
+			b.Seeded |= 1 << uint(k)
+		}
+	}
+	return b
+}
+
+// ApplyWordBlock overwrites word w's state from a block exported by a
+// bit-exact replica, writing the model scalars into x. The freezing
+// bitmap is invalidated; callers finish an import with
+// ApplySyncHeader.
+func (m *Manager) ApplyWordBlock(b WordBlock, x []float64) error {
+	m.checkDim(x)
+	if b.Word < 0 || b.Word >= len(m.wordGen) {
+		return fmt.Errorf("core: word block %d out of %d words", b.Word, len(m.wordGen))
+	}
+	n := m.wordWidth(b.Word)
+	for name, l := range map[string]int{
+		"X": len(b.X), "Ref": len(b.Ref), "LastCheck": len(b.LastCheck),
+		"E": len(b.E), "A": len(b.A), "Period": len(b.Period),
+		"UnfreezeAt": len(b.UnfreezeAt), "RandomUntil": len(b.RandomUntil),
+	} {
+		if l != n {
+			return fmt.Errorf("core: word block %d field %s has %d scalars, want %d", b.Word, name, l, n)
+		}
+	}
+	lo := b.Word * 64
+	copy(x[lo:lo+n], b.X)
+	copy(m.ref[lo:lo+n], b.Ref)
+	copy(m.lastCheck[lo:lo+n], b.LastCheck)
+	copy(m.period[lo:lo+n], b.Period)
+	copy(m.unfreezeAt[lo:lo+n], b.UnfreezeAt)
+	copy(m.randomUntil[lo:lo+n], b.RandomUntil)
+	for k := 0; k < n; k++ {
+		m.tracker.RestoreScalarState(lo+k, b.E[k], b.A[k], b.Seeded&(1<<uint(k)) != 0)
+	}
+	m.wordGen[b.Word] = b.Gen
+	m.maskRound = -1
+	return nil
+}
+
+// SyncHeader exports the manager-global scalars.
+func (m *Manager) SyncHeader() SyncHeader {
+	return SyncHeader{
+		Threshold:   m.threshold,
+		CheckCount:  m.checkCount,
+		Seen:        m.tracker.Seen(),
+		Initialized: m.initialized,
+		InitRound:   m.initRound,
+		LastRound:   m.lastRound,
+	}
+}
+
+// ApplySyncHeader overwrites the manager-global scalars and
+// invalidates the freezing bitmap; the next mask use rebuilds it from
+// the imported deadlines.
+func (m *Manager) ApplySyncHeader(h SyncHeader) error {
+	if math.IsNaN(h.Threshold) {
+		return fmt.Errorf("core: sync header threshold NaN")
+	}
+	m.threshold = h.Threshold
+	m.checkCount = h.CheckCount
+	m.tracker.RestoreSeen(h.Seen)
+	m.initialized = h.Initialized
+	m.initRound = h.InitRound
+	m.lastRound = h.LastRound
+	m.maskRound = -1
+	return nil
+}

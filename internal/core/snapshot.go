@@ -25,6 +25,11 @@ type State struct {
 	// LastRound is the most recent round observed by ApplyDownload (-1
 	// before the first download).
 	LastRound int
+	// WordGen is the per-word generation vector (see recon.go). Nil in
+	// snapshots predating reconciliation; restore then stamps every
+	// word with the last observed round, which over-reports the diff
+	// (conservative: extra words reconcile, none are missed).
+	WordGen []uint32
 }
 
 // Snapshot captures the manager's full protocol state. The configuration
@@ -45,6 +50,7 @@ func (m *Manager) Snapshot() *State {
 		Initialized: m.initialized,
 		InitRound:   m.initRound,
 		LastRound:   m.lastRound,
+		WordGen:     append([]uint32(nil), m.wordGen...),
 	}
 }
 
@@ -61,6 +67,25 @@ func Restore(cfg Config, s *State) (*Manager, error) {
 	if cfg.Dim != s.Dim {
 		return nil, fmt.Errorf("core: snapshot dimension %d does not match config dimension %d", s.Dim, cfg.Dim)
 	}
+	m := NewManager(cfg)
+	if err := m.RestoreSnapshot(s); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RestoreSnapshot overwrites the manager's full protocol state in
+// place from a snapshot of a manager built with an identical Config.
+// It is the snapshot-catch-up entry point: a returning client adopts
+// the coordinator's shadow state wholesale instead of replaying every
+// missed round.
+func (m *Manager) RestoreSnapshot(s *State) error {
+	if s == nil {
+		return fmt.Errorf("core: nil snapshot")
+	}
+	if s.Dim != m.cfg.Dim {
+		return fmt.Errorf("core: snapshot dimension %d does not match manager dimension %d", s.Dim, m.cfg.Dim)
+	}
 	for name, n := range map[string]int{
 		"Ref":         len(s.Ref),
 		"LastCheck":   len(s.LastCheck),
@@ -69,18 +94,20 @@ func Restore(cfg Config, s *State) (*Manager, error) {
 		"RandomUntil": len(s.RandomUntil),
 	} {
 		if n != s.Dim {
-			return nil, fmt.Errorf("core: snapshot field %s has length %d, want %d", name, n, s.Dim)
+			return fmt.Errorf("core: snapshot field %s has length %d, want %d", name, n, s.Dim)
 		}
+	}
+	if s.WordGen != nil && len(s.WordGen) != len(m.wordGen) {
+		return fmt.Errorf("core: snapshot word-gen length %d, want %d", len(s.WordGen), len(m.wordGen))
 	}
 	tracker, err := perturb.RestoreEMATracker(s.Tracker)
 	if err != nil {
-		return nil, fmt.Errorf("core: restore tracker: %w", err)
+		return fmt.Errorf("core: restore tracker: %w", err)
 	}
 	if tracker.Dim() != s.Dim {
-		return nil, fmt.Errorf("core: snapshot tracker dimension %d, want %d", tracker.Dim(), s.Dim)
+		return fmt.Errorf("core: snapshot tracker dimension %d, want %d", tracker.Dim(), s.Dim)
 	}
 
-	m := NewManager(cfg)
 	copy(m.ref, s.Ref)
 	copy(m.lastCheck, s.LastCheck)
 	m.tracker = tracker
@@ -95,6 +122,21 @@ func Restore(cfg Config, s *State) (*Manager, error) {
 	if !s.Initialized {
 		m.lastRound = -1 // snapshots predating LastRound decode it as 0
 	}
+	switch {
+	case s.WordGen != nil:
+		copy(m.wordGen, s.WordGen)
+	case s.Initialized:
+		// Legacy snapshot: stamp everything as last-touched now so a
+		// later reconciliation over-reports rather than misses.
+		g := uint32(s.LastRound + 1)
+		for w := range m.wordGen {
+			m.wordGen[w] = g
+		}
+	default:
+		for w := range m.wordGen {
+			m.wordGen[w] = 0
+		}
+	}
 	m.maskRound = -1
-	return m, nil
+	return nil
 }

@@ -284,6 +284,12 @@ func (a *Aggregator) Add(id int, contrib []float64, weight float64) error {
 	if a.slots[id] != nil {
 		return fmt.Errorf("fl: duplicate contribution from client %d in round %d", id, a.round)
 	}
+	if contrib == nil {
+		// A fully-frozen round's compact payload is legitimately empty, and
+		// the wire decoder hands it over as nil; the nil slot would read as
+		// an absent client (and a duplicate re-send would slip through).
+		contrib = []float64{}
+	}
 	if math.IsNaN(weight) || math.IsInf(weight, 0) || weight < 0 {
 		return fmt.Errorf("%w: round %d client %d weight %v", ErrNonFinite, a.round, id, weight)
 	}

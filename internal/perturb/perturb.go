@@ -213,6 +213,34 @@ func (t *EMATracker) Perturbation(j int) float64 {
 	return ratio(t.e[j], t.a[j])
 }
 
+// ScalarState returns scalar j's raw averages and seeded flag — the
+// per-scalar slice of the tracker state, used by O(diff) state
+// reconciliation to export only the scalars that actually changed.
+func (t *EMATracker) ScalarState(j int) (e, a float64, seeded bool) {
+	return t.e[j], t.a[j], t.seeded.Get(j)
+}
+
+// RestoreScalarState overwrites scalar j's averages and seeded flag,
+// keeping the seeded-count cache consistent. The counterpart of
+// ScalarState for importing a reconciliation delta.
+func (t *EMATracker) RestoreScalarState(j int, e, a float64, seeded bool) {
+	t.e[j] = e
+	t.a[j] = a
+	if t.seeded.Get(j) != seeded {
+		t.seeded.SetTo(j, seeded)
+		if seeded {
+			t.nseed++
+		} else {
+			t.nseed--
+		}
+	}
+}
+
+// RestoreSeen overwrites the tracker-global observation count (it is
+// not derivable from any per-scalar state, so delta imports set it
+// from the header).
+func (t *EMATracker) RestoreSeen(n int) { t.seen = n }
+
 // EMAState is a serializable snapshot of an EMATracker.
 type EMAState struct {
 	Alpha float64

@@ -1,0 +1,292 @@
+// Package recon implements rateless IBLT set reconciliation over
+// fixed-size 64-bit symbols, after Yang, Gilad & Alizadeh's riblt
+// design: the encoder emits an unbounded stream of coded cells, each
+// the XOR-sum of a pseudo-random subset of the source set, with subset
+// density decaying as 1/sqrt(index); the decoder subtracts its own
+// set's contributions and peels pure cells until the symmetric
+// difference is recovered. Communication cost is O(d) coded cells for
+// a symmetric difference of d, independent of the set sizes — the
+// encoder never needs to know d in advance, it just keeps streaming
+// until the decoder reports success.
+//
+// The transport layer reconciles (mask-word index, generation) pairs
+// packed into one uint64 per word: a returning client learns exactly
+// which 64-scalar words of the model changed while it was away, in
+// bytes proportional to the change set rather than to the model or the
+// absence length.
+package recon
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Symbol is one set element: a 64-bit value reconciled by identity.
+// The transport packs a mask-word index into the high 32 bits and that
+// word's generation into the low 32 (see PackWordGen).
+type Symbol uint64
+
+// FNV-1a over the symbol's 8 little-endian bytes. The hash keys the
+// coded cells (purity test) and seeds the symbol's index mapping, so
+// encoder and decoder derive identical subsets with no shared state
+// beyond the symbol values themselves.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash returns the symbol's FNV-1a checksum.
+func (s Symbol) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	v := uint64(s)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// PackWordGen packs a mask-word index and its generation into one
+// symbol. Generations are round numbers (+1, with 0 reserved for
+// "never touched"), so 32 bits holds any realistic run; word indices
+// cover models up to 2^38 scalars.
+func PackWordGen(word int, gen uint32) Symbol {
+	return Symbol(uint64(word)<<32 | uint64(gen))
+}
+
+// Word extracts the mask-word index from a packed symbol.
+func (s Symbol) Word() int { return int(uint64(s) >> 32) }
+
+// Gen extracts the generation from a packed symbol.
+func (s Symbol) Gen() uint32 { return uint32(uint64(s)) }
+
+// Cell is one coded symbol: the XOR of the member symbols, the XOR of
+// their hashes, and a signed member count. A cell with count ±1 whose
+// hash matches its sum's hash is "pure" — it names exactly one symbol
+// of the symmetric difference — and peeling it may purify others.
+type Cell struct {
+	Sum   Symbol
+	Hash  uint64
+	Count int64
+}
+
+func (c *Cell) apply(s Symbol, h uint64, dir int64) {
+	c.Sum ^= s
+	c.Hash ^= h
+	c.Count += dir
+}
+
+// pure reports whether the cell names exactly one symbol. The hash
+// check makes collisions of distinct subsets astronomically unlikely;
+// hostile cells that forge purity decode to garbage symbols, which is
+// safe (the caller cross-checks decoded content, and peeling is
+// bounded — see Decoder).
+func (c Cell) pure() bool {
+	return (c.Count == 1 || c.Count == -1) && c.Hash == c.Sum.Hash()
+}
+
+func (c Cell) empty() bool {
+	return c.Count == 0 && c.Sum == 0 && c.Hash == 0
+}
+
+// mapping walks a symbol's pseudo-random cell-index sequence. Every
+// symbol participates in cell 0; subsequent indices grow with gaps
+// drawn so that the probability a symbol maps into cell i decays as
+// 1/sqrt(i+1) — the riblt degree distribution that makes peeling
+// succeed after ~1.35d cells for difference d. The multiplier is the
+// riblt PCG-style constant; the state doubles as the PRNG.
+type mapping struct {
+	prng uint64
+	last uint64
+}
+
+func (m *mapping) next() uint64 {
+	r := m.prng * 0xda942042e4dd58b5
+	m.prng = r
+	m.last += uint64(math.Ceil((float64(m.last) + 1.5) * (float64(1<<32)/math.Sqrt(float64(r)+1) - 1)))
+	return m.last
+}
+
+// mappedSymbol is one window entry: a symbol, its cached hash, the
+// direction it applies with, and the next cell index it maps to.
+type mappedSymbol struct {
+	sym  Symbol
+	hash uint64
+	dir  int64
+	next uint64
+	m    mapping
+}
+
+// window is a min-heap of symbols keyed by next mapped index, so
+// producing cell i touches only the symbols that actually map there
+// (expected O(n/sqrt(i)) of n symbols) instead of scanning all of them.
+type window []*mappedSymbol
+
+func (w window) Len() int            { return len(w) }
+func (w window) Less(i, j int) bool  { return w[i].next < w[j].next }
+func (w window) Swap(i, j int)       { w[i], w[j] = w[j], w[i] }
+func (w *window) Push(x interface{}) { *w = append(*w, x.(*mappedSymbol)) }
+func (w *window) Pop() interface{} {
+	old := *w
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*w = old[:n-1]
+	return x
+}
+
+// add registers a symbol starting at cell index 0.
+func (w *window) add(s Symbol, dir int64) {
+	h := s.Hash()
+	heap.Push(w, &mappedSymbol{sym: s, hash: h, dir: dir, m: mapping{prng: h}})
+}
+
+// addAt registers a symbol mid-sequence: mapping state m already
+// advanced to index next (used for peeled symbols whose early indices
+// were applied directly to existing cells).
+func (w *window) addAt(s Symbol, h uint64, dir int64, m mapping, next uint64) {
+	heap.Push(w, &mappedSymbol{sym: s, hash: h, dir: dir, next: next, m: m})
+}
+
+// applyTo folds every window symbol mapped to cell index idx into c.
+// Cells must be requested in strictly increasing idx order. The index
+// sequence is treated as a multiset — in the (vanishingly rare) event
+// a mapping repeats an index, the symbol is applied once per
+// occurrence on both ends, which keeps encoder and decoder consistent.
+func (w *window) applyTo(c *Cell, idx uint64) {
+	for len(*w) > 0 && (*w)[0].next <= idx {
+		ms := (*w)[0]
+		if ms.next == idx {
+			c.apply(ms.sym, ms.hash, ms.dir)
+		}
+		ms.next = ms.m.next()
+		heap.Fix(w, 0)
+	}
+}
+
+// Encoder streams coded cells over a source set. Add all symbols
+// before producing cells; Next returns cells for consecutive indices
+// starting at 0.
+type Encoder struct {
+	win  window
+	next uint64
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Add registers one source symbol. Must precede the first Next.
+func (e *Encoder) Add(s Symbol) { e.win.add(s, 1) }
+
+// Next produces the next coded cell in the stream.
+func (e *Encoder) Next() Cell {
+	var c Cell
+	e.win.applyTo(&c, e.next)
+	e.next++
+	return c
+}
+
+// Decoder recovers the symmetric difference between a remote set
+// (arriving as coded cells) and the local set (registered up front
+// with AddLocal). Local contributions are subtracted from each cell on
+// arrival, so the residual stream codes only the difference; peeling
+// pure cells then recovers it symbol by symbol.
+type Decoder struct {
+	local  window // local symbols, subtracted from arriving cells
+	solved window // peeled symbols, folded out of future cells
+	cells  []Cell
+	remote []Symbol // decoded remote-only symbols
+	missng []Symbol // decoded local-only symbols
+	filled int      // non-empty cells outstanding
+	peels  int      // total peel operations, for the hostile-input bound
+}
+
+// NewDecoder returns an empty decoder.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// AddLocal registers one local symbol. All local symbols must be added
+// before the first AddCell.
+func (d *Decoder) AddLocal(s Symbol) { d.local.add(s, -1) }
+
+// AddCell folds one arriving coded cell into the decoder and peels as
+// far as possible. Cells must arrive in stream order (index 0 first).
+func (d *Decoder) AddCell(c Cell) {
+	idx := uint64(len(d.cells))
+	d.local.applyTo(&c, idx)
+	d.solved.applyTo(&c, idx)
+	d.cells = append(d.cells, c)
+	if !c.empty() {
+		d.filled++
+	}
+	d.peel(idx)
+}
+
+// maxPeels bounds total peel work against hostile cell streams that
+// could otherwise oscillate (a forged stream re-purifying the same
+// cells indefinitely). An honest stream peels each difference symbol
+// exactly once, and the difference is at most ~the cell count, so the
+// bound is never hit on real data.
+func (d *Decoder) maxPeels() int { return 2*len(d.cells) + 64 }
+
+func (d *Decoder) peel(start uint64) {
+	queue := []uint64{start}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		c := d.cells[i]
+		if !c.pure() {
+			continue
+		}
+		if d.peels >= d.maxPeels() {
+			return
+		}
+		d.peels++
+		s, h := c.Sum, c.Hash
+		dir := -c.Count // removing the symbol inverts its sign
+		if c.Count == 1 {
+			d.remote = append(d.remote, s)
+		} else {
+			d.missng = append(d.missng, s)
+		}
+		// Fold the symbol out of every cell it maps to: existing cells
+		// directly, future ones via the solved window.
+		m := mapping{prng: h}
+		idx := uint64(0)
+		for idx < uint64(len(d.cells)) {
+			cc := &d.cells[idx]
+			was := cc.empty()
+			cc.apply(s, h, dir)
+			if was != cc.empty() {
+				if was {
+					d.filled++
+				} else {
+					d.filled--
+				}
+			}
+			if cc.pure() {
+				queue = append(queue, idx)
+			}
+			idx = m.next()
+		}
+		d.solved.addAt(s, h, dir, m, idx)
+	}
+}
+
+// Decoded reports whether every received cell has been fully explained
+// — the decoded difference is then complete and consistent with the
+// remote stream.
+func (d *Decoder) Decoded() bool {
+	return len(d.cells) > 0 && d.filled == 0
+}
+
+// Remote returns the decoded remote-only symbols: present in the
+// encoder's set, absent locally. The slice aliases decoder state.
+func (d *Decoder) Remote() []Symbol { return d.remote }
+
+// Missing returns the decoded local-only symbols: present locally,
+// absent in the encoder's set. The slice aliases decoder state.
+func (d *Decoder) Missing() []Symbol { return d.missng }
+
+// Cells returns how many coded cells have been consumed.
+func (d *Decoder) Cells() int { return len(d.cells) }

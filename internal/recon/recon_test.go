@@ -1,0 +1,222 @@
+package recon
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// reconcile runs one encoder/decoder exchange and returns the number
+// of cells consumed, or -1 if the decoder gave up before maxCells.
+func reconcile(t *testing.T, server, client map[Symbol]bool, maxCells int) (int, *Decoder) {
+	t.Helper()
+	enc := NewEncoder()
+	for s := range server {
+		enc.Add(s)
+	}
+	dec := NewDecoder()
+	for s := range client {
+		dec.AddLocal(s)
+	}
+	for i := 0; i < maxCells; i++ {
+		dec.AddCell(enc.Next())
+		if dec.Decoded() {
+			return i + 1, dec
+		}
+	}
+	return -1, dec
+}
+
+func TestDecodeIdenticalSets(t *testing.T) {
+	set := map[Symbol]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		set[Symbol(rng.Uint64())] = true
+	}
+	cells, dec := reconcile(t, set, set, 8)
+	if cells != 1 {
+		t.Fatalf("identical sets took %d cells, want 1", cells)
+	}
+	if len(dec.Remote()) != 0 || len(dec.Missing()) != 0 {
+		t.Fatalf("identical sets decoded a difference: %d remote, %d missing",
+			len(dec.Remote()), len(dec.Missing()))
+	}
+}
+
+// TestDecodeWithinLinearBound is the seeded peeling property test: for
+// random sets with symmetric difference d, the decoder must finish
+// within c·d cells. riblt's measured overhead is ~1.35 for large d
+// with higher variance at small d, so the bound uses c=4 plus a small
+// constant headroom — loose enough to never flake on a fixed seed
+// set, tight enough to catch an O(d^2) or broken-degree regression.
+func TestDecodeWithinLinearBound(t *testing.T) {
+	const c, slack = 4, 8
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n := 50 + rng.Intn(500)
+		d := 1 + rng.Intn(64)
+		if d > n {
+			d = n
+		}
+		server := map[Symbol]bool{}
+		for len(server) < n {
+			server[Symbol(rng.Uint64())] = true
+		}
+		client := map[Symbol]bool{}
+		for s := range server {
+			client[s] = true
+		}
+		// Symmetric difference of exactly d: flip membership of d/2
+		// shared symbols (remove from client) and add d-d/2 fresh ones.
+		removed := 0
+		for s := range server {
+			if removed == d/2 {
+				break
+			}
+			delete(client, s)
+			removed++
+		}
+		for added := 0; added < d-d/2; added++ {
+			s := Symbol(rng.Uint64())
+			if server[s] || client[s] {
+				added--
+				continue
+			}
+			client[s] = true
+		}
+		diff := d
+		cells, dec := reconcile(t, server, client, c*diff+slack)
+		if cells < 0 {
+			t.Fatalf("seed %d: diff %d not decoded within %d cells", seed, diff, c*diff+slack)
+		}
+		for _, s := range dec.Remote() {
+			if !server[s] || client[s] {
+				t.Fatalf("seed %d: remote symbol %x not server-only", seed, uint64(s))
+			}
+		}
+		for _, s := range dec.Missing() {
+			if server[s] || !client[s] {
+				t.Fatalf("seed %d: missing symbol %x not client-only", seed, uint64(s))
+			}
+		}
+		if got := len(dec.Remote()) + len(dec.Missing()); got != diff {
+			t.Fatalf("seed %d: decoded %d symbols, want %d", seed, got, diff)
+		}
+	}
+}
+
+// TestDecodeWordGenDrift mirrors the transport's use: both sides hold
+// one symbol per mask word, differing only in generation on a few
+// words. Every drifted word contributes two symbols to the difference
+// (the old generation and the new), and the decoded remote set names
+// exactly the drifted words.
+func TestDecodeWordGenDrift(t *testing.T) {
+	const words = 256
+	rng := rand.New(rand.NewSource(7))
+	serverGen := make([]uint32, words)
+	clientGen := make([]uint32, words)
+	for w := 0; w < words; w++ {
+		g := uint32(rng.Intn(1000))
+		serverGen[w], clientGen[w] = g, g
+	}
+	drift := map[int]bool{}
+	for len(drift) < 9 {
+		w := rng.Intn(words)
+		if !drift[w] {
+			drift[w] = true
+			serverGen[w] += 1 + uint32(rng.Intn(50))
+		}
+	}
+	server := map[Symbol]bool{}
+	client := map[Symbol]bool{}
+	for w := 0; w < words; w++ {
+		server[PackWordGen(w, serverGen[w])] = true
+		client[PackWordGen(w, clientGen[w])] = true
+	}
+	cells, dec := reconcile(t, server, client, 4*2*len(drift)+8)
+	if cells < 0 {
+		t.Fatalf("word-gen drift not decoded")
+	}
+	got := map[int]bool{}
+	for _, s := range dec.Remote() {
+		got[s.Word()] = true
+		if want := serverGen[s.Word()]; s.Gen() != want {
+			t.Fatalf("word %d decoded gen %d, want %d", s.Word(), s.Gen(), want)
+		}
+	}
+	if len(got) != len(drift) {
+		t.Fatalf("decoded %d drifted words, want %d", len(got), len(drift))
+	}
+	for w := range drift {
+		if !got[w] {
+			t.Fatalf("drifted word %d not decoded", w)
+		}
+	}
+}
+
+func TestPackWordGenRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		word int
+		gen  uint32
+	}{{0, 0}, {1, 1}, {1 << 20, 1 << 31}, {1<<32 - 1, 1<<32 - 1}} {
+		s := PackWordGen(tc.word, tc.gen)
+		if s.Word() != tc.word || s.Gen() != tc.gen {
+			t.Fatalf("pack(%d,%d) round-tripped to (%d,%d)", tc.word, tc.gen, s.Word(), s.Gen())
+		}
+	}
+}
+
+// FuzzReconDecode feeds hostile coded-cell streams into the decoder:
+// arbitrary sums, forged hashes, wild counts. The decoder must not
+// panic, loop, or let the peel bound run away, regardless of input.
+func FuzzReconDecode(f *testing.F) {
+	// Seed 1: a short honest stream over a small difference.
+	seed := func(server, client []Symbol, n int) []byte {
+		enc := NewEncoder()
+		for _, s := range server {
+			enc.Add(s)
+		}
+		var buf []byte
+		for i := 0; i < n; i++ {
+			c := enc.Next()
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Sum))
+			buf = binary.LittleEndian.AppendUint64(buf, c.Hash)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Count))
+		}
+		return buf
+	}
+	f.Add(seed([]Symbol{PackWordGen(0, 1), PackWordGen(1, 2), PackWordGen(2, 3)},
+		[]Symbol{PackWordGen(0, 1), PackWordGen(1, 1), PackWordGen(2, 3)}, 8))
+	// Seed 2: a forged pure cell (hash matches, symbol arbitrary).
+	forged := Symbol(0xdeadbeefcafe)
+	var b []byte
+	b = binary.LittleEndian.AppendUint64(b, uint64(forged))
+	b = binary.LittleEndian.AppendUint64(b, forged.Hash())
+	b = binary.LittleEndian.AppendUint64(b, 1)
+	f.Add(b)
+	// Seed 3: truncated garbage.
+	f.Add([]byte{0x01, 0x02, 0x03})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			data = data[:1<<14]
+		}
+		dec := NewDecoder()
+		for w := 0; w < 16; w++ {
+			dec.AddLocal(PackWordGen(w, uint32(w+1)))
+		}
+		for len(data) >= 24 {
+			c := Cell{
+				Sum:   Symbol(binary.LittleEndian.Uint64(data)),
+				Hash:  binary.LittleEndian.Uint64(data[8:]),
+				Count: int64(binary.LittleEndian.Uint64(data[16:])),
+			}
+			data = data[24:]
+			dec.AddCell(c)
+		}
+		// Decoded output, if any, must stay bounded by the peel cap.
+		if got := len(dec.Remote()) + len(dec.Missing()); got > dec.maxPeels() {
+			t.Fatalf("peeled %d symbols past the bound %d", got, dec.maxPeels())
+		}
+	})
+}

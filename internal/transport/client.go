@@ -220,7 +220,8 @@ func RunClient(ctx context.Context, cfg ClientConfig) (*ClientResult, error) {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		if errors.Is(err, errProtocol) || errors.Is(err, ErrMaskDivergence) {
+		if errors.Is(err, errProtocol) || errors.Is(err, ErrMaskDivergence) ||
+			errors.Is(err, ErrFutureGeneration) {
 			return nil, err
 		}
 		if r.applied > before {
@@ -281,11 +282,18 @@ func (r *clientRun) session(ctx context.Context) error {
 		return ctx.Err() // the watcher may have missed this connection
 	}
 
+	caps := r.cfg.Codec.Caps()
+	if _, ok := r.manager.(reconManager); ok {
+		// The manager tracks per-word generations, so a catch-up resume can
+		// use sketch reconciliation. (Nil before the first Welcome builds the
+		// manager — a fresh join has no state to reconcile anyway.)
+		caps |= wire.CapRecon
+	}
 	join := &JoinMsg{
 		Name:       r.cfg.Name,
 		SessionKey: r.cfg.SessionKey,
 		HaveRound:  r.applied,
-		Caps:       r.cfg.Codec.Caps(),
+		Caps:       caps,
 	}
 	if err := writeMsg(conn, r.cfg.IOTimeout, join, r.wireM); err != nil {
 		return fmt.Errorf("transport: join: %w", err)
@@ -302,6 +310,17 @@ func (r *clientRun) session(ctx context.Context) error {
 	}
 	if err := r.acceptWelcome(welcome); err != nil {
 		return err
+	}
+
+	// The server evicted this client's round from its replay history: the
+	// Welcome carries no Missed list and the connection enters the wire-v4
+	// catch-up conversation instead (sketch reconciliation when both sides
+	// track word generations, snapshot otherwise). Either way the client
+	// lands bit-identical to the replayed trajectory.
+	if welcome.CatchUp {
+		if err := r.catchUp(conn, welcome); err != nil {
+			return err
+		}
 	}
 
 	// Replay the aggregates this client missed while disconnected; the
@@ -370,9 +389,22 @@ func (r *clientRun) session(ctx context.Context) error {
 		if err := r.push(conn); err != nil {
 			return fmt.Errorf("transport: round %d push: %w", round, err)
 		}
-		m, err := readMsg(conn, r.cfg.IOTimeout, modelPayloadLimit(r.dim), r.wireM)
+		// The limit admits a snapshot frame: a server that adopted its own
+		// upstream's snapshot (relay catch-up) broadcasts it mid-stream in
+		// place of the jumped rounds' globals.
+		m, err := readMsg(conn, r.cfg.IOTimeout, snapshotPayloadLimit(r.dim), r.wireM)
 		if err != nil {
 			return fmt.Errorf("transport: round %d pull: %w", round, err)
+		}
+		if sm, ok := m.(*wire.SnapshotMsg); ok {
+			if err := r.applySnapshot(sm); err != nil {
+				return err
+			}
+			round = r.applied // the loop increment resumes at applied+1
+			if r.metrics != nil {
+				r.metrics.roundSeconds.Observe(time.Since(roundStart).Seconds())
+			}
+			continue
 		}
 		g, err := r.acceptGlobal(m, round)
 		if err != nil {

@@ -50,6 +50,15 @@ type serverState struct {
 	// gate armed across a restart; granularity is the snapshot cadence —
 	// strikes charged since the last rotation are lost with the crash.
 	Validator *validatorState
+	// Catch-up tail (optional — absent in snapshots written before bounded
+	// history existed, which decode with base 0 and no shadow). HistoryBase
+	// is the round of History[0]; ShadowRound/Shadow/ShadowX persist the
+	// catch-up shadow replica (round -1 and empty when none was usable at
+	// snapshot time).
+	HistoryBase int
+	ShadowRound int
+	Shadow      []byte
+	ShadowX     []float64
 }
 
 // validatorState is the durable slice of a Validator: strike counters,
@@ -98,6 +107,12 @@ func encodeServerState(s *serverState) []byte {
 		w.Int(v.RefCount)
 		w.Ints(v.QuarRound)
 	}
+	// Catch-up tail (always written; optional on decode for forward
+	// compatibility with pre-eviction snapshots).
+	w.Int(s.HistoryBase)
+	w.Int(s.ShadowRound)
+	w.String(string(s.Shadow))
+	w.F64s(s.ShadowX)
 	return w.Bytes()
 }
 
@@ -140,6 +155,20 @@ func decodeServerState(payload []byte) (*serverState, error) {
 			v.QuarRound = r.Ints()
 		}
 		s.Validator = v
+	}
+	// Catch-up tail: absent in pre-eviction snapshots, which decode with
+	// an unevicted history (base 0) and no shadow.
+	s.ShadowRound = -1
+	if r.Err() == nil && r.Remaining() > 0 {
+		s.HistoryBase = r.Int()
+		s.ShadowRound = r.Int()
+		if b := r.String(); b != "" {
+			s.Shadow = []byte(b)
+		}
+		s.ShadowX = r.F64s()
+		if r.Err() == nil && s.HistoryBase < 0 {
+			return nil, fmt.Errorf("%w: negative history base %d", checkpoint.ErrCorrupt, s.HistoryBase)
+		}
 	}
 	if err := r.Done(); err != nil {
 		return nil, err
@@ -261,7 +290,7 @@ func recoverState(store *checkpoint.Store, rootTier bool) (*serverState, error) 
 			if err != nil {
 				return nil, fmt.Errorf("transport: decode wal global: %w", err)
 			}
-			if g.Round != len(st.History) {
+			if g.Round != st.HistoryBase+len(st.History) {
 				// Replays of rounds the snapshot already holds (or gaps,
 				// which cannot happen with ordered appends) are skipped
 				// rather than corrupting the history.
@@ -299,8 +328,9 @@ func verifyRecovered(st *serverState, cfg ServerConfig) error {
 		// so a valid checkpoint always carries the full session table.
 		return fmt.Errorf("transport: checkpoint session table has %d entries for %d clients", len(st.Keys), st.NumClients)
 	}
-	if len(st.History) > st.Rounds {
-		return fmt.Errorf("transport: checkpoint history has %d rounds of a %d-round run", len(st.History), st.Rounds)
+	if st.HistoryBase+len(st.History) > st.Rounds {
+		return fmt.Errorf("transport: checkpoint history reaches round %d of a %d-round run",
+			st.HistoryBase+len(st.History), st.Rounds)
 	}
 	if v := st.Validator; v != nil && (len(v.Strikes) != st.NumClients || len(v.Quar) != st.NumClients) {
 		return fmt.Errorf("transport: checkpoint validator state covers %d strike / %d quarantine entries for %d clients",

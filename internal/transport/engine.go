@@ -66,6 +66,13 @@ type roundSink interface {
 	// the round's mask agreement evidence; partial marks a round that
 	// aggregated fewer than the full cluster.
 	commitRound(g *GlobalMsg, meta roundMeta, partial bool) error
+	// commitJump commits a round discontinuity: the reducer returned an
+	// aggregate for a round AHEAD of the one being collected (a relay
+	// adopted the root's snapshot after falling off its replay history).
+	// The sink replaces its retained history with the jumped state and
+	// propagates the snapshot downstream; the engine then resumes
+	// collection after g.Round.
+	commitJump(g *GlobalMsg) error
 }
 
 // roundReducer turns one collected round into the aggregate to commit.
@@ -256,8 +263,29 @@ func (e *roundEngine) run(ctx context.Context, startRound int, init []float64, h
 				agg.Discard()
 				return nil, err
 			}
+			if msg.Round > round {
+				// The reducer jumped ahead (upstream snapshot catch-up): this
+				// round's collected contributions are void — the upstream tier
+				// committed past them without this relay — and collection
+				// resumes after the jumped round.
+				agg.Discard()
+				if err := e.sink.commitJump(msg); err != nil {
+					return nil, err
+				}
+				if len(msg.Payload) == len(global) {
+					global = append(global[:0], msg.Payload...)
+				}
+				round = msg.Round // the loop increment lands on msg.Round+1
+				continue
+			}
 		} else {
-			out := make([]float64, agg.Dim())
+			dim := agg.Dim()
+			if dim < 0 {
+				// Streaming aggregation of all-empty payloads folds no
+				// columns: the round's aggregate is legitimately empty.
+				dim = 0
+			}
+			out := make([]float64, dim)
 			if _, ok := agg.Reduce(out); !ok {
 				return nil, protocolErrorf("round %d: all contributions withheld (total weight 0)", round)
 			}

@@ -58,6 +58,15 @@ func (s *testSink) commitRound(g *GlobalMsg, meta roundMeta, partial bool) error
 	return nil
 }
 
+func (s *testSink) commitJump(g *GlobalMsg) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commits = append(s.commits, *g)
+	s.metas = append(s.metas, roundMeta{maskGen: -1})
+	s.partials = append(s.partials, false)
+	return nil
+}
+
 // runEngine drives one engine to completion against a testSink.
 func runEngine(t *testing.T, e *roundEngine, feed func(chan<- event)) ([]float64, error) {
 	t.Helper()

@@ -23,7 +23,7 @@ const (
 
 // wireKinds is the number of entries in the per-kind tables (kinds are
 // 1-based, index 0 unused).
-const wireKinds = int(wire.KindPartialUpdate) + 1
+const wireKinds = int(wire.KindDelta) + 1
 
 // wireMetrics counts frames and bytes crossing the socket per message
 // kind and direction, plus decode failures by type.
@@ -48,7 +48,7 @@ func newWireMetrics(reg *telemetry.Registry) *wireMetrics {
 		errsHelp   = "Inbound frames refused by the wire decoder, by failure type."
 	)
 	for d, dir := range [2]string{"in", "out"} {
-		for k := wire.KindJoin; k <= wire.KindPartialUpdate; k++ {
+		for k := wire.KindJoin; k <= wire.KindDelta; k++ {
 			wm.frames[d][k] = reg.Counter("apf_wire_frames_total", framesHelp,
 				"kind", k.String(), "dir", dir)
 			wm.bytes[d][k] = reg.Counter("apf_wire_bytes_total", bytesHelp,
@@ -136,6 +136,18 @@ type serverMetrics struct {
 	// frame, counted as frames are queued.
 	codecSessions    [int(wire.CodecSparseQ16) + 1]*telemetry.Counter
 	sparseSavedBytes *telemetry.Counter
+
+	// Resume-path accounting: how reconnecting clients were brought
+	// current (replay from retained history, sketch-reconciled delta, or
+	// full snapshot), what each catch-up cost, and how the bounded
+	// history behaves under eviction.
+	resumeReplay   *telemetry.Counter
+	resumeSketch   *telemetry.Counter
+	resumeSnapshot *telemetry.Counter
+	catchupBytes   *telemetry.Histogram
+	catchupSeconds *telemetry.Histogram
+	evictedRounds  *telemetry.Counter
+	historyLen     *telemetry.Gauge
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -179,6 +191,18 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		sparseSavedBytes: reg.Counter("apf_sparse_bytes_saved_total",
 			"Wire bytes sparse broadcast frames saved against the same round's dense frame."),
 	}
+	const modeHelp = "Resuming sessions brought current, by catch-up mode."
+	m.resumeReplay = reg.Counter("apf_resume_mode_total", modeHelp, "mode", "replay")
+	m.resumeSketch = reg.Counter("apf_resume_mode_total", modeHelp, "mode", "sketch")
+	m.resumeSnapshot = reg.Counter("apf_resume_mode_total", modeHelp, "mode", "snapshot")
+	m.catchupBytes = reg.Histogram("apf_catchup_bytes",
+		"Wire bytes spent bringing one resuming session current (sketch and snapshot modes).", nil)
+	m.catchupSeconds = reg.Histogram("apf_catchup_seconds",
+		"Duration of one catch-up exchange (sketch and snapshot modes).", nil)
+	m.evictedRounds = reg.Counter("apf_history_evicted_rounds_total",
+		"Aggregate-history rounds dropped by the retention cap.")
+	m.historyLen = reg.Gauge("apf_history_rounds",
+		"Aggregate-history rounds currently retained for replay.")
 	for c := wire.CodecDense; c <= wire.CodecSparseQ16; c++ {
 		m.codecSessions[c] = reg.Counter("apf_codec_sessions_total",
 			"Sessions negotiated, by payload codec.", "codec", c.String())
@@ -305,6 +329,11 @@ type clientMetrics struct {
 
 	upBytes   *telemetry.Counter
 	downBytes *telemetry.Counter
+
+	// Catch-up completions by mode, counted when a reconnect was brought
+	// current without replay (history evicted server-side).
+	catchupSketch   *telemetry.Counter
+	catchupSnapshot *telemetry.Counter
 }
 
 func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
@@ -327,5 +356,9 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 			"Duration of one full client round (train, push, pull, apply).", nil),
 		upBytes:   reg.Counter("apf_client_payload_bytes_total", payloadHelp, "dir", "up"),
 		downBytes: reg.Counter("apf_client_payload_bytes_total", payloadHelp, "dir", "down"),
+		catchupSketch: reg.Counter("apf_client_catchup_total",
+			"Catch-up exchanges completed, by mode.", "mode", "sketch"),
+		catchupSnapshot: reg.Counter("apf_client_catchup_total",
+			"Catch-up exchanges completed, by mode.", "mode", "snapshot"),
 	}
 }

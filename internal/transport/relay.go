@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"apf/internal/core"
 	"apf/internal/fl"
 	"apf/internal/stats"
 	"apf/internal/telemetry"
@@ -53,6 +54,13 @@ type RelayConfig struct {
 	// exactly as on ServerConfig.
 	CheckpointDir string
 	SnapshotEvery int
+	// HistoryRounds/Shadow configure the downward face's bounded replay
+	// history and catch-up shadow replica, exactly as on ServerConfig. A
+	// relay that falls off the ROOT's history catches up through the same
+	// protocol (always snapshot mode — the relay leg carries no manager
+	// state of its own) and propagates the adopted snapshot downstream.
+	HistoryRounds int
+	Shadow        *core.Config
 	// Validator enables inbound sanitization at this edge. This is where
 	// per-client defenses live in a hierarchy: the root only ever sees
 	// pre-aggregated sums.
@@ -106,6 +114,10 @@ type Relay struct {
 	applied  int
 	adopted  map[int]*GlobalMsg
 	inflight *PartialUpdateMsg
+	// pendingJump holds a snapshot adopted from the root's catch-up
+	// conversation (this relay fell off the root's replay history); the
+	// next reduceRound commits it as a round discontinuity.
+	pendingJump *wire.SnapshotMsg
 
 	upRead    int64
 	upWritten int64
@@ -215,6 +227,8 @@ func (r *Relay) Run(ctx context.Context) ([]float64, error) {
 		CheckpointDir: r.cfg.CheckpointDir,
 		SnapshotEvery: r.cfg.SnapshotEvery,
 		Validator:     r.cfg.Validator,
+		HistoryRounds: r.cfg.HistoryRounds,
+		Shadow:        r.cfg.Shadow,
 		Metrics:       r.cfg.Metrics,
 		Log:           r.cfg.Log,
 	})
@@ -236,6 +250,11 @@ func (r *Relay) Run(ctx context.Context) ([]float64, error) {
 		if round <= r.applied {
 			delete(r.adopted, round)
 		}
+	}
+	if r.pendingJump != nil && r.pendingJump.Round <= r.applied {
+		// The recovered downward checkpoint already covers the snapshot the
+		// initial join's catch-up produced.
+		r.pendingJump = nil
 	}
 	if srv.Recovered() {
 		r.log.Info("relay resumed from checkpoint", "start_round", srv.StartRound())
@@ -292,7 +311,14 @@ func (r *Relay) reduceRound(ctx context.Context, round int, agg *fl.Aggregator, 
 		r.relayM.upstreamSeconds.Observe(time.Since(start).Seconds())
 	}
 	r.inflight = nil
-	r.applied = round
+	r.applied = g.Round // g.Round == round, unless the exchange jumped ahead
+	if g.Round > round {
+		for rr := range r.adopted {
+			if rr <= g.Round {
+				delete(r.adopted, rr)
+			}
+		}
+	}
 	return g, nil
 }
 
@@ -310,7 +336,8 @@ func (r *Relay) exchange(ctx context.Context, round int) (*GlobalMsg, error) {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		if errors.Is(err, errProtocol) || errors.Is(err, ErrMaskDivergence) {
+		if errors.Is(err, errProtocol) || errors.Is(err, ErrMaskDivergence) ||
+			errors.Is(err, ErrFutureGeneration) {
 			return nil, err
 		}
 		attempts++
@@ -335,6 +362,18 @@ func (r *Relay) tryExchange(ctx context.Context, round int) (*GlobalMsg, error) 
 	conn, err := r.joinedConn(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if snap := r.pendingJump; snap != nil {
+		r.pendingJump = nil
+		if snap.Round >= round {
+			// The join's catch-up adopted the root's snapshot: stage it on the
+			// downward server and return it as a round discontinuity, which the
+			// engine commits via commitJump. This round's local partial is
+			// dropped — the root committed past it without this relay.
+			r.srv.stageJump(snap)
+			r.log.Info("jumping to root snapshot", "from_round", round, "round", snap.Round)
+			return &GlobalMsg{Round: snap.Round, Payload: snap.Payload}, nil
+		}
 	}
 	if g, ok := r.adopted[round]; ok {
 		// The resume replay covered this round: the root committed it
@@ -407,7 +446,8 @@ func (r *Relay) withUpstream(ctx context.Context, once func(*countingConn) error
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		if errors.Is(err, errProtocol) || errors.Is(err, ErrMaskDivergence) {
+		if errors.Is(err, errProtocol) || errors.Is(err, ErrMaskDivergence) ||
+			errors.Is(err, ErrFutureGeneration) {
 			return nil, err
 		}
 		if once == nil {
@@ -463,7 +503,41 @@ func (r *Relay) joinOnce(ctx context.Context) (*WelcomeMsg, error) {
 		r.dropConn()
 		return nil, err
 	}
+	if w.CatchUp {
+		if err := r.catchUpUpstream(conn); err != nil {
+			r.dropConn()
+			return nil, err
+		}
+	}
 	return w, nil
+}
+
+// catchUpUpstream runs the relay side of the wire-v4 catch-up
+// conversation: the relay always requests snapshot mode (MaskGen -1) —
+// its upstream leg is model payloads, not manager state — and holds the
+// received snapshot as a pending round jump for the engine to commit.
+func (r *Relay) catchUpUpstream(conn *countingConn) error {
+	offer := &wire.ResumeOfferMsg{Round: r.applied, MaskGen: -1}
+	if err := writeMsg(conn, r.cfg.IOTimeout, offer, r.wireM); err != nil {
+		return fmt.Errorf("transport: catch-up offer: %w", err)
+	}
+	m, err := readMsg(conn, r.cfg.IOTimeout, snapshotPayloadLimit(r.dim), r.wireM)
+	if err != nil {
+		return fmt.Errorf("transport: catch-up: %w", err)
+	}
+	snap, ok := m.(*wire.SnapshotMsg)
+	if !ok {
+		return protocolErrorf("expected a snapshot frame upstream, got %s", m.WireKind())
+	}
+	if len(snap.Payload) != r.dim {
+		return protocolErrorf("snapshot payload length %d, model has %d", len(snap.Payload), r.dim)
+	}
+	if snap.Round <= r.applied {
+		return protocolErrorf("snapshot for round %d at applied round %d", snap.Round, r.applied)
+	}
+	r.pendingJump = snap
+	r.log.Info("adopted root snapshot", "round", snap.Round, "applied", r.applied)
+	return nil
 }
 
 // acceptWelcome validates the root's welcome and adopts its missed-round

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"apf/internal/checkpoint"
+	"apf/internal/core"
 	"apf/internal/fl"
 	"apf/internal/telemetry"
 	"apf/internal/telemetry/hooks"
@@ -94,6 +95,21 @@ type ServerConfig struct {
 	// below 0.5).
 	Reduction    fl.Reduction
 	TrimFraction float64
+	// HistoryRounds bounds the in-memory aggregate history to the most
+	// recent K committed rounds (0 keeps every round). Eviction bounds
+	// server memory to O(dim + sessions) over arbitrarily long runs; a
+	// client whose round fell off the window resumes through the wire-v4
+	// catch-up protocol (snapshot or sketch reconciliation) instead of
+	// the missed-payload replay, bit-exactly either way.
+	HistoryRounds int
+	// Shadow, when non-nil, is the core manager configuration every
+	// client was built with (Dim may be left 0; it is filled from Init).
+	// The server then maintains a shadow replica of the deterministic
+	// manager state — advanced at every commit — which powers the
+	// stateful catch-up modes: sketch reconciliation and manager-carrying
+	// snapshots. Nil restricts catch-up to the stateless snapshot (model
+	// payload only), which suffices for stateless clients and relays.
+	Shadow *core.Config
 	// Metrics, when non-nil, receives runtime metrics from every layer of
 	// the server (rounds, updates, wire traffic, durability, validation).
 	// Nil keeps the server metric-free at the cost of one branch per
@@ -160,18 +176,30 @@ type Server struct {
 	wireM   *wireMetrics
 	log     *telemetry.Logger
 
-	mu            sync.Mutex
-	round         int            // round currently being collected
-	history       []GlobalMsg    // aggregates of completed rounds, by round
-	frames        []*roundFrames // per-codec encoded aggregates, parallel to history
-	sessions      []*session     // by client id, registration order
-	byKey         map[string]*session
-	conns         map[*countingConn]struct{} // live, un-absorbed connections
-	regDone       bool
-	bytesRead     int64
-	bytesSent     int64
-	partialRounds int
-	rejected      int // updates refused by validation/aggregation guards
+	mu    sync.Mutex
+	round int // round currently being collected
+	// history holds the retained committed aggregates: history[i] is round
+	// histBase+i. histBase is 0 until HistoryRounds eviction starts
+	// dropping old rounds.
+	history  []GlobalMsg
+	histBase int
+	frames   []*roundFrames // per-codec encoded aggregates, parallel to history
+	// shadow replicates the clients' manager state (nil unless
+	// cfg.Shadow); lastDense/lastDenseRound keep the newest full-length
+	// committed payload for the stateless catch-up fallback; jumpSnap is
+	// an upstream snapshot staged by a relay for commitJump.
+	shadow         *shadow
+	lastDense      []float64
+	lastDenseRound int
+	jumpSnap       *wire.SnapshotMsg
+	sessions       []*session // by client id, registration order
+	byKey          map[string]*session
+	conns          map[*countingConn]struct{} // live, un-absorbed connections
+	regDone        bool
+	bytesRead      int64
+	bytesSent      int64
+	partialRounds  int
+	rejected       int // updates refused by validation/aggregation guards
 }
 
 // session is the server-side state of one client, surviving reconnects.
@@ -303,18 +331,35 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		closeQuietly(ln)
 		return nil, fmt.Errorf("transport: trim fraction %v leaves no survivors (must be < 0.5)", cfg.TrimFraction)
 	}
+	if cfg.HistoryRounds < 0 {
+		closeQuietly(ln)
+		return nil, fmt.Errorf("transport: negative history bound %d", cfg.HistoryRounds)
+	}
 	s := &Server{
-		cfg:      cfg,
-		ln:       ln,
-		done:     make(chan struct{}),
-		events:   make(chan event, cfg.peers()*4),
-		regErr:   make(chan error, 1),
-		regReady: make(chan struct{}),
-		byKey:    make(map[string]*session),
-		conns:    make(map[*countingConn]struct{}),
-		metrics:  newServerMetrics(cfg.Metrics),
-		wireM:    newWireMetrics(cfg.Metrics),
-		log:      cfg.Log.With("component", "server"),
+		cfg:            cfg,
+		ln:             ln,
+		done:           make(chan struct{}),
+		events:         make(chan event, cfg.peers()*4),
+		regErr:         make(chan error, 1),
+		regReady:       make(chan struct{}),
+		byKey:          make(map[string]*session),
+		conns:          make(map[*countingConn]struct{}),
+		lastDenseRound: -1,
+		metrics:        newServerMetrics(cfg.Metrics),
+		wireM:          newWireMetrics(cfg.Metrics),
+		log:            cfg.Log.With("component", "server"),
+	}
+	if cfg.Shadow != nil {
+		scfg := *cfg.Shadow
+		if scfg.Dim == 0 {
+			scfg.Dim = len(cfg.Init)
+		}
+		if scfg.Dim != len(cfg.Init) {
+			closeQuietly(ln)
+			return nil, fmt.Errorf("transport: shadow dimension %d conflicts with model dimension %d",
+				scfg.Dim, len(cfg.Init))
+		}
+		s.shadow = newShadow(scfg)
 	}
 	if cfg.Validator != nil {
 		vcfg := *cfg.Validator
@@ -372,8 +417,9 @@ func (s *Server) openStore() error {
 		}
 	}
 	s.history = st.History
+	s.histBase = st.HistoryBase
 	// Re-frame the recovered history so the broadcast index stays aligned
-	// with it (frames[r] always carries history[r]). Mask evidence is not
+	// with it (frames[i] always carries history[i]). Mask evidence is not
 	// persisted, so recovered rounds serve dense frames to every codec —
 	// correct, and irrelevant in practice: resuming clients catch up via
 	// the Welcome's missed-payload replay, not the writer queues.
@@ -381,7 +427,40 @@ func (s *Server) openStore() error {
 		s.frames = append(s.frames, newRoundFrames(&s.history[i], roundMeta{maskGen: -1}, len(s.cfg.Init)))
 	}
 	s.partialRounds = st.PartialRounds
-	s.startRound = len(st.History)
+	s.startRound = st.HistoryBase + len(st.History)
+	// Restore the catch-up state. The shadow comes back from its persisted
+	// snapshot when one exists; otherwise it replays the retained history,
+	// which is only complete on an unevicted server — a shadow that cannot
+	// see round 0 is marked broken rather than desynced silently. The
+	// stateless fallback payload is the newest retained dense commit.
+	if s.shadow != nil {
+		restored := false
+		if st.ShadowRound >= 0 && len(st.Shadow) > 0 {
+			if err := s.shadow.restore(st.ShadowRound, st.ShadowX, st.Shadow); err != nil {
+				store.Close()
+				return fmt.Errorf("transport: restore shadow replica: %w", err)
+			}
+			restored = true
+		} else if s.histBase > 0 {
+			s.shadow.broken = true
+		}
+		if !s.shadow.broken {
+			for i := range s.history {
+				if restored && s.history[i].Round <= s.shadow.round {
+					continue
+				}
+				s.shadow.observe(&s.history[i])
+			}
+		}
+	}
+	for i := len(s.history) - 1; i >= 0; i-- {
+		if len(s.history[i].Payload) == len(s.cfg.Init) {
+			s.lastDense = append([]float64(nil), s.history[i].Payload...)
+			s.lastDenseRound = s.history[i].Round
+			break
+		}
+	}
+	s.evictLocked()
 	s.recovered = true
 	s.round = s.startRound
 	s.regDone = true
@@ -389,7 +468,8 @@ func (s *Server) openStore() error {
 	if s.metrics != nil {
 		s.metrics.recoveries.Inc()
 		s.metrics.recoveredRound.Set(float64(s.startRound))
-		s.metrics.committedRounds.Set(float64(len(s.history)))
+		s.metrics.committedRounds.Set(float64(s.startRound))
+		s.metrics.historyLen.Set(float64(len(s.history)))
 	}
 	s.log.Info("run recovered from checkpoint",
 		"start_round", s.startRound, "sessions", len(s.sessions),
@@ -406,7 +486,9 @@ func (s *Server) snapshotState() *serverState {
 		Rounds:        s.cfg.Rounds,
 		Init:          s.cfg.Init,
 		History:       append([]GlobalMsg(nil), s.history...),
+		HistoryBase:   s.histBase,
 		PartialRounds: s.partialRounds,
+		ShadowRound:   -1,
 	}
 	for _, sess := range s.sessions {
 		st.Keys = append(st.Keys, sess.key)
@@ -415,7 +497,30 @@ func (s *Server) snapshotState() *serverState {
 	if s.validator != nil {
 		st.Validator = s.validator.snapshotState()
 	}
+	if sh := s.shadow; sh != nil && !sh.broken && sh.round >= 0 {
+		st.ShadowRound = sh.round
+		st.Shadow = checkpoint.EncodeManager(sh.mgr.Snapshot())
+		st.ShadowX = append([]float64(nil), sh.x...)
+	}
 	return st
+}
+
+// evictLocked drops committed rounds beyond the HistoryRounds window.
+// Caller holds s.mu (or has exclusive access during recovery). Slices
+// are reallocated so the dropped rounds' payloads and frames actually
+// become collectable instead of staying pinned by the backing arrays.
+func (s *Server) evictLocked() {
+	hr := s.cfg.HistoryRounds
+	if hr <= 0 || len(s.history) <= hr {
+		return
+	}
+	drop := len(s.history) - hr
+	s.histBase += drop
+	s.history = append(make([]GlobalMsg, 0, hr), s.history[drop:]...)
+	s.frames = append(make([]*roundFrames, 0, hr), s.frames[drop:]...)
+	if s.metrics != nil {
+		s.metrics.evictedRounds.Add(int64(drop))
+	}
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -475,12 +580,13 @@ func (s *Server) Round() int {
 	return s.round
 }
 
-// CommittedRounds returns how many rounds have been durably committed
-// (the aggregate history length). Safe to call while the server runs.
+// CommittedRounds returns how many rounds have been committed over the
+// run's lifetime (eviction does not shrink it). Safe to call while the
+// server runs.
 func (s *Server) CommittedRounds() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.history)
+	return s.histBase + len(s.history)
 }
 
 // Sessions returns how many client sessions have registered so far. Safe
@@ -739,18 +845,34 @@ func (s *Server) commitRound(g *GlobalMsg, meta roundMeta, partial bool) error {
 	}
 	rf := newRoundFrames(g, meta, len(s.cfg.Init))
 	s.mu.Lock()
+	if s.shadow != nil {
+		// Inside the commit's critical section, so a concurrent resume's
+		// capture always matches the committed history exactly.
+		s.shadow.observe(g)
+	}
+	if len(g.Payload) == len(s.cfg.Init) {
+		if s.lastDense == nil {
+			s.lastDense = make([]float64, len(s.cfg.Init))
+		}
+		copy(s.lastDense, g.Payload)
+		s.lastDenseRound = g.Round
+	}
 	s.history = append(s.history, *g)
 	s.frames = append(s.frames, rf)
+	s.evictLocked()
 	if partial {
 		s.partialRounds++
 	}
 	sessions := append([]*session(nil), s.sessions...)
 	frames := s.frames
-	committed := len(s.history)
+	base := s.histBase
+	committed := base + len(s.history)
+	retained := len(s.history)
 	s.mu.Unlock()
 	if s.metrics != nil {
 		s.metrics.roundsTotal.Inc()
 		s.metrics.committedRounds.Set(float64(committed))
+		s.metrics.historyLen.Set(float64(retained))
 		if partial {
 			s.metrics.partialRounds.Inc()
 		}
@@ -763,19 +885,101 @@ func (s *Server) commitRound(g *GlobalMsg, meta roundMeta, partial bool) error {
 		}
 	}
 	for _, sess := range sessions {
-		s.enqueueGlobals(sess, g.Round, frames)
+		s.enqueueGlobals(sess, g.Round, frames, base)
 	}
 	return nil
 }
 
+// commitJump implements roundSink: a relay adopting the root's state
+// after its own upstream catch-up commits a round discontinuity. The
+// snapshot staged by the exchange replaces the retained history outright
+// — rounds between the relay's last commit and the jump never existed
+// on this tier — and every attached downstream session receives the
+// snapshot frame itself, which clients and nested relays apply through
+// the same catch-up machinery. Commit-before-broadcast still holds: the
+// jumped state reaches the checkpoint store before any session can
+// observe it.
+func (s *Server) commitJump(g *GlobalMsg) error {
+	snap := s.takeJump()
+	if snap == nil || snap.Round != g.Round {
+		return fmt.Errorf("transport: commitJump without a staged snapshot for round %d", g.Round)
+	}
+	frame := wire.Encode(snap)
+	s.mu.Lock()
+	if s.shadow != nil {
+		if len(snap.Manager) > 0 {
+			if err := s.shadow.restore(snap.Round, snap.Payload, snap.Manager); err != nil {
+				s.shadow.broken = true
+			}
+		} else {
+			s.shadow.broken = true
+		}
+	}
+	if s.lastDense == nil {
+		s.lastDense = make([]float64, len(s.cfg.Init))
+	}
+	copy(s.lastDense, g.Payload)
+	s.lastDenseRound = g.Round
+	s.histBase = g.Round
+	s.history = []GlobalMsg{*g}
+	s.frames = []*roundFrames{newRoundFrames(g, roundMeta{maskGen: -1}, len(s.cfg.Init))}
+	s.round = g.Round + 1
+	sessions := append([]*session(nil), s.sessions...)
+	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.committedRounds.Set(float64(g.Round + 1))
+		s.metrics.historyLen.Set(1)
+	}
+	s.log.Info("history jumped to upstream snapshot", "round", g.Round)
+	if s.store != nil {
+		if err := s.store.WriteSnapshot(g.Round+1, kindServerSnap, encodeServerState(s.snapshotState())); err != nil {
+			return err
+		}
+	}
+	for _, sess := range sessions {
+		s.enqueueJump(sess, snap.Round, frame)
+	}
+	return nil
+}
+
+// enqueueJump queues the snapshot frame on one session's writer and
+// advances its cursor past the jumped round.
+func (s *Server) enqueueJump(sess *session, round int, frame []byte) {
+	sess.mu.Lock()
+	if sess.conn == nil || sess.sent > round {
+		sess.mu.Unlock()
+		return
+	}
+	gen := sess.gen
+	if len(sess.queue) >= maxQueuedFrames {
+		err := fmt.Errorf("client %d (%s) stopped draining: outbound queue full at %d frames",
+			sess.id, sess.name, maxQueuedFrames)
+		if sess.sendErr == nil {
+			sess.sendErr = err
+		}
+		sess.cond.Broadcast()
+		sess.mu.Unlock()
+		s.detach(sess, gen)
+		s.post(event{id: sess.id, name: sess.name, err: err})
+		return
+	}
+	sess.queue = append(sess.queue, frame)
+	sess.sent = round + 1
+	if s.metrics != nil {
+		s.metrics.queueFrames.Add(1)
+	}
+	sess.cond.Broadcast()
+	sess.mu.Unlock()
+}
+
 // enqueueGlobals queues every not-yet-sent aggregate frame (up to round)
 // on a session's writer, keeping per-connection GlobalMsg delivery
-// strictly sequential. frames is an immutable prefix snapshot of s.frames
-// covering at least rounds 0…round; each entry serves the frame variant of
-// the session's negotiated codec. A queue overflow means the client
-// stopped draining: the session is detached (it catches up via resume in
+// strictly sequential. frames is an immutable suffix snapshot of s.frames
+// covering rounds base…round; each entry serves the frame variant of the
+// session's negotiated codec. A queue overflow means the client stopped
+// draining: the session is detached (it catches up via resume in
 // fault-tolerant mode; in strict mode the posted failure aborts the run).
-func (s *Server) enqueueGlobals(sess *session, round int, frames []*roundFrames) {
+func (s *Server) enqueueGlobals(sess *session, round int, frames []*roundFrames, base int) {
 	sess.mu.Lock()
 	if sess.conn == nil {
 		// Disconnected: a later resume replays the history instead.
@@ -785,7 +989,10 @@ func (s *Server) enqueueGlobals(sess *session, round int, frames []*roundFrames)
 	gen := sess.gen
 	codec := sess.codec
 	for r := sess.sent; r <= round; r++ {
-		if len(sess.queue) >= maxQueuedFrames {
+		if len(sess.queue) >= maxQueuedFrames || r < base {
+			// Overflow — or (r < base, unreachable while attached since
+			// eviction never outpaces a live cursor) the retained window no
+			// longer covers this connection's next round.
 			err := fmt.Errorf("client %d (%s) stopped draining: outbound queue full at %d frames",
 				sess.id, sess.name, maxQueuedFrames)
 			if sess.sendErr == nil {
@@ -797,7 +1004,7 @@ func (s *Server) enqueueGlobals(sess *session, round int, frames []*roundFrames)
 			s.post(event{id: sess.id, name: sess.name, err: err})
 			return
 		}
-		frame := frames[r].frame(codec)
+		frame := frames[r-base].frame(codec)
 		sess.queue = append(sess.queue, frame)
 		sess.sent = r + 1
 		if s.metrics != nil {
@@ -808,7 +1015,7 @@ func (s *Server) enqueueGlobals(sess *session, round int, frames []*roundFrames)
 				// metadata bytes MORE (the scalars are identical — dense
 				// payloads are already mask-compacted); the quantized codec
 				// is where the wire actually shrinks.
-				if saved := len(frames[r].frame(wire.CodecDense)) - len(frame); saved > 0 {
+				if saved := len(frames[r-base].frame(wire.CodecDense)) - len(frame); saved > 0 {
 					s.metrics.sparseSavedBytes.Add(int64(saved))
 				}
 			}
@@ -865,7 +1072,7 @@ func (s *Server) writer(sess *session, gen int) {
 func (s *Server) flush(ctx context.Context) error {
 	s.mu.Lock()
 	sessions := append([]*session(nil), s.sessions...)
-	rounds := len(s.history)
+	rounds := s.histBase + len(s.history)
 	s.mu.Unlock()
 	// In fault-tolerant mode, a session severed during the final
 	// broadcast gets a bounded window to resume: once Run returns the
@@ -1044,21 +1251,37 @@ func (s *Server) handleJoin(cc *countingConn, join *JoinMsg) {
 	go s.reader(sess, 1, cc)
 }
 
-// resume re-attaches a reconnecting client to its session: it receives the
-// aggregates it missed (HaveRound+1 … latest) for replay, and this
-// connection's sequential GlobalMsg stream continues from there. Called
-// with s.mu held; unlocks it. Holding s.mu across the session swap keeps
-// the missed list and the writer cursor (sent) consistent: no round can
-// commit between computing one and setting the other.
+// resume re-attaches a reconnecting client to its session. When the
+// retained history still covers its round, it receives the aggregates it
+// missed (HaveRound+1 … latest) for replay; when eviction dropped them,
+// the Welcome instead carries CatchUp and the connection enters the
+// wire-v4 catch-up conversation (sketch reconciliation or snapshot).
+// Either way this connection's sequential GlobalMsg stream continues
+// after the latest committed round. Called with s.mu held; unlocks it.
+// Holding s.mu across the session swap keeps the missed list (or the
+// catch-up capture) and the writer cursor (sent) consistent: no round
+// can commit between computing one and setting the other.
 func (s *Server) resume(sess *session, cc *countingConn, join *JoinMsg) {
-	done := len(s.history) // rounds aggregated so far
+	done := s.histBase + len(s.history) // rounds aggregated so far
 	round := s.round
 	if join.HaveRound < -1 || join.HaveRound >= done {
 		s.mu.Unlock()
 		s.absorb(cc) // claims rounds the server never produced
 		return
 	}
-	missed := s.history[join.HaveRound+1 : done]
+	var missed []GlobalMsg
+	var cap *catchupCapture
+	if join.HaveRound+1 >= s.histBase {
+		missed = s.history[join.HaveRound+1-s.histBase : done-s.histBase]
+	} else if cap = s.captureLocked(); cap == nil {
+		// Evicted past the client's round and no consistent capture to
+		// serve (broken shadow, no dense commit): refuse the resume.
+		s.mu.Unlock()
+		s.log.Warn("catch-up refused: no capture", "client", sess.id, "name", sess.name,
+			"have_round", join.HaveRound)
+		s.absorb(cc)
+		return
+	}
 	// Renegotiate from the fresh Caps: the session's codec tracks what the
 	// currently attached client actually speaks. The missed replay above
 	// stays dense regardless, so resume reconstruction is codec-independent.
@@ -1073,6 +1296,10 @@ func (s *Server) resume(sess *session, cc *countingConn, join *JoinMsg) {
 		Resumed:    true,
 		Missed:     missed,
 		Codec:      codec,
+	}
+	if cap != nil {
+		w.CatchUp = true
+		w.MaskGen = cap.gen
 	}
 
 	sess.mu.Lock()
@@ -1094,15 +1321,24 @@ func (s *Server) resume(sess *session, cc *countingConn, join *JoinMsg) {
 		s.metrics.replayedGlobals.Add(int64(len(missed)))
 		s.metrics.queueFrames.Add(float64(-dropped))
 		s.metrics.codecSessions[codec].Add(1)
+		if cap == nil {
+			s.metrics.resumeReplay.Inc()
+		}
 	}
 	s.log.Info("session resumed", "client", sess.id, "name", sess.name,
-		"have_round", join.HaveRound, "replayed", len(missed))
+		"have_round", join.HaveRound, "replayed", len(missed), "catch_up", cap != nil)
 	if old != nil {
 		s.absorb(old)
 	}
 
 	if err := s.sendWelcome(sess, gen, &w); err != nil {
 		s.detach(sess, gen)
+		return
+	}
+	if cap != nil {
+		// The writer starts only after the conversation: queued aggregate
+		// frames must not interleave with catch-up frames.
+		go s.catchupSession(sess, gen, cc, cap)
 		return
 	}
 	go s.writer(sess, gen)

@@ -76,6 +76,15 @@ type (
 	// PartialUpdateMsg carries a relay's exact pre-aggregated partial sum
 	// upstream (v3).
 	PartialUpdateMsg = wire.PartialUpdateMsg
+	// ResumeOfferMsg opens and steers a catch-up exchange (v4).
+	ResumeOfferMsg = wire.ResumeOfferMsg
+	// SketchMsg carries a batch of rateless-IBLT cells (v4).
+	SketchMsg = wire.SketchMsg
+	// SnapshotMsg carries the full current state for O(dim) catch-up (v4).
+	SnapshotMsg = wire.SnapshotMsg
+	// DeltaMsg carries only the diverged mask words after sketch
+	// reconciliation (v4).
+	DeltaMsg = wire.DeltaMsg
 )
 
 // HashMaskWords returns the FNV-1a hash of a freezing mask's backing words

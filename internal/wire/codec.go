@@ -37,9 +37,13 @@ func readJoin(r *checkpoint.Reader, version uint8) *JoinMsg {
 	return m
 }
 
-// wireVersion implements Msg: a Welcome selecting a non-dense codec needs
-// v2; the dense form is the v1 body.
+// wireVersion implements Msg: a Welcome initiating catch-up needs v4, one
+// selecting a non-dense codec needs v2; the dense no-catch-up form is the
+// v1 body.
 func (m *WelcomeMsg) wireVersion() uint8 {
+	if m.CatchUp {
+		return 4
+	}
 	if m.Codec != CodecDense {
 		return 2
 	}
@@ -61,6 +65,10 @@ func (m *WelcomeMsg) appendBody(w *checkpoint.Writer, version uint8) {
 	}
 	if version >= 2 {
 		w.U16(uint16(m.Codec))
+	}
+	if version >= 4 {
+		w.Bool(m.CatchUp)
+		w.Int(m.MaskGen)
 	}
 }
 
@@ -97,6 +105,10 @@ func readWelcome(r *checkpoint.Reader, version uint8) *WelcomeMsg {
 			r.Fail(fmt.Sprintf("unknown negotiated codec %d", c))
 		}
 		m.Codec = Codec(c)
+	}
+	if version >= 4 {
+		m.CatchUp = r.Bool()
+		m.MaskGen = r.Int()
 	}
 	return m
 }
@@ -195,6 +207,11 @@ func checkHeader(hdr []byte, limit int) (Kind, uint8, int, error) {
 			return 0, 0, 0, fmt.Errorf("%w: kind %s requires version 3, frame stamped %d",
 				ErrVersion, kind, version)
 		}
+	case KindResumeOffer, KindSketch, KindSnapshot, KindDelta:
+		if version < 4 {
+			return 0, 0, 0, fmt.Errorf("%w: kind %s requires version 4, frame stamped %d",
+				ErrVersion, kind, version)
+		}
 	default:
 		return 0, 0, 0, fmt.Errorf("%w: kind %d", ErrUnknownKind, uint8(kind))
 	}
@@ -239,6 +256,14 @@ func decodeBody(kind Kind, version uint8, payload []byte) (Msg, error) {
 	case KindPartialUpdate:
 		u := ReadPartialUpdateBody(r)
 		m = &u
+	case KindResumeOffer:
+		m = readResumeOffer(r)
+	case KindSketch:
+		m = readSketch(r)
+	case KindSnapshot:
+		m = readSnapshot(r)
+	case KindDelta:
+		m = readDelta(r)
 	}
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("%w: %s body: %v", ErrCorrupt, kind, err)

@@ -6,6 +6,9 @@ import (
 	"io"
 	"math"
 	"testing"
+
+	"apf/internal/core"
+	"apf/internal/recon"
 )
 
 // FuzzWireDecode throws arbitrary bytes at the frame decoder. Whatever the
@@ -50,6 +53,37 @@ func FuzzWireDecode(f *testing.F) {
 	} {
 		f.Add(Encode(m))
 	}
+	// v4 catch-up forms: sketch-cell and delta word-block counts are
+	// length-bounded, the catch-up Welcome is the canonical-versioning
+	// target, and truncated snapshot frames must fail typed.
+	for _, m := range []Msg{
+		&WelcomeMsg{ClientID: 2, NumClients: 4, Rounds: 9, Dim: 2,
+			Init: []float64{1, 2}, Round: 6, Resumed: true, CatchUp: true, MaskGen: 3},
+		&ResumeOfferMsg{Round: 5, MaskGen: 2},
+		&ResumeOfferMsg{Round: 5, MaskGen: 2, NeedMore: true},
+		&ResumeOfferMsg{Round: 5, MaskGen: 2, Words: []int{0, 3, 7}},
+		&ResumeOfferMsg{Round: -1, MaskGen: -1},
+		&SketchMsg{Round: 8, MaskGen: 2, Start: 32, Cells: []recon.Cell{
+			{Sum: 0x300000001, Hash: 0xfeedface, Count: 1},
+			{Sum: 0, Hash: 0, Count: -2},
+		}},
+		&SnapshotMsg{Round: 8, MaskGen: 2, Payload: []float64{1, math.NaN()},
+			Manager: []byte{0xde, 0xad, 0x00, 0xef}},
+		&SnapshotMsg{Round: 0, MaskGen: -1, Payload: []float64{0}},
+		&DeltaMsg{Round: 8, MaskGen: 2,
+			Header: core.SyncHeader{Threshold: 0.05, CheckCount: 2, Seen: 2, Initialized: true, InitRound: 0, LastRound: 8},
+			Words: []core.WordBlock{{
+				Word: 1, Gen: 9, Seeded: ^uint64(0),
+				X: []float64{1}, Ref: []float64{2}, LastCheck: []float64{3},
+				E: []float64{4}, A: []float64{5}, Period: []float64{6},
+				UnfreezeAt: []int{7}, RandomUntil: []int{0},
+			}}},
+	} {
+		f.Add(Encode(m))
+	}
+	// A snapshot frame truncated mid-payload.
+	snap := Encode(&SnapshotMsg{Round: 3, MaskGen: 1, Payload: []float64{1, 2, 3, 4}})
+	f.Add(snap[:len(snap)-11])
 	// Two frames back to back: Decode must return the remainder intact.
 	f.Add(append(Encode(&JoinMsg{Name: "a"}), Encode(&GlobalMsg{Round: 0})...))
 	f.Add([]byte("not a frame at all"))

@@ -55,6 +55,16 @@
 // bodies carry no version branches; the canonical rule is unchanged — a
 // pre-v3 peer rejects them from its own header check, and every other
 // message keeps encoding exactly as before.
+//
+// Version 4 adds the O(diff) catch-up protocol (KindResumeOffer,
+// KindSketch, KindSnapshot, KindDelta) plus the WelcomeMsg catch-up
+// fields: a server whose replay history no longer reaches a resuming
+// client's round answers the join with CatchUp set, and the peers then
+// reconcile state by rateless-IBLT sketch (nearly in sync, O(diff)
+// bytes) or by snapshot (O(dim) regardless of absence). The four kinds
+// exist only at v4, and a Welcome without CatchUp still encodes
+// exactly as before — v1-v3 peers interoperate until a catch-up is
+// actually needed.
 package wire
 
 import (
@@ -68,7 +78,7 @@ import (
 // the oldest it still decodes. Frames are stamped with the minimal version
 // their body needs (see the package comment on canonical versioning).
 const (
-	Version    = 3
+	Version    = 4
 	MinVersion = 1
 )
 
@@ -105,6 +115,14 @@ const (
 	KindRelayJoin Kind = 7
 	// KindPartialUpdate frames a PartialUpdateMsg (relay → root, v3).
 	KindPartialUpdate Kind = 8
+	// KindResumeOffer frames a ResumeOfferMsg (client → server, v4).
+	KindResumeOffer Kind = 9
+	// KindSketch frames a SketchMsg (server → client, v4).
+	KindSketch Kind = 10
+	// KindSnapshot frames a SnapshotMsg (server → client, v4).
+	KindSnapshot Kind = 11
+	// KindDelta frames a DeltaMsg (server → client, v4).
+	KindDelta Kind = 12
 )
 
 // String names the kind for error messages.
@@ -126,6 +144,14 @@ func (k Kind) String() string {
 		return "relay-join"
 	case KindPartialUpdate:
 		return "partial-update"
+	case KindResumeOffer:
+		return "resume-offer"
+	case KindSketch:
+		return "sketch"
+	case KindSnapshot:
+		return "snapshot"
+	case KindDelta:
+		return "delta"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -148,7 +174,8 @@ var (
 
 // Msg is one protocol message. The implementations are JoinMsg,
 // WelcomeMsg, UpdateMsg, GlobalMsg, SparseUpdateMsg, SparseGlobalMsg,
-// RelayJoinMsg, and PartialUpdateMsg.
+// RelayJoinMsg, PartialUpdateMsg, ResumeOfferMsg, SketchMsg,
+// SnapshotMsg, and DeltaMsg.
 type Msg interface {
 	// WireKind returns the frame kind this message serializes under.
 	WireKind() Kind
@@ -201,6 +228,16 @@ type WelcomeMsg struct {
 	// advertised Caps (never stronger than them). CodecDense — the v1
 	// form — keeps the session on the dense Update/Global kinds.
 	Codec Codec
+	// CatchUp (v4) tells a resuming client that replay history no
+	// longer reaches its round: Missed is empty and the client must run
+	// the catch-up sub-protocol (ResumeOffer → Sketch/Delta or
+	// Snapshot) before normal rounds resume.
+	CatchUp bool
+	// MaskGen (v4, meaningful only with CatchUp) is the server-side
+	// mask generation, letting the client detect a generation *ahead*
+	// of the server's before any state moves (ErrFutureGeneration at
+	// the transport layer).
+	MaskGen int
 }
 
 // UpdateMsg carries one client's per-round push.

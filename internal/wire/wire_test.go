@@ -7,6 +7,9 @@ import (
 	"math"
 	"reflect"
 	"testing"
+
+	"apf/internal/core"
+	"apf/internal/recon"
 )
 
 // sampleMsgs covers all four kinds with awkward values: NaN and ±Inf
@@ -33,6 +36,32 @@ func sampleMsgs() []Msg {
 		&UpdateMsg{},
 		&GlobalMsg{Round: 11, Payload: []float64{math.Copysign(0, -1), 7}, Participants: 32},
 		&GlobalMsg{},
+		&WelcomeMsg{ClientID: 2, NumClients: 4, Rounds: 90, Dim: 2,
+			Init: []float64{1, 2}, Round: 61, Resumed: true, CatchUp: true, MaskGen: 17},
+		&ResumeOfferMsg{Round: 60, MaskGen: 17},
+		&ResumeOfferMsg{Round: 60, MaskGen: 17, NeedMore: true},
+		&ResumeOfferMsg{Round: 60, MaskGen: 17, Words: []int{0, 5, 63}},
+		&ResumeOfferMsg{Round: 60, MaskGen: 17, Words: []int{}},
+		&ResumeOfferMsg{Round: -1, MaskGen: -1},
+		&SketchMsg{Round: 61, MaskGen: 17, Start: 128, Cells: []recon.Cell{
+			{Sum: recon.PackWordGen(5, 18), Hash: 0xfeedface, Count: 1},
+			{Sum: 0, Hash: 0, Count: -3},
+		}},
+		&SketchMsg{Round: 61, MaskGen: 17},
+		&SnapshotMsg{Round: 61, MaskGen: 17,
+			Payload: []float64{math.NaN(), math.Inf(-1), -0.0},
+			Manager: []byte{0x00, 0xff, 0x7f}},
+		&SnapshotMsg{Round: 0, MaskGen: -1, Payload: []float64{4}},
+		&DeltaMsg{Round: 61, MaskGen: 17,
+			Header: core.SyncHeader{Threshold: 0.22, CheckCount: 12, Seen: 3,
+				Initialized: true, InitRound: 0, LastRound: 61},
+			Words: []core.WordBlock{{
+				Word: 3, Gen: 62, Seeded: 0x8000000000000001,
+				X: []float64{1, math.NaN()}, Ref: []float64{2, 0}, LastCheck: []float64{3, -0.0},
+				E: []float64{4, 0.5}, A: []float64{5, 0.25}, Period: []float64{6, 1},
+				UnfreezeAt: []int{7, -1}, RandomUntil: []int{0, 9},
+			}}},
+		&DeltaMsg{Round: 61, MaskGen: 17},
 	}
 }
 
@@ -204,9 +233,59 @@ func TestTrailingGarbageInBody(t *testing.T) {
 	}
 }
 
+// TestCatchUpWelcomeVersion pins canonical versioning for the catch-up
+// handshake: a Welcome encodes at v4 exactly when CatchUp is set, so
+// pre-v4 peers interoperate until a catch-up is actually needed.
+func TestCatchUpWelcomeVersion(t *testing.T) {
+	plain := Encode(&WelcomeMsg{Dim: 1, Init: []float64{1}, Round: 3})
+	if got := plain[4]; got != 1 {
+		t.Fatalf("plain welcome stamped v%d, want v1", got)
+	}
+	catch := Encode(&WelcomeMsg{Dim: 1, Init: []float64{1}, Round: 3, CatchUp: true, MaskGen: 2})
+	if got := catch[4]; got != 4 {
+		t.Fatalf("catch-up welcome stamped v%d, want v4", got)
+	}
+	// The v4 kinds are rejected below v4 from the header check alone.
+	frame := Encode(&ResumeOfferMsg{Round: 1, MaskGen: 1})
+	frame[4] = 3
+	if _, _, err := Decode(frame, 0); !errors.Is(err, ErrVersion) {
+		t.Fatalf("v3-stamped resume-offer: got %v, want ErrVersion", err)
+	}
+}
+
+// TestHostileCatchUpCounts feeds the sketch and delta decoders bodies
+// whose element counts claim 2^40 entries backed by no bytes; both must
+// reject before allocating.
+func TestHostileCatchUpCounts(t *testing.T) {
+	for _, m := range []Msg{&SketchMsg{Round: 1, MaskGen: 1}, &DeltaMsg{Round: 1, MaskGen: 1}} {
+		frame := Encode(m)
+		body := append([]byte(nil), frame[headerLen:len(frame)-trailerLen]...)
+		// The final 8 bytes are the element count (0); overwrite with 2^40.
+		for i := len(body) - 8; i < len(body); i++ {
+			body[i] = 0
+		}
+		body[len(body)-3] = 1
+		if _, err := decodeBody(m.WireKind(), 4, body); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: hostile count: got %v, want ErrCorrupt", m.WireKind(), err)
+		}
+	}
+	// A word generation beyond 2^32-1 is structural damage, not data.
+	frame := Encode(&DeltaMsg{Round: 1, MaskGen: 1, Words: []core.WordBlock{{Word: 0, Gen: 1}}})
+	body := append([]byte(nil), frame[headerLen:len(frame)-trailerLen]...)
+	// The empty word block is the final wordBlockMinLen bytes of the
+	// body: word(8) gen(8) ... — flip the generation's high byte.
+	genOff := len(body) - wordBlockMinLen + 8 + 7
+	body[genOff] = 0xff
+	if _, err := decodeBody(KindDelta, 4, body); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized word generation: got %v, want ErrCorrupt", err)
+	}
+}
+
 func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
-		KindJoin: "join", KindWelcome: "welcome", KindUpdate: "update", KindGlobal: "global", Kind(99): "Kind(99)",
+		KindJoin: "join", KindWelcome: "welcome", KindUpdate: "update", KindGlobal: "global",
+		KindResumeOffer: "resume-offer", KindSketch: "sketch", KindSnapshot: "snapshot",
+		KindDelta: "delta", Kind(99): "Kind(99)",
 	} {
 		if got := k.String(); got != want {
 			t.Fatalf("Kind(%d).String() = %q, want %q", uint8(k), got, want)
